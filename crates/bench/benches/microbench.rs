@@ -1,0 +1,90 @@
+//! Criterion benches over the paper's workloads.
+//!
+//! One group per figure: `fig5_wcs`, `fig6_bcs`, `fig7_tcs` time the
+//! simulator running each strategy's workload (the printed figure
+//! binaries derive their ratios from exactly these runs);
+//! `fig8_miss_penalty` times the penalty sweep; `protocol_pairs` covers
+//! every §2 reduction pairing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmp_cache::ProtocolKind;
+use hmp_platform::Strategy;
+use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+use std::hint::black_box;
+
+fn params() -> MicrobenchParams {
+    MicrobenchParams {
+        lines_per_iter: 8,
+        exec_time: 1,
+        outer_iters: 4,
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_scenario(c: &mut Criterion, scenario: Scenario, group_name: &str) {
+    let mut group = c.benchmark_group(group_name);
+    for strategy in Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                let spec = RunSpec::new(scenario, strategy, params());
+                b.iter(|| black_box(run(black_box(&spec))).cycles_u64());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig5_wcs(c: &mut Criterion) {
+    bench_scenario(c, Scenario::Worst, "fig5_wcs");
+}
+
+fn fig6_bcs(c: &mut Criterion) {
+    bench_scenario(c, Scenario::Best, "fig6_bcs");
+}
+
+fn fig7_tcs(c: &mut Criterion) {
+    bench_scenario(c, Scenario::Typical, "fig7_tcs");
+}
+
+fn fig8_miss_penalty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_miss_penalty");
+    for penalty in [13u64, 24, 48, 96] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(penalty),
+            &penalty,
+            |b, &penalty| {
+                let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+                    .with_burst_penalty(penalty);
+                b.iter(|| black_box(run(black_box(&spec))).cycles_u64());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn protocol_pairs(c: &mut Criterion) {
+    use ProtocolKind::*;
+    let mut group = c.benchmark_group("protocol_pairs");
+    for (a, b_) in [(Mei, Mesi), (Msi, Mesi), (Mesi, Moesi), (Moesi, Moesi)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{a}+{b_}")),
+            &(a, b_),
+            |bench, &(a, b_)| {
+                let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+                    .on(PlatformPick::Pair(a, b_));
+                bench.iter(|| black_box(run(black_box(&spec))).cycles_u64());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_wcs, fig6_bcs, fig7_tcs, fig8_miss_penalty, protocol_pairs
+}
+criterion_main!(figures);

@@ -1,0 +1,151 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! 1. **Wrapper knobs** — what each manipulation (read→write conversion,
+//!    shared-signal forcing) buys: stale-read counts with transparent vs
+//!    paper wrappers across every protocol pairing.
+//! 2. **Platform class** — PF3 (Intel486 + PowerPC755) vs PF2
+//!    (PowerPC755 + ARM920T) on the same WCS workload: the paper predicts
+//!    PF3 wins "due to the absence of an interrupt service routine".
+//! 3. **ISR cost** — how the PF2 interrupt-drain overhead scales with the
+//!    ISR's entry/exit cycles.
+//! 4. **TAG-CAM capacity** — what an undersized CAM costs in capacity
+//!    drain interrupts and execution time.
+//! 5. **Scalability** — WCS execution time as the processor count grows
+//!    (the paper's "easily extended to more than two processors").
+
+use hmp_cache::ProtocolKind;
+use hmp_cpu::{IsrConfig, LockKind};
+use hmp_platform::{presets, Strategy, System, WrapperMode};
+use hmp_workloads::{build_programs, run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+
+fn params() -> MicrobenchParams {
+    MicrobenchParams {
+        lines_per_iter: 8,
+        exec_time: 1,
+        outer_iters: 8,
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+fn wcs_violations(a: ProtocolKind, b: ProtocolKind, mode: WrapperMode) -> (usize, bool) {
+    let (mut spec, lay) = presets::protocol_pair(a, b, Strategy::Proposed, LockKind::Turn);
+    spec.wrapper_mode = mode;
+    let programs = build_programs(Scenario::Worst, Strategy::Proposed, &params(), &lay);
+    let mut sys = System::new(&spec, programs);
+    let result = sys.run(5_000_000);
+    (
+        result.violations.len(),
+        result.outcome == hmp_platform::RunOutcome::Completed,
+    )
+}
+
+fn main() {
+    println!("=== Ablation 1 — wrapper manipulations vs naive integration (WCS) ===");
+    println!(
+        "{:<8} {:<8} {:>18} {:>18}",
+        "cpu0", "cpu1", "naive violations", "paper violations"
+    );
+    use ProtocolKind::*;
+    for (a, b) in [(Mei, Msi), (Mei, Mesi), (Mei, Moesi), (Msi, Mesi), (Msi, Moesi), (Mesi, Moesi)]
+    {
+        let (naive, _) = wcs_violations(a, b, WrapperMode::Transparent);
+        let (paper, done) = wcs_violations(a, b, WrapperMode::Paper);
+        println!(
+            "{:<8} {:<8} {:>18} {:>18}{}",
+            a.to_string(),
+            b.to_string(),
+            naive,
+            paper,
+            if done { "" } else { "  (incomplete)" }
+        );
+    }
+
+    println!("\n=== Ablation 2 — PF3 vs PF2 on the same WCS workload ===");
+    for (name, pick) in [
+        ("PF2 PowerPC755+ARM920T", PlatformPick::PpcArm),
+        ("PF3 Intel486+PowerPC755", PlatformPick::I486Ppc),
+    ] {
+        let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, params()).on(pick));
+        println!(
+            "{:<26} {:>10} cycles, {:>4} ISR entries, {:>5} bus retries",
+            name,
+            r.cycles_u64(),
+            r.cpus.iter().map(|c| c.isr_entries).sum::<u64>(),
+            r.bus.retries
+        );
+    }
+
+    println!("\n=== Ablation 3 — ISR cost sweep on PF2 (WCS, proposed) ===");
+    println!("{:>22} {:>12}", "entry/exit cycles", "exec cycles");
+    for cost in [4u32, 8, 16, 32, 64] {
+        let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+        spec.cpus[1].isr = IsrConfig {
+            response_cycles: 4,
+            entry_cycles: cost,
+            exit_cycles: cost,
+        };
+        let programs = build_programs(Scenario::Worst, Strategy::Proposed, &params(), &lay);
+        let mut sys = presets::instantiate(&spec, Strategy::Proposed, programs);
+        let r = sys.run(5_000_000);
+        println!("{:>22} {:>12}", format!("{cost}/{cost}"), r.cycles_u64());
+    }
+
+    println!("\n=== Ablation 4 — TAG-CAM capacity sweep on PF2 (WCS, proposed) ===");
+    println!(
+        "{:>16} {:>12} {:>14} {:>12}",
+        "CAM geometry", "exec cycles", "capacity IRQs", "ISR entries"
+    );
+    let cam_run = |geometry: Option<(u32, u32)>| {
+        let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+        spec.cpus[1].cam_geometry = geometry;
+        let programs = build_programs(Scenario::Worst, Strategy::Proposed, &params(), &lay);
+        let mut sys = presets::instantiate(&spec, Strategy::Proposed, programs);
+        let r = sys.run(5_000_000);
+        let caps = sys
+            .snoop_logic(1)
+            .map(|c| c.capacity_evictions())
+            .unwrap_or(0);
+        (r.cycles_u64(), caps, r.cpus[1].isr_entries)
+    };
+    for (sets, ways) in [(2u32, 1u32), (4, 2), (16, 4), (64, 8)] {
+        let (cycles, caps, isrs) = cam_run(Some((sets, ways)));
+        println!(
+            "{:>16} {:>12} {:>14} {:>12}",
+            format!("{sets}x{ways}"),
+            cycles,
+            caps,
+            isrs
+        );
+    }
+    let (cycles, caps, isrs) = cam_run(None);
+    println!("{:>16} {cycles:>12} {caps:>14} {isrs:>12}", "full-map");
+
+    println!("\n=== Ablation 5 — WCS scalability with processor count (proposed) ===");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "CPUs", "exec cycles", "bus retries", "bus data cyc"
+    );
+    for n in 2..=4usize {
+        let protocols = vec![hmp_cache::ProtocolKind::Mesi; n];
+        let (spec, lay) =
+            presets::generic_many(&protocols, Strategy::Proposed, LockKind::Turn);
+        let programs = hmp_workloads::build_programs_for(
+            Scenario::Worst,
+            Strategy::Proposed,
+            &params(),
+            &lay,
+            n,
+        );
+        let mut sys = presets::instantiate(&spec, Strategy::Proposed, programs);
+        let r = sys.run(20_000_000);
+        assert!(r.is_clean_completion(), "{n} CPUs: {r}");
+        println!(
+            "{:>6} {:>12} {:>12} {:>14}",
+            n,
+            r.cycles_u64(),
+            r.bus.retries,
+            r.bus.data_cycles
+        );
+    }
+}

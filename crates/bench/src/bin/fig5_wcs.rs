@@ -1,0 +1,16 @@
+//! Regenerates paper Figure 5: worst-case-scenario execution-time ratios.
+//!
+//! Both tasks hammer the same shared lines under strict lock alternation;
+//! the series plot execution time relative to the cache-disabled baseline
+//! for the software solution and the proposed wrapper/snoop-logic
+//! approach, for exec_time ∈ {1, 2, 4} and 1–32 lines per iteration.
+
+use hmp_bench::print_figure;
+use hmp_workloads::Scenario;
+
+fn main() {
+    print_figure(
+        Scenario::Worst,
+        "Figure 5 — worst case scenario (PowerPC755 + ARM920T, 13-cycle miss penalty)",
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerates paper Table 1: the PF1/PF2/PF3 platform classes, plus the
+//! reduced system protocol and derived wrapper policies for every §2
+//! protocol pairing.
+
+use hmp_cache::ProtocolKind;
+use hmp_core::{classify_platform, derive_policy, reduce, CoherenceSupport};
+
+fn main() {
+    println!("=== Table 1 — heterogeneous platform classes ===");
+    println!(
+        "{:<28} {:<28} {:>6}",
+        "processor 1", "processor 2", "class"
+    );
+    let rows = [
+        (CoherenceSupport::None, CoherenceSupport::None),
+        (
+            CoherenceSupport::Native(ProtocolKind::Mei),
+            CoherenceSupport::None,
+        ),
+        (
+            CoherenceSupport::None,
+            CoherenceSupport::Native(ProtocolKind::Mesi),
+        ),
+        (
+            CoherenceSupport::Native(ProtocolKind::Mei),
+            CoherenceSupport::Native(ProtocolKind::Mesi),
+        ),
+    ];
+    for (a, b) in rows {
+        println!(
+            "{:<28} {:<28} {:>6}",
+            a.to_string(),
+            b.to_string(),
+            classify_platform(&[a, b]).to_string()
+        );
+    }
+
+    println!("\n=== §2 — protocol reduction and derived wrapper policies ===");
+    println!(
+        "{:<8} {:<8} {:<8} {:<42} cpu1 wrapper",
+        "cpu0", "cpu1", "system", "cpu0 wrapper"
+    );
+    use ProtocolKind::*;
+    for (a, b) in [
+        (Mei, Msi),
+        (Mei, Mesi),
+        (Mei, Moesi),
+        (Msi, Mesi),
+        (Msi, Moesi),
+        (Mesi, Moesi),
+        (Moesi, Moesi),
+    ] {
+        let system = reduce(&[a, b]).expect("valid pairing");
+        println!(
+            "{:<8} {:<8} {:<8} {:<42} {}",
+            a.to_string(),
+            b.to_string(),
+            system.to_string(),
+            derive_policy(a, system).to_string(),
+            derive_policy(b, system)
+        );
+    }
+}

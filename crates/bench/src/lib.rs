@@ -1,0 +1,198 @@
+//! # hmp-bench — regenerating the paper's tables and figures
+//!
+//! One binary per evaluation artefact (run with
+//! `cargo run -p hmp-bench --release --bin <name>`):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1_platforms` | Table 1 — platform classes |
+//! | `table2_table3` | Tables 2 & 3 — stale-read traces and their fixes |
+//! | `fig5_wcs` | Figure 5 — worst-case scenario ratios |
+//! | `fig6_bcs` | Figure 6 — best-case scenario ratios |
+//! | `fig7_tcs` | Figure 7 — typical-case scenario ratios |
+//! | `fig8_miss_penalty` | Figure 8 — miss-penalty sweep |
+//! | `ablation` | extra: wrapper-knob and ISR-cost ablations |
+//!
+//! Criterion benches (`cargo bench -p hmp-bench`) time the simulator
+//! itself over the same workloads.
+//!
+//! This library holds the shared sweep/printing helpers the binaries use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hmp_platform::Strategy;
+use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+
+/// Workload size used by the figure binaries: enough critical-section
+/// entries for the startup transient to wash out of the ratios.
+pub fn figure_params(lines: u32, exec_time: u32) -> MicrobenchParams {
+    MicrobenchParams {
+        lines_per_iter: lines,
+        exec_time,
+        outer_iters: 8,
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+/// Executes one (scenario, strategy, lines, exec_time) cell and returns
+/// its execution time in bus cycles.
+///
+/// # Panics
+///
+/// Panics if the run does not complete cleanly — a figure regenerated
+/// from an incoherent or deadlocked run would be meaningless.
+pub fn cycles_for(
+    scenario: Scenario,
+    strategy: Strategy,
+    lines: u32,
+    exec_time: u32,
+    burst_penalty: u64,
+) -> u64 {
+    cycles_on(
+        PlatformPick::PpcArm,
+        scenario,
+        strategy,
+        lines,
+        exec_time,
+        burst_penalty,
+    )
+}
+
+/// Like [`cycles_for`] on an explicit platform (the Figure 8 PF3
+/// comparison uses the Intel486 + PowerPC755 pairing).
+///
+/// # Panics
+///
+/// Panics if the run does not complete cleanly.
+pub fn cycles_on(
+    platform: PlatformPick,
+    scenario: Scenario,
+    strategy: Strategy,
+    lines: u32,
+    exec_time: u32,
+    burst_penalty: u64,
+) -> u64 {
+    let spec = RunSpec::new(scenario, strategy, figure_params(lines, exec_time))
+        .on(platform)
+        .with_burst_penalty(burst_penalty);
+    let result = run(&spec);
+    assert!(
+        result.is_clean_completion(),
+        "{scenario}/{strategy} lines={lines} exec={exec_time}: {result}"
+    );
+    result.cycles_u64()
+}
+
+/// One row of a Figures 5–7 table: execution-time ratios of the software
+/// solution and the proposed approach relative to the cache-disabled
+/// baseline (the y-axis of the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioRow {
+    /// x-axis: accessed cache lines per iteration.
+    pub lines: u32,
+    /// `exec_time` parameter.
+    pub exec_time: u32,
+    /// Cache-disabled baseline cycles.
+    pub disabled: u64,
+    /// Software-solution cycles.
+    pub software: u64,
+    /// Proposed-approach cycles.
+    pub proposed: u64,
+}
+
+impl RatioRow {
+    /// Measures one row.
+    pub fn measure(scenario: Scenario, lines: u32, exec_time: u32) -> Self {
+        RatioRow {
+            lines,
+            exec_time,
+            disabled: cycles_for(scenario, Strategy::CacheDisabled, lines, exec_time, 13),
+            software: cycles_for(scenario, Strategy::SoftwareDrain, lines, exec_time, 13),
+            proposed: cycles_for(scenario, Strategy::Proposed, lines, exec_time, 13),
+        }
+    }
+
+    /// software / disabled.
+    pub fn software_ratio(&self) -> f64 {
+        self.software as f64 / self.disabled as f64
+    }
+
+    /// proposed / disabled.
+    pub fn proposed_ratio(&self) -> f64 {
+        self.proposed as f64 / self.disabled as f64
+    }
+
+    /// Percentage by which the proposed approach beats the software
+    /// solution (the paper's "speedup compared to the software solution").
+    pub fn speedup_vs_software_pct(&self) -> f64 {
+        (self.software as f64 - self.proposed as f64) / self.software as f64 * 100.0
+    }
+
+    /// Percentage improvement of the proposed approach over the
+    /// cache-disabled baseline.
+    pub fn improvement_vs_disabled_pct(&self) -> f64 {
+        (self.disabled as f64 - self.proposed as f64) / self.disabled as f64 * 100.0
+    }
+}
+
+/// Prints a Figures 5–7 style table for one scenario.
+pub fn print_figure(scenario: Scenario, title: &str) {
+    println!("=== {title} ===");
+    println!("(execution time relative to the cache-disabled baseline; lower is better)");
+    for exec_time in MicrobenchParams::EXEC_SWEEP {
+        println!("\nexec_time = {exec_time}");
+        println!(
+            "{:>6} {:>12} {:>12} {:>10} {:>10} {:>12}",
+            "lines", "software", "proposed", "sw ratio", "prop ratio", "speedup-vs-sw"
+        );
+        for lines in MicrobenchParams::LINE_SWEEP {
+            let row = RatioRow::measure(scenario, lines, exec_time);
+            println!(
+                "{:>6} {:>12} {:>12} {:>10.3} {:>10.3} {:>11.2}%",
+                row.lines,
+                row.software,
+                row.proposed,
+                row.software_ratio(),
+                row.proposed_ratio(),
+                row.speedup_vs_software_pct(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_row_math() {
+        let row = RatioRow {
+            lines: 8,
+            exec_time: 1,
+            disabled: 1000,
+            software: 800,
+            proposed: 600,
+        };
+        assert!((row.software_ratio() - 0.8).abs() < 1e-9);
+        assert!((row.proposed_ratio() - 0.6).abs() < 1e-9);
+        assert!((row.speedup_vs_software_pct() - 25.0).abs() < 1e-9);
+        assert!((row.improvement_vs_disabled_pct() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_for_is_deterministic() {
+        let a = cycles_for(Scenario::Worst, Strategy::Proposed, 2, 1, 13);
+        let b = cycles_for(Scenario::Worst, Strategy::Proposed, 2, 1, 13);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn figure_params_sized_for_steady_state() {
+        let p = figure_params(4, 2);
+        assert_eq!(p.lines_per_iter, 4);
+        assert_eq!(p.exec_time, 2);
+        assert!(p.outer_iters >= 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Bus arbitration policies.
+
+use crate::MasterId;
+
+/// How the arbiter picks among requesting masters.
+///
+/// AMBA ASB arbiters are commonly **fixed-priority** (lowest master index
+/// wins), which is what the paper's Figure 2/3 platform implies — and
+/// which, combined with retry back-off (BOFF), is what makes the paper's
+/// Figure 4 hardware deadlock reachable. **Round-robin** is the fairer
+/// default for performance studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArbitrationPolicy {
+    /// Rotate priority after each grant (fair).
+    #[default]
+    RoundRobin,
+    /// Master 0 always beats master 1, and so on.
+    FixedPriority,
+}
+
+/// A fair round-robin arbiter over a fixed set of masters.
+///
+/// The AMBA ASB leaves the arbitration algorithm to the implementation;
+/// round-robin is the usual choice and the one that makes the paper's
+/// snoop-push sequencing work: after a master's transaction is killed by
+/// ARTRY, the *other* master (which queued the drain write-back) wins the
+/// next grant, pushes the dirty line, and only then does the first master's
+/// retry succeed.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_bus::{Arbiter, MasterId};
+/// let mut arb = Arbiter::new(2);
+/// assert_eq!(arb.grant(&[true, true]), Some(MasterId(0)));
+/// assert_eq!(arb.grant(&[true, true]), Some(MasterId(1)));
+/// assert_eq!(arb.grant(&[true, true]), Some(MasterId(0)));
+/// assert_eq!(arb.grant(&[false, false]), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    masters: usize,
+    policy: ArbitrationPolicy,
+    /// Index of the master that was granted most recently.
+    last: usize,
+}
+
+impl Arbiter {
+    /// Creates a round-robin arbiter for `masters` bus masters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is zero.
+    pub fn new(masters: usize) -> Self {
+        Arbiter::with_policy(masters, ArbitrationPolicy::RoundRobin)
+    }
+
+    /// Creates an arbiter with an explicit policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is zero.
+    pub fn with_policy(masters: usize, policy: ArbitrationPolicy) -> Self {
+        assert!(masters > 0, "a bus needs at least one master");
+        Arbiter {
+            masters,
+            policy,
+            last: masters - 1, // so master 0 wins the first round
+        }
+    }
+
+    /// Number of masters attached.
+    pub fn masters(&self) -> usize {
+        self.masters
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ArbitrationPolicy {
+        self.policy
+    }
+
+    /// Grants the bus to the next requesting master after the previous
+    /// grantee, if any is requesting. `requesting[i]` is master *i*'s BREQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requesting.len()` differs from the master count.
+    pub fn grant(&mut self, requesting: &[bool]) -> Option<MasterId> {
+        assert_eq!(
+            requesting.len(),
+            self.masters,
+            "BREQ vector width mismatch"
+        );
+        match self.policy {
+            ArbitrationPolicy::RoundRobin => {
+                for off in 1..=self.masters {
+                    let idx = (self.last + off) % self.masters;
+                    if requesting[idx] {
+                        self.last = idx;
+                        return Some(MasterId(idx));
+                    }
+                }
+                None
+            }
+            ArbitrationPolicy::FixedPriority => {
+                let idx = requesting.iter().position(|&r| r)?;
+                self.last = idx;
+                Some(MasterId(idx))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut arb = Arbiter::new(3);
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(0)));
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(1)));
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(2)));
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(0)));
+    }
+
+    #[test]
+    fn skips_idle_masters() {
+        let mut arb = Arbiter::new(3);
+        assert_eq!(arb.grant(&[false, true, false]), Some(MasterId(1)));
+        assert_eq!(arb.grant(&[true, false, false]), Some(MasterId(0)));
+        // Pointer sits at 0; with all requesting, 1 is next.
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(1)));
+    }
+
+    #[test]
+    fn no_requests_no_grant() {
+        let mut arb = Arbiter::new(2);
+        assert_eq!(arb.grant(&[false, false]), None);
+        // A no-grant round must not move the pointer.
+        assert_eq!(arb.grant(&[true, true]), Some(MasterId(0)));
+    }
+
+    #[test]
+    fn same_master_can_hold_the_bus_alone() {
+        let mut arb = Arbiter::new(2);
+        assert_eq!(arb.grant(&[true, false]), Some(MasterId(0)));
+        assert_eq!(arb.grant(&[true, false]), Some(MasterId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one master")]
+    fn zero_masters_panics() {
+        let _ = Arbiter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        Arbiter::new(2).grant(&[true]);
+    }
+
+    #[test]
+    fn masters_accessor() {
+        let arb = Arbiter::new(4);
+        assert_eq!(arb.masters(), 4);
+        assert_eq!(arb.policy(), ArbitrationPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn fixed_priority_always_favors_lowest_index() {
+        let mut arb = Arbiter::with_policy(3, ArbitrationPolicy::FixedPriority);
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(0)));
+        assert_eq!(arb.grant(&[true, true, true]), Some(MasterId(0)));
+        assert_eq!(arb.grant(&[false, true, true]), Some(MasterId(1)));
+        assert_eq!(arb.grant(&[false, false, true]), Some(MasterId(2)));
+        assert_eq!(arb.grant(&[false, false, false]), None);
+    }
+
+    #[test]
+    fn policy_default_is_round_robin() {
+        assert_eq!(ArbitrationPolicy::default(), ArbitrationPolicy::RoundRobin);
+    }
+}

@@ -1,0 +1,588 @@
+//! The bus FSM: grant → address/snoop → data → completion.
+
+use crate::{Arbiter, ArbitrationPolicy, BusOp, MasterId};
+use hmp_mem::{Addr, LINE_WORDS};
+use std::collections::VecDeque;
+
+/// The bus pipeline state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusPhase {
+    /// No transaction in flight; arbitration may run.
+    Idle,
+    /// A transaction has been granted and is being snooped; the platform
+    /// must call [`Bus::resolve`] in the same cycle.
+    Address,
+    /// The data phase is streaming; `remaining` cycles left.
+    Data {
+        /// Bus cycles until the transaction completes.
+        remaining: u64,
+    },
+}
+
+/// A transaction that just entered the address phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantedTxn {
+    /// The master driving the transaction.
+    pub master: MasterId,
+    /// The operation on the wire (what the memory controller sees — the
+    /// wrappers translate it per-snooper, never here).
+    pub op: BusOp,
+    /// Target address.
+    pub addr: Addr,
+    /// `true` if this is a snoop-push write-back rather than a CPU
+    /// transaction.
+    pub is_drain: bool,
+    /// `true` if this transaction was previously killed by ARTRY.
+    pub is_retry: bool,
+}
+
+/// The platform's verdict on an address phase, fed to [`Bus::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressOutcome {
+    /// Snooping raised no objection; stream data for `data_cycles` cycles
+    /// (0 completes the transaction at the end of the address cycle, used
+    /// for upgrade broadcasts).
+    Proceed {
+        /// Length of the data phase in bus cycles.
+        data_cycles: u64,
+        /// Value of the bus shared signal sampled by the requester.
+        shared: bool,
+        /// Line supplied cache-to-cache (MOESI), bypassing memory.
+        supplied: Option<[u32; LINE_WORDS as usize]>,
+    },
+    /// ARTRY: the transaction is killed; the master re-arbitrates later.
+    Retry,
+}
+
+/// A transaction that completed its data phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedTxn {
+    /// The master that drove the transaction.
+    pub master: MasterId,
+    /// The operation performed.
+    pub op: BusOp,
+    /// Target address.
+    pub addr: Addr,
+    /// `true` if this was a snoop-push write-back.
+    pub is_drain: bool,
+    /// Shared-signal value sampled during the address phase.
+    pub shared: bool,
+    /// Line supplied cache-to-cache instead of from memory.
+    pub supplied: Option<[u32; LINE_WORDS as usize]>,
+}
+
+/// Aggregate bus activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Transactions granted (address phases started).
+    pub grants: u64,
+    /// Transactions killed by ARTRY.
+    pub retries: u64,
+    /// Transactions completed.
+    pub completions: u64,
+    /// Completed snoop-push write-backs.
+    pub drains: u64,
+    /// Total data-phase cycles streamed.
+    pub data_cycles: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MasterPort {
+    /// Remaining BOFF cycles: after an ARTRY the master deasserts BREQ
+    /// for the configured back-off window before retrying.
+    backoff: u64,
+    /// The master's single outstanding CPU transaction, if not yet granted.
+    fresh: Option<(BusOp, Addr)>,
+    /// A transaction killed by ARTRY, waiting to retry. `bool` records
+    /// whether it was a drain.
+    retrying: Option<(BusOp, Addr, bool)>,
+    /// Snoop-push write-backs queued behind the CPU transaction. These
+    /// double as the master's *write-back buffers*: the platform must ARTRY
+    /// any remote access to a line held here.
+    drains: VecDeque<([u32; LINE_WORDS as usize], Addr)>,
+}
+
+impl MasterPort {
+    fn wants_bus(&self) -> bool {
+        self.retrying.is_some() || !self.drains.is_empty() || self.fresh.is_some()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    txn: GrantedTxn,
+    shared: bool,
+    supplied: Option<[u32; LINE_WORDS as usize]>,
+}
+
+/// The shared system bus.
+///
+/// Drive it one bus cycle at a time:
+///
+/// 1. if [`Bus::phase`] is [`BusPhase::Idle`], call [`Bus::try_grant`];
+///    a granted transaction is *in its address phase* — snoop it and call
+///    [`Bus::resolve`] within the same cycle;
+/// 2. if the phase is [`BusPhase::Data`], call [`Bus::advance_data`] once
+///    per cycle until it yields the [`CompletedTxn`].
+///
+/// Per-master ordering (retry → drains → fresh) is chosen to match the
+/// PowerPC755 behaviour the paper describes: a master granted the bus
+/// retries its killed transaction *"instead of draining out the lock
+/// variables"* — the root cause of the hardware deadlock of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    arbiter: Arbiter,
+    ports: Vec<MasterPort>,
+    phase: BusPhase,
+    active: Option<Active>,
+    stats: BusStats,
+    retry_backoff: u64,
+}
+
+impl Bus {
+    /// Creates a bus with `masters` master ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is zero.
+    pub fn new(masters: usize) -> Self {
+        Bus {
+            arbiter: Arbiter::new(masters),
+            ports: (0..masters).map(|_| MasterPort::default()).collect(),
+            phase: BusPhase::Idle,
+            active: None,
+            stats: BusStats::default(),
+            retry_backoff: 0,
+        }
+    }
+
+    /// Switches the arbitration policy (resets the rotation pointer).
+    pub fn set_arbitration(&mut self, policy: ArbitrationPolicy) {
+        self.arbiter = Arbiter::with_policy(self.ports.len(), policy);
+    }
+
+    /// Sets the BOFF window: a master whose transaction was killed by
+    /// ARTRY deasserts its request for this many bus cycles before
+    /// retrying. Zero (the default) retries immediately.
+    pub fn set_retry_backoff(&mut self, cycles: u64) {
+        self.retry_backoff = cycles;
+    }
+
+    /// Advances per-cycle bus state (BOFF countdowns). Call once at the
+    /// top of every bus cycle.
+    pub fn begin_cycle(&mut self) {
+        for p in &mut self.ports {
+            p.backoff = p.backoff.saturating_sub(1);
+        }
+    }
+
+    /// Number of master ports.
+    pub fn masters(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Current pipeline phase.
+    pub fn phase(&self) -> BusPhase {
+        self.phase
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Submits a master's (single) CPU transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master already has an outstanding CPU transaction —
+    /// the modelled cores are blocking and never pipeline bus requests.
+    pub fn submit(&mut self, master: MasterId, op: BusOp, addr: Addr) {
+        let port = &mut self.ports[master.index()];
+        assert!(
+            port.fresh.is_none()
+                && port.retrying.as_ref().is_none_or(|&(_, _, d)| d),
+            "{master} already has an outstanding CPU transaction"
+        );
+        port.fresh = Some((op, addr));
+    }
+
+    /// Queues a snoop-push write-back on `master`'s port.
+    pub fn submit_drain(
+        &mut self,
+        master: MasterId,
+        data: [u32; LINE_WORDS as usize],
+        addr: Addr,
+    ) {
+        self.ports[master.index()]
+            .drains
+            .push_back((data, addr.line_base()));
+    }
+
+    /// `true` if the master has a CPU transaction in flight (fresh, retrying
+    /// or currently on the bus).
+    pub fn cpu_txn_outstanding(&self, master: MasterId) -> bool {
+        let port = &self.ports[master.index()];
+        port.fresh.is_some()
+            || port.retrying.as_ref().is_some_and(|&(_, _, d)| !d)
+            || self
+                .active
+                .as_ref()
+                .is_some_and(|a| a.txn.master == master && !a.txn.is_drain)
+    }
+
+    /// `true` if any master holds a write-back buffer for `addr`'s line —
+    /// a queued snoop-push drain, a retried drain, **or** a flush/ISR
+    /// write-back still waiting as a CPU transaction. Remote accesses to
+    /// such a line must be ARTRY'd until the buffer empties, exactly as
+    /// real snooping hardware checks its write-back buffers: the line has
+    /// already left the cache, so memory is the only copy and it is stale
+    /// until the write-back lands.
+    pub fn drain_pending_to(&self, addr: Addr) -> bool {
+        let line = addr.line_base();
+        let wb = |op: &BusOp, a: Addr| {
+            matches!(op, BusOp::WriteLine(_)) && a.line_base() == line
+        };
+        self.ports.iter().any(|p| {
+            p.drains.iter().any(|&(_, a)| a == line)
+                || p.retrying.as_ref().is_some_and(|(op, a, _)| wb(op, *a))
+                || p.fresh.as_ref().is_some_and(|(op, a)| wb(op, *a))
+        })
+    }
+
+    /// Number of queued (not yet completed) drains across all masters.
+    pub fn queued_drains(&self) -> usize {
+        self.ports.iter().map(|p| p.drains.len()).sum::<usize>()
+            + self
+                .ports
+                .iter()
+                .filter(|p| p.retrying.as_ref().is_some_and(|&(_, _, d)| d))
+                .count()
+    }
+
+    /// Runs arbitration if the bus is idle. On a grant, the returned
+    /// transaction is in its address phase and **must** be resolved with
+    /// [`Bus::resolve`] in the same cycle.
+    pub fn try_grant(&mut self) -> Option<GrantedTxn> {
+        if self.phase != BusPhase::Idle {
+            return None;
+        }
+        let requesting: Vec<bool> = self
+            .ports
+            .iter()
+            .map(|p| p.backoff == 0 && p.wants_bus())
+            .collect();
+        let master = self.arbiter.grant(&requesting)?;
+        let port = &mut self.ports[master.index()];
+        let txn = if let Some((op, addr, was_drain)) = port.retrying.take() {
+            GrantedTxn {
+                master,
+                op,
+                addr,
+                is_drain: was_drain,
+                is_retry: true,
+            }
+        } else if let Some((data, addr)) = port.drains.pop_front() {
+            GrantedTxn {
+                master,
+                op: BusOp::WriteLine(data),
+                addr,
+                is_drain: true,
+                is_retry: false,
+            }
+        } else {
+            let (op, addr) = port.fresh.take().expect("wants_bus implies work");
+            GrantedTxn {
+                master,
+                op,
+                addr,
+                is_drain: false,
+                is_retry: false,
+            }
+        };
+        self.phase = BusPhase::Address;
+        self.active = Some(Active {
+            txn,
+            shared: false,
+            supplied: None,
+        });
+        self.stats.grants += 1;
+        Some(txn)
+    }
+
+    /// Applies the snoop verdict to the transaction in its address phase.
+    ///
+    /// Returns the completed transaction immediately when the data phase is
+    /// empty (upgrade broadcasts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is in its address phase.
+    pub fn resolve(&mut self, outcome: AddressOutcome) -> Option<CompletedTxn> {
+        assert_eq!(
+            self.phase,
+            BusPhase::Address,
+            "resolve() outside the address phase"
+        );
+        let active = self.active.take().expect("address phase has a txn");
+        match outcome {
+            AddressOutcome::Retry => {
+                self.stats.retries += 1;
+                let t = active.txn;
+                let backoff = self.retry_backoff;
+                let port = &mut self.ports[t.master.index()];
+                port.backoff = backoff;
+                if t.is_drain {
+                    let BusOp::WriteLine(data) = t.op else {
+                        unreachable!("drains are always line writes");
+                    };
+                    // Keep write-back ordering: a retried drain re-enters at
+                    // the *front* of the queue.
+                    let _ = data;
+                    port.retrying = Some((t.op, t.addr, true));
+                } else {
+                    port.retrying = Some((t.op, t.addr, false));
+                }
+                self.phase = BusPhase::Idle;
+                None
+            }
+            AddressOutcome::Proceed {
+                data_cycles,
+                shared,
+                supplied,
+            } => {
+                if data_cycles == 0 {
+                    self.phase = BusPhase::Idle;
+                    self.stats.completions += 1;
+                    if active.txn.is_drain {
+                        self.stats.drains += 1;
+                    }
+                    Some(CompletedTxn {
+                        master: active.txn.master,
+                        op: active.txn.op,
+                        addr: active.txn.addr,
+                        is_drain: active.txn.is_drain,
+                        shared,
+                        supplied,
+                    })
+                } else {
+                    self.phase = BusPhase::Data {
+                        remaining: data_cycles,
+                    };
+                    self.active = Some(Active {
+                        shared,
+                        supplied,
+                        ..active
+                    });
+                    None
+                }
+            }
+        }
+    }
+
+    /// Advances an in-flight data phase by one cycle, yielding the
+    /// completed transaction when it finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data phase is in flight.
+    pub fn advance_data(&mut self) -> Option<CompletedTxn> {
+        let BusPhase::Data { remaining } = self.phase else {
+            panic!("advance_data() outside the data phase");
+        };
+        self.stats.data_cycles += 1;
+        let remaining = remaining - 1;
+        if remaining > 0 {
+            self.phase = BusPhase::Data { remaining };
+            return None;
+        }
+        self.phase = BusPhase::Idle;
+        let active = self.active.take().expect("data phase has a txn");
+        self.stats.completions += 1;
+        if active.txn.is_drain {
+            self.stats.drains += 1;
+        }
+        Some(CompletedTxn {
+            master: active.txn.master,
+            op: active.txn.op,
+            addr: active.txn.addr,
+            is_drain: active.txn.is_drain,
+            shared: active.shared,
+            supplied: active.supplied,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proceed(cycles: u64) -> AddressOutcome {
+        AddressOutcome::Proceed {
+            data_cycles: cycles,
+            shared: false,
+            supplied: None,
+        }
+    }
+
+    #[test]
+    fn grant_address_data_complete() {
+        let mut bus = Bus::new(2);
+        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        let g = bus.try_grant().expect("grant");
+        assert_eq!(g.master, MasterId(0));
+        assert_eq!(g.op, BusOp::ReadLine);
+        assert!(!g.is_retry && !g.is_drain);
+        assert_eq!(bus.phase(), BusPhase::Address);
+        assert!(bus.resolve(proceed(3)).is_none());
+        assert!(bus.advance_data().is_none());
+        assert!(bus.advance_data().is_none());
+        let done = bus.advance_data().expect("complete");
+        assert_eq!(done.master, MasterId(0));
+        assert_eq!(bus.phase(), BusPhase::Idle);
+        let s = bus.stats();
+        assert_eq!((s.grants, s.completions, s.retries), (1, 1, 0));
+        assert_eq!(s.data_cycles, 3);
+    }
+
+    #[test]
+    fn zero_cycle_op_completes_in_address_phase() {
+        let mut bus = Bus::new(1);
+        bus.submit(MasterId(0), BusOp::Upgrade, Addr::new(0x40));
+        bus.try_grant().unwrap();
+        let done = bus.resolve(proceed(0)).expect("immediate completion");
+        assert_eq!(done.op, BusOp::Upgrade);
+        assert_eq!(bus.phase(), BusPhase::Idle);
+    }
+
+    #[test]
+    fn retry_requeues_and_marks_retry() {
+        let mut bus = Bus::new(2);
+        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        bus.try_grant().unwrap();
+        assert!(bus.resolve(AddressOutcome::Retry).is_none());
+        assert!(bus.cpu_txn_outstanding(MasterId(0)));
+        let g = bus.try_grant().expect("retry granted");
+        assert!(g.is_retry);
+        assert_eq!(g.master, MasterId(0));
+        assert_eq!(bus.stats().retries, 1);
+    }
+
+    #[test]
+    fn drain_beats_fresh_but_loses_to_retry() {
+        let mut bus = Bus::new(1);
+        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
+        bus.submit_drain(MasterId(0), [7; 8], Addr::new(0x40));
+        // Drain is sent before the fresh CPU transaction.
+        let g = bus.try_grant().unwrap();
+        assert!(g.is_drain);
+        assert_eq!(g.addr, Addr::new(0x40));
+        assert!(bus.resolve(AddressOutcome::Retry).is_none());
+        // The retried drain still precedes the fresh transaction...
+        let g = bus.try_grant().unwrap();
+        assert!(g.is_drain && g.is_retry);
+        bus.resolve(AddressOutcome::Retry);
+        // ...and a retried CPU transaction would precede the drain — the
+        // paper's deadlock ordering — which we exercise below.
+        let mut bus2 = Bus::new(1);
+        bus2.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
+        bus2.try_grant().unwrap();
+        bus2.resolve(AddressOutcome::Retry);
+        bus2.submit_drain(MasterId(0), [1; 8], Addr::new(0x40));
+        let g = bus2.try_grant().unwrap();
+        assert!(g.is_retry && !g.is_drain, "retry outranks the queued drain");
+    }
+
+    #[test]
+    fn round_robin_between_masters() {
+        let mut bus = Bus::new(2);
+        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x0));
+        bus.submit(MasterId(1), BusOp::ReadWord, Addr::new(0x4));
+        let g = bus.try_grant().unwrap();
+        assert_eq!(g.master, MasterId(0));
+        bus.resolve(proceed(1));
+        bus.advance_data().unwrap();
+        let g = bus.try_grant().unwrap();
+        assert_eq!(g.master, MasterId(1));
+    }
+
+    #[test]
+    fn no_grant_while_busy() {
+        let mut bus = Bus::new(2);
+        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x0));
+        bus.submit(MasterId(1), BusOp::ReadLine, Addr::new(0x40));
+        bus.try_grant().unwrap();
+        bus.resolve(proceed(5));
+        assert!(bus.try_grant().is_none(), "bus is streaming data");
+    }
+
+    #[test]
+    fn drain_pending_to_checks_buffers() {
+        let mut bus = Bus::new(2);
+        bus.submit_drain(MasterId(1), [0; 8], Addr::new(0x44));
+        assert!(bus.drain_pending_to(Addr::new(0x40)));
+        assert!(bus.drain_pending_to(Addr::new(0x5C)));
+        assert!(!bus.drain_pending_to(Addr::new(0x60)));
+        assert_eq!(bus.queued_drains(), 1);
+    }
+
+    #[test]
+    fn retried_drain_still_blocks_its_line() {
+        let mut bus = Bus::new(1);
+        bus.submit_drain(MasterId(0), [0; 8], Addr::new(0x40));
+        bus.try_grant().unwrap();
+        bus.resolve(AddressOutcome::Retry);
+        assert!(bus.drain_pending_to(Addr::new(0x40)));
+        assert_eq!(bus.queued_drains(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding CPU transaction")]
+    fn double_submit_panics() {
+        let mut bus = Bus::new(1);
+        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x0));
+        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x4));
+    }
+
+    #[test]
+    fn completion_reports_shared_and_supplied() {
+        let mut bus = Bus::new(1);
+        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        bus.try_grant().unwrap();
+        bus.resolve(AddressOutcome::Proceed {
+            data_cycles: 2,
+            shared: true,
+            supplied: Some([9; 8]),
+        });
+        bus.advance_data();
+        let done = bus.advance_data().unwrap();
+        assert!(done.shared);
+        assert_eq!(done.supplied, Some([9; 8]));
+    }
+
+    #[test]
+    fn drain_completion_counted() {
+        let mut bus = Bus::new(1);
+        bus.submit_drain(MasterId(0), [3; 8], Addr::new(0x40));
+        let g = bus.try_grant().unwrap();
+        assert_eq!(g.op, BusOp::WriteLine([3; 8]));
+        bus.resolve(proceed(1));
+        let done = bus.advance_data().unwrap();
+        assert!(done.is_drain);
+        assert_eq!(bus.stats().drains, 1);
+        assert_eq!(bus.queued_drains(), 0);
+        assert!(!bus.drain_pending_to(Addr::new(0x40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the address phase")]
+    fn resolve_when_idle_panics() {
+        Bus::new(1).resolve(AddressOutcome::Retry);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the data phase")]
+    fn advance_when_idle_panics() {
+        Bus::new(1).advance_data();
+    }
+}

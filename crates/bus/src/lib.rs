@@ -1,0 +1,40 @@
+//! # hmp-bus — an ASB-style shared system bus
+//!
+//! Models the AMBA **Advanced System Bus** as the paper's platform uses it
+//! (§3): a single shared, arbitrated bus connecting processor wrappers, the
+//! memory controller and simple slaves. The coherence-relevant signal
+//! behaviour is reproduced:
+//!
+//! * **BREQ/BGNT arbitration** — round-robin among masters with pending
+//!   work ([`Bus::try_grant`]);
+//! * **ARTRY / BOFF retry** — a transaction observed in the address phase
+//!   can be killed by a snooper (dirty line elsewhere, pending write-back
+//!   buffer, or a TAG-CAM hit awaiting the ARM's drain ISR); the master
+//!   re-arbitrates and retries ([`AddressOutcome::Retry`]);
+//! * **snoop-push write-backs (drains)** — a snooper that must push a
+//!   dirty line queues it on its own master port
+//!   ([`Bus::submit_drain`]); when granted, a master sends its *retried*
+//!   transaction first, then queued drains, then fresh requests. That
+//!   ordering is exactly what makes the paper's *hardware deadlock*
+//!   (Figure 4) reproducible: a master with a retried transaction never
+//!   gets around to draining the lock line everyone else is spinning on.
+//!
+//! The bus is deliberately un-opinionated about *why* a transaction
+//! retries: the wrapper/snoop logic in `hmp-core` decides, and the
+//! platform crate feeds the verdict back through [`Bus::resolve`].
+//!
+//! The crate also hosts [`BusDevice`] slaves, including the paper's 1-bit
+//! [`LockRegister`] (§3, solution 2 to the hardware deadlock).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod bus;
+mod device;
+mod transaction;
+
+pub use arbiter::{Arbiter, ArbitrationPolicy};
+pub use bus::{AddressOutcome, Bus, BusPhase, BusStats, CompletedTxn, GrantedTxn};
+pub use device::{BusDevice, LockRegister};
+pub use transaction::{BusOp, MasterId};

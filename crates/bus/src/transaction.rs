@@ -1,0 +1,122 @@
+//! Bus masters and transaction kinds.
+
+use core::fmt;
+use hmp_mem::LINE_WORDS;
+
+/// Identifies one bus master (a processor wrapper). Values are dense
+/// indices assigned by the platform builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MasterId(pub usize);
+
+impl MasterId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// One bus transaction kind, with its payload for writes.
+///
+/// * Line-granular operations are 8-word bursts (cache fills and
+///   write-backs);
+/// * word-granular operations serve uncached regions, write-through
+///   stores, and device slaves;
+/// * [`BusOp::Upgrade`] is the address-only invalidate broadcast an
+///   MSI/MESI/MOESI cache issues to write a Shared line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Burst read of a whole cache line (read-miss fill).
+    ReadLine,
+    /// Burst read with intent to modify (write-miss fill, "RWITM"): the
+    /// memory controller services it as a read, but every snooper must
+    /// treat it as a write and give the line up.
+    ReadLineExcl,
+    /// Burst write of a whole cache line (write-back / drain).
+    WriteLine([u32; LINE_WORDS as usize]),
+    /// Single-word read (uncached load or device read).
+    ReadWord,
+    /// Single-word write (uncached store, write-through store, device
+    /// write).
+    WriteWord(u32),
+    /// Invalidate broadcast; no data phase beyond the address cycle.
+    Upgrade,
+}
+
+impl BusOp {
+    /// Returns `true` for operations that modify memory or a device — the
+    /// operation class a snooping cache must treat as a write. Note that
+    /// [`BusOp::Upgrade`] is *not* a write on the wire (no data moves);
+    /// protocols handle it through `hmp_cache::SnoopOp::Upgrade`.
+    pub fn is_write(&self) -> bool {
+        matches!(self, BusOp::WriteLine(_) | BusOp::WriteWord(_))
+    }
+
+    /// Returns `true` for line-granular (burst) operations.
+    pub fn is_burst(&self) -> bool {
+        matches!(
+            self,
+            BusOp::ReadLine | BusOp::ReadLineExcl | BusOp::WriteLine(_)
+        )
+    }
+
+    /// Short mnemonic for traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            BusOp::ReadLine => "RDL",
+            BusOp::ReadLineExcl => "RDX",
+            BusOp::WriteLine(_) => "WRL",
+            BusOp::ReadWord => "RDW",
+            BusOp::WriteWord(_) => "WRW",
+            BusOp::Upgrade => "UPG",
+        }
+    }
+}
+
+impl fmt::Display for BusOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_id_display() {
+        assert_eq!(MasterId(1).to_string(), "cpu1");
+        assert_eq!(MasterId(2).index(), 2);
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(BusOp::WriteLine([0; 8]).is_write());
+        assert!(BusOp::WriteWord(1).is_write());
+        assert!(!BusOp::ReadLine.is_write());
+        assert!(!BusOp::ReadLineExcl.is_write(), "RWITM reads memory");
+        assert!(!BusOp::ReadWord.is_write());
+        assert!(!BusOp::Upgrade.is_write());
+    }
+
+    #[test]
+    fn burst_classification() {
+        assert!(BusOp::ReadLine.is_burst());
+        assert!(BusOp::ReadLineExcl.is_burst());
+        assert!(BusOp::WriteLine([0; 8]).is_burst());
+        assert!(!BusOp::ReadWord.is_burst());
+        assert!(!BusOp::WriteWord(0).is_burst());
+        assert!(!BusOp::Upgrade.is_burst());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(BusOp::ReadLine.to_string(), "RDL");
+        assert_eq!(BusOp::Upgrade.to_string(), "UPG");
+    }
+}

@@ -1,0 +1,133 @@
+//! Events exchanged between processors, caches and the snoop path.
+
+use crate::LineState;
+use core::fmt;
+use hmp_mem::LINE_WORDS;
+
+/// A processor-side access kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// What a snooping cache controller observes on the bus — *after* wrapper
+/// translation.
+///
+/// The paper's central trick lives in the gap between the operation on the
+/// wire and the operation a snooper sees: a wrapper may convert an observed
+/// [`SnoopOp::Read`] into a [`SnoopOp::Write`] (equivalently, assert the
+/// Intel486's INV pin on a read snoop) so the snooping cache invalidates or
+/// drains instead of transitioning toward Shared/Owned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnoopOp {
+    /// Another master reads a line.
+    Read,
+    /// Another master writes (or read-with-intent-to-modify).
+    Write,
+    /// Another master upgrades Shared → Modified (invalidate broadcast,
+    /// no data transfer).
+    Upgrade,
+}
+
+impl fmt::Display for SnoopOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnoopOp::Read => write!(f, "bus-read"),
+            SnoopOp::Write => write!(f, "bus-write"),
+            SnoopOp::Upgrade => write!(f, "bus-upgrade"),
+        }
+    }
+}
+
+/// Side effect a snoop hit demands from the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnoopAction {
+    /// No data movement; at most a local state change.
+    None,
+    /// The snooped line was dirty: it must be written back to memory before
+    /// the snooped transaction can complete. On the reproduced platform
+    /// this is the ARTRY/HITM path — the original master retries while the
+    /// owner drains.
+    WritebackLine,
+    /// Cache-to-cache supply (MOESI only): the owner forwards the line to
+    /// the requester directly, memory is *not* updated.
+    SupplyLine,
+}
+
+impl fmt::Display for SnoopAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnoopAction::None => write!(f, "none"),
+            SnoopAction::WritebackLine => write!(f, "writeback"),
+            SnoopAction::SupplyLine => write!(f, "supply"),
+        }
+    }
+}
+
+/// Outcome of presenting a snoop to a cache that holds the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnoopReply {
+    /// State before the snoop was applied.
+    pub old_state: LineState,
+    /// State after the snoop was applied.
+    pub new_state: LineState,
+    /// Required data movement.
+    pub action: SnoopAction,
+    /// Whether this cache drives the bus *shared* signal in response
+    /// (MSI and MEI controllers never do — the root cause of the paper's
+    /// Table 3 failure).
+    pub asserts_shared: bool,
+    /// Line data accompanying a [`SnoopAction::WritebackLine`] or
+    /// [`SnoopAction::SupplyLine`]; `None` otherwise.
+    pub data: Option<[u32; LINE_WORDS as usize]>,
+}
+
+/// How a protocol handles a processor write that *hits* in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteHitOutcome {
+    /// The write completes locally; the line moves to the given state.
+    Local(LineState),
+    /// An invalidate (upgrade) broadcast must complete on the bus first;
+    /// the line then moves to the given state.
+    NeedsUpgrade(LineState),
+    /// Write-through: the word is written locally *and* must be written to
+    /// memory on the bus; the line stays in the given state.
+    WriteThrough(LineState),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Access::Read.to_string(), "read");
+        assert_eq!(Access::Write.to_string(), "write");
+        assert_eq!(SnoopOp::Read.to_string(), "bus-read");
+        assert_eq!(SnoopOp::Write.to_string(), "bus-write");
+        assert_eq!(SnoopOp::Upgrade.to_string(), "bus-upgrade");
+        assert_eq!(SnoopAction::None.to_string(), "none");
+        assert_eq!(SnoopAction::WritebackLine.to_string(), "writeback");
+        assert_eq!(SnoopAction::SupplyLine.to_string(), "supply");
+    }
+
+    #[test]
+    fn write_hit_outcome_carries_state() {
+        match WriteHitOutcome::NeedsUpgrade(LineState::Modified) {
+            WriteHitOutcome::NeedsUpgrade(s) => assert_eq!(s, LineState::Modified),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Least-recently-used ordering for one cache set.
+
+/// Tracks the recency order of the ways in one cache set.
+///
+/// The order vector holds way indices from most- to least-recently used.
+/// All three commercial caches the paper integrates use LRU (or
+/// pseudo-LRU) replacement; true LRU keeps the simulator deterministic and
+/// is what "cache line replacements" in the paper's Figure 8 discussion
+/// refers to.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_cache::LruOrder;
+/// let mut lru = LruOrder::new(4);
+/// lru.touch(2);
+/// assert_eq!(lru.victim(), 3); // 2 is now MRU; 3 the coldest remaining
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LruOrder {
+    // order[0] is most recently used.
+    order: Vec<u32>,
+}
+
+impl LruOrder {
+    /// Creates an order over `ways` ways; initially way 0 is MRU and the
+    /// highest way index is the first victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: u32) -> Self {
+        assert!(ways > 0, "a cache set needs at least one way");
+        LruOrder {
+            order: (0..ways).collect(),
+        }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> u32 {
+        self.order.len() as u32
+    }
+
+    /// Marks `way` most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: u32) {
+        let pos = self
+            .order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range");
+        let w = self.order.remove(pos);
+        self.order.insert(0, w);
+    }
+
+    /// The least recently used way — the replacement victim.
+    pub fn victim(&self) -> u32 {
+        *self.order.last().expect("non-empty by construction")
+    }
+
+    /// Recency position of `way` (0 = MRU). Used by the snoop-logic CAM to
+    /// mirror the cache's replacement decisions exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn position(&self, way: u32) -> usize {
+        self.order
+            .iter()
+            .position(|&w| w == way)
+            .expect("way out of range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_victim_is_last_way() {
+        let lru = LruOrder::new(4);
+        assert_eq!(lru.victim(), 3);
+        assert_eq!(lru.ways(), 4);
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut lru = LruOrder::new(4);
+        lru.touch(3);
+        assert_eq!(lru.position(3), 0);
+        assert_eq!(lru.victim(), 2);
+    }
+
+    #[test]
+    fn full_rotation() {
+        let mut lru = LruOrder::new(3);
+        lru.touch(2); // order 2,0,1
+        lru.touch(1); // order 1,2,0
+        assert_eq!(lru.victim(), 0);
+        lru.touch(0); // order 0,1,2
+        assert_eq!(lru.victim(), 2);
+    }
+
+    #[test]
+    fn repeated_touch_is_stable() {
+        let mut lru = LruOrder::new(2);
+        lru.touch(0);
+        lru.touch(0);
+        assert_eq!(lru.victim(), 1);
+    }
+
+    #[test]
+    fn single_way_set() {
+        let mut lru = LruOrder::new(1);
+        assert_eq!(lru.victim(), 0);
+        lru.touch(0);
+        assert_eq!(lru.victim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = LruOrder::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "way out of range")]
+    fn touch_out_of_range_panics() {
+        LruOrder::new(2).touch(5);
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`Protocol`] trait and the protocol registry.
+
+use crate::event::{Access, SnoopOp, WriteHitOutcome};
+use crate::state::LineState;
+use crate::{Mei, Mesi, Moesi, Msi, Si};
+use core::fmt;
+
+/// A transition *request* produced by a protocol's snoop function.
+///
+/// Unlike [`crate::SnoopReply`] (which a [`crate::DataCache`] returns with
+/// data attached), this is the pure FSM answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SnoopTransition {
+    /// The state the line moves to.
+    pub next: LineState,
+    /// Required data movement.
+    pub action: crate::SnoopAction,
+    /// Whether the controller drives the bus shared signal.
+    pub asserts_shared: bool,
+}
+
+/// An invalidation-based cache-coherence protocol FSM.
+///
+/// Implementations are stateless lookup tables; one `'static` instance per
+/// protocol is reachable through [`ProtocolKind::protocol`]. The trait is
+/// object-safe so heterogeneous platforms can hold `&'static dyn Protocol`
+/// per processor.
+///
+/// The three functions correspond to the three stimulus classes of a bus
+/// snooping controller:
+///
+/// * [`fill_state`](Protocol::fill_state) — what state a miss fill lands
+///   in, given the sampled *shared* signal;
+/// * [`write_hit`](Protocol::write_hit) — what a local store to a valid
+///   line requires;
+/// * [`snoop`](Protocol::snoop) — how a valid line reacts to an observed
+///   (possibly wrapper-translated) bus operation.
+pub trait Protocol: fmt::Debug + Send + Sync {
+    /// Which protocol this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// The states this protocol can ever place a line in (always includes
+    /// `Invalid`).
+    fn states(&self) -> &'static [LineState];
+
+    /// State in which a miss fill completes. `shared_signal` is the value
+    /// sampled on the bus shared line during the fill (always `false` for
+    /// protocols without an E/S distinction driver).
+    fn fill_state(&self, access: Access, shared_signal: bool) -> LineState;
+
+    /// Reaction to a processor write hitting a line in state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called with a state outside
+    /// [`states`](Protocol::states) — that would be a simulator bug.
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome;
+
+    /// Reaction of a line in state `state` to an observed bus operation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called with a state outside
+    /// [`states`](Protocol::states).
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition;
+
+    /// `true` if this protocol supplies data cache-to-cache (the paper
+    /// assumes only MOESI implementations do).
+    fn supplies_cache_to_cache(&self) -> bool {
+        false
+    }
+
+    /// `true` if a write miss allocates a line (write-allocate). The
+    /// write-through SI protocol does not: a write miss goes straight to
+    /// memory as a single-word bus write.
+    fn allocates_on_write(&self) -> bool {
+        true
+    }
+
+    /// `true` if this protocol's controller can drive the bus shared
+    /// signal. MEI and MSI controllers have no shared-signal output — the
+    /// paper's Table 3 failure stems from exactly this.
+    fn drives_shared_signal(&self) -> bool;
+}
+
+/// Identifies one of the five modelled protocols.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_cache::{Protocol, ProtocolKind};
+/// assert!(ProtocolKind::Moesi.protocol().supplies_cache_to_cache());
+/// assert!(!ProtocolKind::Mesi.protocol().supplies_cache_to_cache());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolKind {
+    /// Modified / Exclusive / Invalid (PowerPC755).
+    Mei,
+    /// Modified / Shared / Invalid.
+    Msi,
+    /// Modified / Exclusive / Shared / Invalid (Pentium class; also the
+    /// write-back half of the Intel486).
+    Mesi,
+    /// Modified / Owned / Exclusive / Shared / Invalid (UltraSPARC, AMD64).
+    Moesi,
+    /// Shared / Invalid — write-through lines (Intel486 write-through half).
+    Si,
+}
+
+impl ProtocolKind {
+    /// All five protocol kinds, for exhaustive tests and sweeps.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Mei,
+        ProtocolKind::Msi,
+        ProtocolKind::Mesi,
+        ProtocolKind::Moesi,
+        ProtocolKind::Si,
+    ];
+
+    /// The write-back protocols a whole processor can be configured with
+    /// (SI only ever governs individual write-through lines).
+    pub const WRITE_BACK: [ProtocolKind; 4] = [
+        ProtocolKind::Mei,
+        ProtocolKind::Msi,
+        ProtocolKind::Mesi,
+        ProtocolKind::Moesi,
+    ];
+
+    /// Returns the singleton FSM for this kind.
+    pub fn protocol(self) -> &'static dyn Protocol {
+        match self {
+            ProtocolKind::Mei => &Mei,
+            ProtocolKind::Msi => &Msi,
+            ProtocolKind::Mesi => &Mesi,
+            ProtocolKind::Moesi => &Moesi,
+            ProtocolKind::Si => &Si,
+        }
+    }
+
+    /// Returns `true` if this protocol ever uses the given state.
+    pub fn has_state(self, state: LineState) -> bool {
+        self.protocol().states().contains(&state)
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolKind::Mei => "MEI",
+            ProtocolKind::Msi => "MSI",
+            ProtocolKind::Mesi => "MESI",
+            ProtocolKind::Moesi => "MOESI",
+            ProtocolKind::Si => "SI",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(kind.protocol().kind(), kind);
+        }
+    }
+
+    #[test]
+    fn state_sets_match_names() {
+        use LineState::*;
+        assert_eq!(ProtocolKind::Mei.protocol().states(), &[Modified, Exclusive, Invalid]);
+        assert_eq!(ProtocolKind::Msi.protocol().states(), &[Modified, Shared, Invalid]);
+        assert_eq!(
+            ProtocolKind::Mesi.protocol().states(),
+            &[Modified, Exclusive, Shared, Invalid]
+        );
+        assert_eq!(
+            ProtocolKind::Moesi.protocol().states(),
+            &[Modified, Owned, Exclusive, Shared, Invalid]
+        );
+        assert_eq!(ProtocolKind::Si.protocol().states(), &[Shared, Invalid]);
+    }
+
+    #[test]
+    fn every_protocol_has_invalid() {
+        for kind in ProtocolKind::ALL {
+            assert!(kind.has_state(LineState::Invalid), "{kind} missing I");
+        }
+    }
+
+    #[test]
+    fn only_moesi_supplies_cache_to_cache() {
+        for kind in ProtocolKind::ALL {
+            let expect = kind == ProtocolKind::Moesi;
+            assert_eq!(kind.protocol().supplies_cache_to_cache(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn shared_signal_drivers() {
+        // MEI and MSI controllers cannot drive the shared wire (paper §2.2).
+        assert!(!ProtocolKind::Mei.protocol().drives_shared_signal());
+        assert!(!ProtocolKind::Msi.protocol().drives_shared_signal());
+        assert!(ProtocolKind::Mesi.protocol().drives_shared_signal());
+        assert!(ProtocolKind::Moesi.protocol().drives_shared_signal());
+        assert!(ProtocolKind::Si.protocol().drives_shared_signal());
+    }
+
+    #[test]
+    fn only_si_skips_write_allocate() {
+        for kind in ProtocolKind::ALL {
+            let expect = kind != ProtocolKind::Si;
+            assert_eq!(kind.protocol().allocates_on_write(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolKind::Mei.to_string(), "MEI");
+        assert_eq!(ProtocolKind::Moesi.to_string(), "MOESI");
+    }
+}

@@ -1,0 +1,116 @@
+//! MEI — the PowerPC755's three-state protocol.
+
+use crate::protocol::{Protocol, ProtocolKind, SnoopTransition};
+use crate::{Access, LineState, SnoopAction, SnoopOp, WriteHitOutcome};
+
+/// Modified / Exclusive / Invalid.
+///
+/// MEI has no notion of sharing: any snoop hit gives the line away. A
+/// snooped *read* of an Exclusive line invalidates it (there is no Shared
+/// state to retreat to), and a snooped hit on a Modified line raises
+/// ARTRY so the line can be drained to memory first (paper §3, PowerPC755
+/// behaviour).
+///
+/// Because MEI never shares, its controller has no shared-signal output
+/// and ignores the shared signal on fills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mei;
+
+impl Protocol for Mei {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mei
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[LineState::Modified, LineState::Exclusive, LineState::Invalid]
+    }
+
+    fn fill_state(&self, access: Access, _shared_signal: bool) -> LineState {
+        match access {
+            Access::Read => LineState::Exclusive,
+            Access::Write => LineState::Modified,
+        }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome {
+        match state {
+            LineState::Exclusive | LineState::Modified => {
+                WriteHitOutcome::Local(LineState::Modified)
+            }
+            other => panic!("MEI write hit in impossible state {other}"),
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition {
+        let action = match state {
+            LineState::Modified => SnoopAction::WritebackLine,
+            LineState::Exclusive => SnoopAction::None,
+            other => panic!("MEI snoop in impossible state {other}"),
+        };
+        // Reads, writes and upgrades all take the line away: MEI cannot
+        // retain a copy alongside another cache.
+        let _ = op;
+        SnoopTransition {
+            next: LineState::Invalid,
+            action,
+            asserts_shared: false,
+        }
+    }
+
+    fn drives_shared_signal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn fills_ignore_shared_signal() {
+        for shared in [false, true] {
+            assert_eq!(Mei.fill_state(Access::Read, shared), Exclusive);
+            assert_eq!(Mei.fill_state(Access::Write, shared), Modified);
+        }
+    }
+
+    #[test]
+    fn write_hits_are_silent() {
+        assert_eq!(Mei.write_hit(Exclusive), WriteHitOutcome::Local(Modified));
+        assert_eq!(Mei.write_hit(Modified), WriteHitOutcome::Local(Modified));
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible state")]
+    fn write_hit_in_shared_is_a_bug() {
+        let _ = Mei.write_hit(Shared);
+    }
+
+    #[test]
+    fn snoop_always_invalidates() {
+        for op in [SnoopOp::Read, SnoopOp::Write, SnoopOp::Upgrade] {
+            let t = Mei.snoop(Exclusive, op);
+            assert_eq!(t.next, Invalid);
+            assert_eq!(t.action, SnoopAction::None);
+            assert!(!t.asserts_shared);
+        }
+    }
+
+    #[test]
+    fn snoop_on_modified_drains() {
+        for op in [SnoopOp::Read, SnoopOp::Write] {
+            let t = Mei.snoop(Modified, op);
+            assert_eq!(t.next, Invalid);
+            assert_eq!(t.action, SnoopAction::WritebackLine);
+            assert!(!t.asserts_shared);
+        }
+    }
+
+    #[test]
+    fn never_drives_shared() {
+        assert!(!Mei.drives_shared_signal());
+        assert!(!Mei.supplies_cache_to_cache());
+        assert!(Mei.allocates_on_write());
+    }
+}

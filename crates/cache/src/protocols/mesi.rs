@@ -1,0 +1,158 @@
+//! MESI — the Pentium-class four-state protocol.
+
+use crate::protocol::{Protocol, ProtocolKind, SnoopTransition};
+use crate::{Access, LineState, SnoopAction, SnoopOp, WriteHitOutcome};
+
+/// Modified / Exclusive / Shared / Invalid.
+///
+/// The three routes into S that the paper's §2.1.2 enumerates — and that a
+/// wrapper must close off to integrate with MEI — are all present here:
+///
+/// 1. `I → S`: a read miss with the shared signal asserted
+///    ([`Protocol::fill_state`] with `shared_signal == true`);
+/// 2. `E → S`: a snooped read of a clean exclusive line;
+/// 3. `M → S`: a snooped read of a dirty line (after draining).
+///
+/// Deasserting the shared signal kills route 1; converting snooped reads
+/// to writes kills routes 2 and 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mesi;
+
+impl Protocol for Mesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mesi
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[
+            LineState::Modified,
+            LineState::Exclusive,
+            LineState::Shared,
+            LineState::Invalid,
+        ]
+    }
+
+    fn fill_state(&self, access: Access, shared_signal: bool) -> LineState {
+        match access {
+            Access::Read if shared_signal => LineState::Shared,
+            Access::Read => LineState::Exclusive,
+            Access::Write => LineState::Modified,
+        }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome {
+        match state {
+            LineState::Shared => WriteHitOutcome::NeedsUpgrade(LineState::Modified),
+            LineState::Exclusive | LineState::Modified => {
+                WriteHitOutcome::Local(LineState::Modified)
+            }
+            other => panic!("MESI write hit in impossible state {other}"),
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition {
+        match (state, op) {
+            (LineState::Shared, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::None,
+                asserts_shared: true,
+            },
+            (LineState::Exclusive, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::None,
+                asserts_shared: true,
+            },
+            (LineState::Modified, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::WritebackLine,
+                asserts_shared: true,
+            },
+            (LineState::Modified, SnoopOp::Write | SnoopOp::Upgrade) => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::WritebackLine,
+                asserts_shared: false,
+            },
+            (LineState::Shared | LineState::Exclusive, SnoopOp::Write | SnoopOp::Upgrade) => {
+                SnoopTransition {
+                    next: LineState::Invalid,
+                    action: SnoopAction::None,
+                    asserts_shared: false,
+                }
+            }
+            (other, _) => panic!("MESI snoop in impossible state {other}"),
+        }
+    }
+
+    fn drives_shared_signal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn fill_obeys_shared_signal() {
+        assert_eq!(Mesi.fill_state(Access::Read, false), Exclusive);
+        assert_eq!(Mesi.fill_state(Access::Read, true), Shared);
+        assert_eq!(Mesi.fill_state(Access::Write, true), Modified);
+    }
+
+    #[test]
+    fn write_hits() {
+        assert_eq!(
+            Mesi.write_hit(Shared),
+            WriteHitOutcome::NeedsUpgrade(Modified)
+        );
+        assert_eq!(Mesi.write_hit(Exclusive), WriteHitOutcome::Local(Modified));
+        assert_eq!(Mesi.write_hit(Modified), WriteHitOutcome::Local(Modified));
+    }
+
+    #[test]
+    fn all_three_routes_into_shared() {
+        // Route 1: I → S on fill (tested in fill_obeys_shared_signal).
+        // Route 2: E → S on snooped read.
+        let t = Mesi.snoop(Exclusive, SnoopOp::Read);
+        assert_eq!((t.next, t.action), (Shared, SnoopAction::None));
+        assert!(t.asserts_shared);
+        // Route 3: M → S on snooped read, draining first.
+        let t = Mesi.snoop(Modified, SnoopOp::Read);
+        assert_eq!((t.next, t.action), (Shared, SnoopAction::WritebackLine));
+        assert!(t.asserts_shared);
+    }
+
+    #[test]
+    fn snooped_writes_invalidate() {
+        for s in [Shared, Exclusive] {
+            for op in [SnoopOp::Write, SnoopOp::Upgrade] {
+                let t = Mesi.snoop(s, op);
+                assert_eq!((t.next, t.action), (Invalid, SnoopAction::None));
+                assert!(!t.asserts_shared);
+            }
+        }
+        let t = Mesi.snoop(Modified, SnoopOp::Write);
+        assert_eq!((t.next, t.action), (Invalid, SnoopAction::WritebackLine));
+    }
+
+    #[test]
+    fn shared_line_stays_shared_on_snooped_read() {
+        let t = Mesi.snoop(Shared, SnoopOp::Read);
+        assert_eq!(t.next, Shared);
+        assert!(t.asserts_shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible state")]
+    fn snoop_owned_is_a_bug() {
+        let _ = Mesi.snoop(Owned, SnoopOp::Read);
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(Mesi.drives_shared_signal());
+        assert!(!Mesi.supplies_cache_to_cache());
+        assert!(Mesi.allocates_on_write());
+    }
+}

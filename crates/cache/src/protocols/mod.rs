@@ -1,0 +1,13 @@
+//! The five protocol FSM implementations.
+
+mod mei;
+mod mesi;
+mod moesi;
+mod msi;
+mod si;
+
+pub use mei::Mei;
+pub use mesi::Mesi;
+pub use moesi::Moesi;
+pub use msi::Msi;
+pub use si::Si;

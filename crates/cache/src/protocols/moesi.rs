@@ -1,0 +1,168 @@
+//! MOESI — the five-state protocol with cache-to-cache supply.
+
+use crate::protocol::{Protocol, ProtocolKind, SnoopTransition};
+use crate::{Access, LineState, SnoopAction, SnoopOp, WriteHitOutcome};
+
+/// Modified / Owned / Exclusive / Shared / Invalid.
+///
+/// Following the paper's assumption (§2), MOESI is the only protocol whose
+/// implementations do cache-to-cache sharing: a snooped read of a dirty
+/// line moves it `M → O` and the owner supplies the data directly, without
+/// updating memory. The paper's wrappers must therefore suppress the `M→O`
+/// transition (read→write conversion) when a MOESI processor shares a bus
+/// with processors whose protocols cannot accept supplied data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Moesi;
+
+impl Protocol for Moesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Moesi
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[
+            LineState::Modified,
+            LineState::Owned,
+            LineState::Exclusive,
+            LineState::Shared,
+            LineState::Invalid,
+        ]
+    }
+
+    fn fill_state(&self, access: Access, shared_signal: bool) -> LineState {
+        match access {
+            Access::Read if shared_signal => LineState::Shared,
+            Access::Read => LineState::Exclusive,
+            Access::Write => LineState::Modified,
+        }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome {
+        match state {
+            LineState::Shared | LineState::Owned => {
+                WriteHitOutcome::NeedsUpgrade(LineState::Modified)
+            }
+            LineState::Exclusive | LineState::Modified => {
+                WriteHitOutcome::Local(LineState::Modified)
+            }
+            other => panic!("MOESI write hit in impossible state {other}"),
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition {
+        match (state, op) {
+            // Dirty lines answer reads by supplying data and keeping
+            // ownership — memory stays stale, that is the point of O.
+            (LineState::Modified | LineState::Owned, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Owned,
+                action: SnoopAction::SupplyLine,
+                asserts_shared: true,
+            },
+            (LineState::Exclusive | LineState::Shared, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::None,
+                asserts_shared: true,
+            },
+            (LineState::Modified | LineState::Owned, SnoopOp::Write) => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::WritebackLine,
+                asserts_shared: false,
+            },
+            (LineState::Exclusive | LineState::Shared, SnoopOp::Write) => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::None,
+                asserts_shared: false,
+            },
+            // An upgrade means some sharer writes; every copy it invalidates
+            // is identical to the upgrader's, so even an O copy can drop
+            // without a writeback — the new M owner carries the data.
+            (_, SnoopOp::Upgrade) if state.is_valid() => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::None,
+                asserts_shared: false,
+            },
+            (other, _) => panic!("MOESI snoop in impossible state {other}"),
+        }
+    }
+
+    fn supplies_cache_to_cache(&self) -> bool {
+        true
+    }
+
+    fn drives_shared_signal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn fill_obeys_shared_signal() {
+        assert_eq!(Moesi.fill_state(Access::Read, false), Exclusive);
+        assert_eq!(Moesi.fill_state(Access::Read, true), Shared);
+        assert_eq!(Moesi.fill_state(Access::Write, false), Modified);
+    }
+
+    #[test]
+    fn write_hits() {
+        assert_eq!(
+            Moesi.write_hit(Shared),
+            WriteHitOutcome::NeedsUpgrade(Modified)
+        );
+        assert_eq!(
+            Moesi.write_hit(Owned),
+            WriteHitOutcome::NeedsUpgrade(Modified)
+        );
+        assert_eq!(Moesi.write_hit(Exclusive), WriteHitOutcome::Local(Modified));
+        assert_eq!(Moesi.write_hit(Modified), WriteHitOutcome::Local(Modified));
+    }
+
+    #[test]
+    fn m_to_o_supplies_data() {
+        let t = Moesi.snoop(Modified, SnoopOp::Read);
+        assert_eq!((t.next, t.action), (Owned, SnoopAction::SupplyLine));
+        assert!(t.asserts_shared);
+        // O keeps supplying on further reads.
+        let t = Moesi.snoop(Owned, SnoopOp::Read);
+        assert_eq!((t.next, t.action), (Owned, SnoopAction::SupplyLine));
+    }
+
+    #[test]
+    fn clean_lines_share_on_snooped_read() {
+        for s in [Exclusive, Shared] {
+            let t = Moesi.snoop(s, SnoopOp::Read);
+            assert_eq!((t.next, t.action), (Shared, SnoopAction::None));
+            assert!(t.asserts_shared);
+        }
+    }
+
+    #[test]
+    fn snooped_writes_drain_dirty_lines() {
+        for s in [Modified, Owned] {
+            let t = Moesi.snoop(s, SnoopOp::Write);
+            assert_eq!((t.next, t.action), (Invalid, SnoopAction::WritebackLine));
+        }
+        for s in [Exclusive, Shared] {
+            let t = Moesi.snoop(s, SnoopOp::Write);
+            assert_eq!((t.next, t.action), (Invalid, SnoopAction::None));
+        }
+    }
+
+    #[test]
+    fn upgrade_invalidates_without_writeback() {
+        for s in [Owned, Shared, Exclusive, Modified] {
+            let t = Moesi.snoop(s, SnoopOp::Upgrade);
+            assert_eq!((t.next, t.action), (Invalid, SnoopAction::None), "{s}");
+        }
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(Moesi.supplies_cache_to_cache());
+        assert!(Moesi.drives_shared_signal());
+        assert!(Moesi.allocates_on_write());
+    }
+}

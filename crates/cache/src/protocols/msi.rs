@@ -1,0 +1,142 @@
+//! MSI — the classic three-state invalidation protocol.
+
+use crate::protocol::{Protocol, ProtocolKind, SnoopTransition};
+use crate::{Access, LineState, SnoopAction, SnoopOp, WriteHitOutcome};
+
+/// Modified / Shared / Invalid.
+///
+/// MSI has no Exclusive state, so every read miss fills Shared and every
+/// first store to a Shared line costs an upgrade (invalidate) broadcast.
+///
+/// Crucially for the paper's Table 3: an MSI controller has **no
+/// shared-signal output**. When an MSI cache holds a line in S and another
+/// (MESI) master reads it, the MSI side stays silent, the MESI side fills
+/// Exclusive, and its next store is silent too — leaving the MSI copy
+/// stale. The paper's fix is to *force* the shared signal in the wrapper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Msi;
+
+impl Protocol for Msi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Msi
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[LineState::Modified, LineState::Shared, LineState::Invalid]
+    }
+
+    fn fill_state(&self, access: Access, _shared_signal: bool) -> LineState {
+        match access {
+            Access::Read => LineState::Shared,
+            Access::Write => LineState::Modified,
+        }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome {
+        match state {
+            LineState::Shared => WriteHitOutcome::NeedsUpgrade(LineState::Modified),
+            LineState::Modified => WriteHitOutcome::Local(LineState::Modified),
+            other => panic!("MSI write hit in impossible state {other}"),
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition {
+        match (state, op) {
+            (LineState::Shared, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::None,
+                asserts_shared: false, // no shared-signal output!
+            },
+            (LineState::Shared, SnoopOp::Write | SnoopOp::Upgrade) => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::None,
+                asserts_shared: false,
+            },
+            (LineState::Modified, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::WritebackLine,
+                asserts_shared: false,
+            },
+            (LineState::Modified, SnoopOp::Write | SnoopOp::Upgrade) => SnoopTransition {
+                // Upgrade cannot legally hit M, but a *misintegrated*
+                // heterogeneous platform (the very bug the paper fixes) can
+                // produce it; drain defensively rather than corrupt data.
+                next: LineState::Invalid,
+                action: SnoopAction::WritebackLine,
+                asserts_shared: false,
+            },
+            (other, _) => panic!("MSI snoop in impossible state {other}"),
+        }
+    }
+
+    fn drives_shared_signal(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn read_miss_always_fills_shared() {
+        for shared in [false, true] {
+            assert_eq!(Msi.fill_state(Access::Read, shared), Shared);
+        }
+        assert_eq!(Msi.fill_state(Access::Write, false), Modified);
+    }
+
+    #[test]
+    fn shared_write_needs_upgrade() {
+        assert_eq!(
+            Msi.write_hit(Shared),
+            WriteHitOutcome::NeedsUpgrade(Modified)
+        );
+        assert_eq!(Msi.write_hit(Modified), WriteHitOutcome::Local(Modified));
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible state")]
+    fn write_hit_in_exclusive_is_a_bug() {
+        let _ = Msi.write_hit(Exclusive);
+    }
+
+    #[test]
+    fn snoop_read_keeps_shared_silently() {
+        let t = Msi.snoop(Shared, SnoopOp::Read);
+        assert_eq!(t.next, Shared);
+        assert_eq!(t.action, SnoopAction::None);
+        assert!(!t.asserts_shared, "MSI has no shared-signal output");
+    }
+
+    #[test]
+    fn snoop_write_invalidates_shared() {
+        for op in [SnoopOp::Write, SnoopOp::Upgrade] {
+            let t = Msi.snoop(Shared, op);
+            assert_eq!(t.next, Invalid);
+            assert_eq!(t.action, SnoopAction::None);
+        }
+    }
+
+    #[test]
+    fn snoop_read_on_modified_drains_to_shared() {
+        let t = Msi.snoop(Modified, SnoopOp::Read);
+        assert_eq!(t.next, Shared);
+        assert_eq!(t.action, SnoopAction::WritebackLine);
+    }
+
+    #[test]
+    fn snoop_write_on_modified_drains_to_invalid() {
+        let t = Msi.snoop(Modified, SnoopOp::Write);
+        assert_eq!(t.next, Invalid);
+        assert_eq!(t.action, SnoopAction::WritebackLine);
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(!Msi.drives_shared_signal());
+        assert!(!Msi.supplies_cache_to_cache());
+        assert!(Msi.allocates_on_write());
+    }
+}

@@ -1,0 +1,118 @@
+//! SI — the write-through protocol of the Intel486's write-through lines.
+
+use crate::protocol::{Protocol, ProtocolKind, SnoopTransition};
+use crate::{Access, LineState, SnoopAction, SnoopOp, WriteHitOutcome};
+
+/// Shared / Invalid.
+///
+/// In the Write-back Enhanced Intel486, "only write-through lines can have
+/// the S state … the protocol for write-through lines is the SI protocol"
+/// (paper §3). Writes always go to memory (no dirty state exists), write
+/// misses do not allocate, and a snooped write — or a snooped read with the
+/// INV pin asserted, which the wrapper models as a converted write —
+/// invalidates the line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Si;
+
+impl Protocol for Si {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Si
+    }
+
+    fn states(&self) -> &'static [LineState] {
+        &[LineState::Shared, LineState::Invalid]
+    }
+
+    fn fill_state(&self, access: Access, _shared_signal: bool) -> LineState {
+        match access {
+            Access::Read => LineState::Shared,
+            // Write misses never allocate; a fill on write is a simulator
+            // bug because `allocates_on_write` is false.
+            Access::Write => panic!("SI lines do not write-allocate"),
+        }
+    }
+
+    fn write_hit(&self, state: LineState) -> WriteHitOutcome {
+        match state {
+            LineState::Shared => WriteHitOutcome::WriteThrough(LineState::Shared),
+            other => panic!("SI write hit in impossible state {other}"),
+        }
+    }
+
+    fn snoop(&self, state: LineState, op: SnoopOp) -> SnoopTransition {
+        match (state, op) {
+            (LineState::Shared, SnoopOp::Read) => SnoopTransition {
+                next: LineState::Shared,
+                action: SnoopAction::None,
+                asserts_shared: true,
+            },
+            (LineState::Shared, SnoopOp::Write | SnoopOp::Upgrade) => SnoopTransition {
+                next: LineState::Invalid,
+                action: SnoopAction::None,
+                asserts_shared: false,
+            },
+            (other, _) => panic!("SI snoop in impossible state {other}"),
+        }
+    }
+
+    fn allocates_on_write(&self) -> bool {
+        false
+    }
+
+    fn drives_shared_signal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+
+    #[test]
+    fn read_fill_is_shared() {
+        assert_eq!(Si.fill_state(Access::Read, false), Shared);
+        assert_eq!(Si.fill_state(Access::Read, true), Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not write-allocate")]
+    fn write_fill_is_a_bug() {
+        let _ = Si.fill_state(Access::Write, false);
+    }
+
+    #[test]
+    fn writes_go_through() {
+        assert_eq!(Si.write_hit(Shared), WriteHitOutcome::WriteThrough(Shared));
+    }
+
+    #[test]
+    fn snooped_read_keeps_line_and_asserts_shared() {
+        let t = Si.snoop(Shared, SnoopOp::Read);
+        assert_eq!((t.next, t.action), (Shared, SnoopAction::None));
+        assert!(t.asserts_shared);
+    }
+
+    #[test]
+    fn snooped_write_invalidates() {
+        for op in [SnoopOp::Write, SnoopOp::Upgrade] {
+            let t = Si.snoop(Shared, op);
+            assert_eq!((t.next, t.action), (Invalid, SnoopAction::None));
+            assert!(!t.asserts_shared);
+        }
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(!Si.allocates_on_write());
+        assert!(Si.drives_shared_signal());
+        assert!(!Si.supplies_cache_to_cache());
+        assert_eq!(Si.kind(), ProtocolKind::Si);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible state")]
+    fn snoop_modified_is_a_bug() {
+        let _ = Si.snoop(Modified, SnoopOp::Read);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cache-line coherence states.
+
+use core::fmt;
+
+/// The union of all line states used by the protocol zoo (MOESI naming).
+///
+/// Individual protocols use a subset: MEI uses {M, E, I}, MSI uses
+/// {M, S, I}, MESI adds E, MOESI adds O, and the write-through SI protocol
+/// uses {S, I}. The paper's wrappers work precisely by steering every cache
+/// away from the states its *neighbours* lack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LineState {
+    /// Line not present (or invalidated).
+    Invalid,
+    /// Valid, clean, possibly present in other caches.
+    Shared,
+    /// Valid, clean, guaranteed absent from other caches.
+    Exclusive,
+    /// Valid, dirty, *and* possibly present (clean) in other caches —
+    /// this cache is responsible for supplying/writing back the data.
+    Owned,
+    /// Valid, dirty, guaranteed absent from other caches.
+    Modified,
+}
+
+impl LineState {
+    /// Returns `true` if a line in this state holds data newer than memory.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
+
+    /// Returns `true` if the line may be read locally without a bus access.
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Returns `true` if the line may be *written* locally without any bus
+    /// transaction (i.e. this cache is the sole owner of a writable copy).
+    pub fn is_writable_silently(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+
+    /// One-letter mnemonic used in trace output and the Table 2/3
+    /// reproductions (`M`, `O`, `E`, `S`, `I`).
+    pub fn letter(self) -> char {
+        match self {
+            LineState::Invalid => 'I',
+            LineState::Shared => 'S',
+            LineState::Exclusive => 'E',
+            LineState::Owned => 'O',
+            LineState::Modified => 'M',
+        }
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+impl Default for LineState {
+    /// Lines power up Invalid.
+    fn default() -> Self {
+        LineState::Invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirtiness() {
+        assert!(LineState::Modified.is_dirty());
+        assert!(LineState::Owned.is_dirty());
+        assert!(!LineState::Exclusive.is_dirty());
+        assert!(!LineState::Shared.is_dirty());
+        assert!(!LineState::Invalid.is_dirty());
+    }
+
+    #[test]
+    fn validity() {
+        assert!(!LineState::Invalid.is_valid());
+        for s in [
+            LineState::Shared,
+            LineState::Exclusive,
+            LineState::Owned,
+            LineState::Modified,
+        ] {
+            assert!(s.is_valid());
+        }
+    }
+
+    #[test]
+    fn silent_writability() {
+        assert!(LineState::Modified.is_writable_silently());
+        assert!(LineState::Exclusive.is_writable_silently());
+        assert!(!LineState::Shared.is_writable_silently());
+        assert!(!LineState::Owned.is_writable_silently());
+        assert!(!LineState::Invalid.is_writable_silently());
+    }
+
+    #[test]
+    fn letters_and_display() {
+        assert_eq!(LineState::Modified.to_string(), "M");
+        assert_eq!(LineState::Owned.letter(), 'O');
+        assert_eq!(LineState::Exclusive.letter(), 'E');
+        assert_eq!(LineState::Shared.letter(), 'S');
+        assert_eq!(LineState::Invalid.letter(), 'I');
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(LineState::default(), LineState::Invalid);
+    }
+}

@@ -1,0 +1,54 @@
+//! # hmp-core — heterogeneous coherence bridging (the paper's contribution)
+//!
+//! Everything specific to *"Supporting Cache Coherence in Heterogeneous
+//! Multiprocessor Systems"* (Suh, Blough, Lee — DATE 2004) lives here:
+//!
+//! * [`reduce`] — the protocol-reduction lattice of §2: the set of
+//!   protocols on the bus determines the greatest common sub-protocol the
+//!   integrated system can run (MEI + anything → MEI; MSI + MESI/MOESI →
+//!   MSI; MESI + MOESI → MESI).
+//! * [`WrapperPolicy`] / [`derive_policy`] — the two wrapper knobs that
+//!   implement the reduction: **read→write conversion** on the snoop path
+//!   (removes S/O reachable via snooped reads; equivalently, asserting the
+//!   Intel486 INV pin on read snoops) and **shared-signal forcing** on the
+//!   request path (deassert to remove S on fills, assert to remove E).
+//! * [`Wrapper`] — a processor-side bus wrapper applying a policy.
+//! * [`SnoopLogic`] — the TAG-CAM + nFIQ assembly of §3 / Figure 3 that
+//!   retrofits snooping onto a processor with no coherence hardware
+//!   (ARM920T): it mirrors the data-cache tags, kills remote transactions
+//!   that hit them (ARTRY) and interrupts the local core so its ISR can
+//!   drain or invalidate the line.
+//! * [`PlatformClass`] — the PF1/PF2/PF3 taxonomy of Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmp_cache::ProtocolKind;
+//! use hmp_core::{derive_policy, reduce, SharedSignalPolicy};
+//!
+//! // Integrating a PowerPC755 (MEI) with a Pentium-class MESI processor
+//! // reduces the system to MEI...
+//! let system = reduce(&[ProtocolKind::Mei, ProtocolKind::Mesi]).unwrap();
+//! assert_eq!(system, ProtocolKind::Mei);
+//!
+//! // ...so the MESI side's wrapper converts snooped reads to writes and
+//! // gates the shared signal low.
+//! let policy = derive_policy(ProtocolKind::Mesi, system);
+//! assert!(policy.convert_read_to_write);
+//! assert_eq!(policy.shared_signal, SharedSignalPolicy::ForceDeassert);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod platform_class;
+mod policy;
+mod reduction;
+mod snoop_logic;
+mod wrapper;
+
+pub use platform_class::{classify_platform, CoherenceSupport, PlatformClass};
+pub use policy::{derive_policy, SharedSignalPolicy, WrapperPolicy};
+pub use reduction::{reduce, ReduceError};
+pub use snoop_logic::SnoopLogic;
+pub use wrapper::Wrapper;

@@ -1,0 +1,182 @@
+//! The PF1/PF2/PF3 platform taxonomy of paper Table 1.
+
+use core::fmt;
+use hmp_cache::ProtocolKind;
+
+/// Whether one processor brings its own cache-coherence hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoherenceSupport {
+    /// The processor's cache controller snoops natively with the given
+    /// invalidation protocol (wrapper-based integration applies).
+    Native(ProtocolKind),
+    /// No coherence hardware at all (ARM920T): external TAG-CAM snoop
+    /// logic plus an interrupt-driven drain ISR are required.
+    None,
+}
+
+impl CoherenceSupport {
+    /// The protocol, if the processor has one.
+    pub fn protocol(self) -> Option<ProtocolKind> {
+        match self {
+            CoherenceSupport::Native(p) => Some(p),
+            CoherenceSupport::None => None,
+        }
+    }
+}
+
+impl fmt::Display for CoherenceSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceSupport::Native(p) => write!(f, "native {p}"),
+            CoherenceSupport::None => write!(f, "none"),
+        }
+    }
+}
+
+/// Table 1's three heterogeneous platform classes.
+///
+/// PF1 and PF2 need the special snoop-logic hardware and inherit its
+/// limitation: lock variables must not be cacheable, or the hardware
+/// deadlock of Figure 4 can occur. PF3 needs only wrappers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformClass {
+    /// No processor has coherence hardware.
+    Pf1,
+    /// Some processors have coherence hardware, some do not.
+    Pf2,
+    /// Every processor has coherence hardware.
+    Pf3,
+}
+
+impl PlatformClass {
+    /// Whether this class requires the TAG-CAM snoop logic (and therefore
+    /// is subject to the cacheable-lock hardware deadlock).
+    pub fn needs_snoop_logic(self) -> bool {
+        !matches!(self, PlatformClass::Pf3)
+    }
+}
+
+impl fmt::Display for PlatformClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlatformClass::Pf1 => "PF1",
+            PlatformClass::Pf2 => "PF2",
+            PlatformClass::Pf3 => "PF3",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Classifies a platform from its processors' coherence support.
+///
+/// # Panics
+///
+/// Panics if `cpus` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_cache::ProtocolKind;
+/// use hmp_core::{classify_platform, CoherenceSupport, PlatformClass};
+///
+/// // The paper's PowerPC755 + ARM920T platform:
+/// let class = classify_platform(&[
+///     CoherenceSupport::Native(ProtocolKind::Mei),
+///     CoherenceSupport::None,
+/// ]);
+/// assert_eq!(class, PlatformClass::Pf2);
+/// ```
+pub fn classify_platform(cpus: &[CoherenceSupport]) -> PlatformClass {
+    assert!(!cpus.is_empty(), "a platform needs at least one processor");
+    let native = cpus
+        .iter()
+        .filter(|c| matches!(c, CoherenceSupport::Native(_)))
+        .count();
+    if native == cpus.len() {
+        PlatformClass::Pf3
+    } else if native == 0 {
+        PlatformClass::Pf1
+    } else {
+        PlatformClass::Pf2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProtocolKind::*;
+
+    #[test]
+    fn table1_rows() {
+        // PF1: No / No.
+        assert_eq!(
+            classify_platform(&[CoherenceSupport::None, CoherenceSupport::None]),
+            PlatformClass::Pf1
+        );
+        // PF2: Yes / No (either order).
+        assert_eq!(
+            classify_platform(&[CoherenceSupport::Native(Mei), CoherenceSupport::None]),
+            PlatformClass::Pf2
+        );
+        assert_eq!(
+            classify_platform(&[CoherenceSupport::None, CoherenceSupport::Native(Mesi)]),
+            PlatformClass::Pf2
+        );
+        // PF3: Yes / Yes.
+        assert_eq!(
+            classify_platform(&[
+                CoherenceSupport::Native(Mei),
+                CoherenceSupport::Native(Mesi),
+            ]),
+            PlatformClass::Pf3
+        );
+    }
+
+    #[test]
+    fn extends_past_two_processors() {
+        assert_eq!(
+            classify_platform(&[
+                CoherenceSupport::Native(Mesi),
+                CoherenceSupport::Native(Moesi),
+                CoherenceSupport::None,
+            ]),
+            PlatformClass::Pf2
+        );
+        assert_eq!(
+            classify_platform(&[
+                CoherenceSupport::Native(Msi),
+                CoherenceSupport::Native(Moesi),
+                CoherenceSupport::Native(Mesi),
+            ]),
+            PlatformClass::Pf3
+        );
+    }
+
+    #[test]
+    fn snoop_logic_requirement() {
+        assert!(PlatformClass::Pf1.needs_snoop_logic());
+        assert!(PlatformClass::Pf2.needs_snoop_logic());
+        assert!(!PlatformClass::Pf3.needs_snoop_logic());
+    }
+
+    #[test]
+    fn support_accessors() {
+        assert_eq!(CoherenceSupport::Native(Mei).protocol(), Some(Mei));
+        assert_eq!(CoherenceSupport::None.protocol(), None);
+        assert_eq!(CoherenceSupport::Native(Mei).to_string(), "native MEI");
+        assert_eq!(CoherenceSupport::None.to_string(), "none");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PlatformClass::Pf1.to_string(), "PF1");
+        assert_eq!(PlatformClass::Pf2.to_string(), "PF2");
+        assert_eq!(PlatformClass::Pf3.to_string(), "PF3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_platform_panics() {
+        let _ = classify_platform(&[]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Wrapper policies — the two knobs of paper §2.
+
+use core::fmt;
+use hmp_cache::ProtocolKind;
+
+/// How a wrapper manipulates the shared signal its processor samples on a
+/// read miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharedSignalPolicy {
+    /// Pass the bus value through unmodified.
+    PassThrough,
+    /// Gate the signal low: the processor never fills Shared
+    /// (removes the S state; paper §2.1.2).
+    ForceDeassert,
+    /// Drive the signal high on every read miss: the processor never fills
+    /// Exclusive (removes the E state; paper §2.2).
+    ForceAssert,
+}
+
+impl fmt::Display for SharedSignalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharedSignalPolicy::PassThrough => write!(f, "pass-through"),
+            SharedSignalPolicy::ForceDeassert => write!(f, "force-deassert"),
+            SharedSignalPolicy::ForceAssert => write!(f, "force-assert"),
+        }
+    }
+}
+
+/// The per-processor wrapper configuration that implements a protocol
+/// reduction.
+///
+/// * `convert_read_to_write` acts on the **snoop path**: the wrapper
+///   presents observed bus reads to its processor's snoop port as writes,
+///   so the cache drains/invalidates instead of moving toward Shared or
+///   Owned. On the Intel486 this is realised by asserting the INV pin on
+///   read snoop cycles (paper §3).
+/// * `shared_signal` acts on the **request path**: it gates or forces the
+///   shared signal the processor samples when filling a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WrapperPolicy {
+    /// Present remote bus reads to the local snoop port as writes.
+    pub convert_read_to_write: bool,
+    /// Manipulation of the shared signal sampled on local read misses.
+    pub shared_signal: SharedSignalPolicy,
+}
+
+impl WrapperPolicy {
+    /// A transparent wrapper (homogeneous platform; protocol conversion
+    /// only, no coherence manipulation).
+    pub const TRANSPARENT: WrapperPolicy = WrapperPolicy {
+        convert_read_to_write: false,
+        shared_signal: SharedSignalPolicy::PassThrough,
+    };
+}
+
+impl Default for WrapperPolicy {
+    fn default() -> Self {
+        WrapperPolicy::TRANSPARENT
+    }
+}
+
+impl fmt::Display for WrapperPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read→write: {}, shared: {}",
+            if self.convert_read_to_write { "on" } else { "off" },
+            self.shared_signal
+        )
+    }
+}
+
+/// Derives the wrapper policy for a processor speaking `own` on a bus whose
+/// integrated protocol is `system` (from [`crate::reduce`]).
+///
+/// Case analysis straight from the paper:
+///
+/// | system | own | snoop read→write | shared signal |
+/// |--------|-----|------------------|----------------|
+/// | MEI    | MEI | no (§3: "not needed since the S state is not present") | deassert (no-op for MEI) |
+/// | MEI    | MSI/MESI/MOESI | **yes** (§2.1) | **deassert** (§2.1.2) |
+/// | MSI    | MSI | no | pass-through (MSI ignores it) |
+/// | MSI    | MESI | no | **assert** (§2.2) |
+/// | MSI    | MOESI | **yes** (§2.2, forbid M→O) | **assert** |
+/// | MESI   | MESI | no | pass-through |
+/// | MESI   | MOESI | **yes** (§2.3, forbid M→O and E→S) | pass-through |
+/// | MOESI  | MOESI | no | pass-through |
+///
+/// # Panics
+///
+/// Panics if `own` is less capable than `system` (the reduction would never
+/// produce that pairing) or if either side is [`ProtocolKind::Si`].
+pub fn derive_policy(own: ProtocolKind, system: ProtocolKind) -> WrapperPolicy {
+    use ProtocolKind::*;
+    assert!(
+        own != Si && system != Si,
+        "SI is a per-line policy, not a processor protocol"
+    );
+    match (system, own) {
+        (Mei, Mei) => WrapperPolicy {
+            convert_read_to_write: false,
+            shared_signal: SharedSignalPolicy::ForceDeassert,
+        },
+        (Mei, Msi | Mesi | Moesi) => WrapperPolicy {
+            convert_read_to_write: true,
+            shared_signal: SharedSignalPolicy::ForceDeassert,
+        },
+        (Msi, Msi) => WrapperPolicy::TRANSPARENT,
+        (Msi, Mesi) => WrapperPolicy {
+            convert_read_to_write: false,
+            shared_signal: SharedSignalPolicy::ForceAssert,
+        },
+        (Msi, Moesi) => WrapperPolicy {
+            convert_read_to_write: true,
+            shared_signal: SharedSignalPolicy::ForceAssert,
+        },
+        (Mesi, Mesi) => WrapperPolicy::TRANSPARENT,
+        (Mesi, Moesi) => WrapperPolicy {
+            convert_read_to_write: true,
+            shared_signal: SharedSignalPolicy::PassThrough,
+        },
+        (Moesi, Moesi) => WrapperPolicy::TRANSPARENT,
+        (sys, own) => panic!(
+            "invalid reduction pairing: system {sys} cannot host processor {own}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProtocolKind::*;
+
+    #[test]
+    fn mei_system_policies() {
+        // The PowerPC755 side needs no conversion (§3).
+        let ppc = derive_policy(Mei, Mei);
+        assert!(!ppc.convert_read_to_write);
+        assert_eq!(ppc.shared_signal, SharedSignalPolicy::ForceDeassert);
+        // Every S-capable neighbour converts and deasserts (§2.1).
+        for own in [Msi, Mesi, Moesi] {
+            let p = derive_policy(own, Mei);
+            assert!(p.convert_read_to_write, "{own}");
+            assert_eq!(p.shared_signal, SharedSignalPolicy::ForceDeassert);
+        }
+    }
+
+    #[test]
+    fn msi_system_policies() {
+        assert_eq!(derive_policy(Msi, Msi), WrapperPolicy::TRANSPARENT);
+        let mesi = derive_policy(Mesi, Msi);
+        assert!(!mesi.convert_read_to_write);
+        assert_eq!(mesi.shared_signal, SharedSignalPolicy::ForceAssert);
+        let moesi = derive_policy(Moesi, Msi);
+        assert!(moesi.convert_read_to_write, "forbid M→O");
+        assert_eq!(moesi.shared_signal, SharedSignalPolicy::ForceAssert);
+    }
+
+    #[test]
+    fn mesi_system_policies() {
+        assert_eq!(derive_policy(Mesi, Mesi), WrapperPolicy::TRANSPARENT);
+        let moesi = derive_policy(Moesi, Mesi);
+        assert!(moesi.convert_read_to_write);
+        assert_eq!(moesi.shared_signal, SharedSignalPolicy::PassThrough);
+    }
+
+    #[test]
+    fn homogeneous_moesi_is_transparent() {
+        assert_eq!(derive_policy(Moesi, Moesi), WrapperPolicy::TRANSPARENT);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid reduction pairing")]
+    fn downgraded_processor_panics() {
+        // A MEI processor can never appear on an MSI-reduced bus.
+        let _ = derive_policy(Mei, Msi);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-line policy")]
+    fn si_panics() {
+        let _ = derive_policy(Si, Mesi);
+    }
+
+    #[test]
+    fn display() {
+        let p = derive_policy(Mesi, Mei);
+        let s = p.to_string();
+        assert!(s.contains("read→write: on"));
+        assert!(s.contains("force-deassert"));
+        assert_eq!(
+            WrapperPolicy::default().to_string(),
+            "read→write: off, shared: pass-through"
+        );
+        assert_eq!(SharedSignalPolicy::ForceAssert.to_string(), "force-assert");
+    }
+}

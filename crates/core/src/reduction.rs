@@ -1,0 +1,169 @@
+//! The protocol-reduction lattice of paper §2.
+//!
+//! "The integrated coherence protocol will at most consist of all the
+//! common states from various protocols in a system" (§5). Concretely
+//! (§2.1–2.3):
+//!
+//! * MEI + {MSI, MESI, MOESI} → **MEI** (remove S, and O where present);
+//! * MSI + {MESI, MOESI} → **MSI** (remove E, and O where present);
+//! * MESI + MOESI → **MESI** (remove O / cache-to-cache);
+//! * a homogeneous set reduces to itself.
+//!
+//! Note the lattice is *not* a plain state-set intersection: MEI ∩ MSI
+//! would be {M, I}, but the paper shows (§2.1.1) that MSI's unavoidable
+//! `I → S` fill behaves exactly like `E` once remote reads are converted
+//! to writes — "despite the name, the S state is equivalent to the E
+//! state" — so the meet of MEI and MSI is MEI.
+
+use core::fmt;
+use hmp_cache::ProtocolKind;
+
+/// Error returned by [`reduce`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// No write-back protocol was supplied (a platform where *no* processor
+    /// has coherence hardware is PF1; there is nothing to reduce — all
+    /// coherence comes from snoop logic and interrupts).
+    Empty,
+    /// SI is a per-line write-through policy, not a processor protocol, and
+    /// cannot participate in reduction.
+    SiNotAProcessorProtocol,
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::Empty => write!(f, "no protocols to reduce"),
+            ReduceError::SiNotAProcessorProtocol => {
+                write!(f, "SI is a per-line policy, not a processor protocol")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// Computes the greatest common sub-protocol of every coherent processor
+/// on the bus.
+///
+/// # Errors
+///
+/// Returns [`ReduceError::Empty`] for an empty slice and
+/// [`ReduceError::SiNotAProcessorProtocol`] if [`ProtocolKind::Si`]
+/// appears (it governs individual write-through lines, never a whole
+/// processor).
+///
+/// # Examples
+///
+/// ```
+/// use hmp_cache::ProtocolKind::*;
+/// use hmp_core::reduce;
+/// assert_eq!(reduce(&[Mesi, Moesi]).unwrap(), Mesi);
+/// assert_eq!(reduce(&[Moesi, Msi, Mesi]).unwrap(), Msi);
+/// assert_eq!(reduce(&[Moesi, Moesi]).unwrap(), Moesi);
+/// ```
+pub fn reduce(protocols: &[ProtocolKind]) -> Result<ProtocolKind, ReduceError> {
+    if protocols.is_empty() {
+        return Err(ReduceError::Empty);
+    }
+    if protocols.contains(&ProtocolKind::Si) {
+        return Err(ReduceError::SiNotAProcessorProtocol);
+    }
+    // The lattice is a chain: MEI < MSI < MESI < MOESI, where "<" means
+    // "is the reduction result when mixed with anything above it".
+    let rank = |p: ProtocolKind| match p {
+        ProtocolKind::Mei => 0,
+        ProtocolKind::Msi => 1,
+        ProtocolKind::Mesi => 2,
+        ProtocolKind::Moesi => 3,
+        ProtocolKind::Si => unreachable!("rejected above"),
+    };
+    Ok(protocols
+        .iter()
+        .copied()
+        .min_by_key(|&p| rank(p))
+        .expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProtocolKind::*;
+
+    #[test]
+    fn paper_section_2_1_mei_absorbs_everything() {
+        for other in [Msi, Mesi, Moesi] {
+            assert_eq!(reduce(&[Mei, other]).unwrap(), Mei);
+            assert_eq!(reduce(&[other, Mei]).unwrap(), Mei);
+        }
+    }
+
+    #[test]
+    fn paper_section_2_2_msi_absorbs_mesi_and_moesi() {
+        assert_eq!(reduce(&[Msi, Mesi]).unwrap(), Msi);
+        assert_eq!(reduce(&[Msi, Moesi]).unwrap(), Msi);
+    }
+
+    #[test]
+    fn paper_section_2_3_mesi_with_moesi() {
+        assert_eq!(reduce(&[Mesi, Moesi]).unwrap(), Mesi);
+    }
+
+    #[test]
+    fn homogeneous_is_identity() {
+        for p in [Mei, Msi, Mesi, Moesi] {
+            assert_eq!(reduce(&[p]).unwrap(), p);
+            assert_eq!(reduce(&[p, p, p]).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn more_than_two_processors() {
+        assert_eq!(reduce(&[Moesi, Mesi, Msi]).unwrap(), Msi);
+        assert_eq!(reduce(&[Moesi, Mesi, Msi, Mei]).unwrap(), Mei);
+    }
+
+    #[test]
+    fn reduction_is_commutative_and_associative() {
+        let all = [Mei, Msi, Mesi, Moesi];
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(reduce(&[a, b]).unwrap(), reduce(&[b, a]).unwrap());
+                for &c in &all {
+                    let left = reduce(&[reduce(&[a, b]).unwrap(), c]).unwrap();
+                    let right = reduce(&[a, reduce(&[b, c]).unwrap()]).unwrap();
+                    assert_eq!(left, right);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_states_are_subset_of_every_input() {
+        // The reduced protocol's states must be expressible by every
+        // processor, *except* that MSI's S stands in for E (paper §2.1.1).
+        let all = [Mei, Msi, Mesi, Moesi];
+        for &a in &all {
+            for &b in &all {
+                let r = reduce(&[a, b]).unwrap();
+                for s in r.protocol().states() {
+                    let ok = |p: ProtocolKind| {
+                        p.has_state(*s)
+                            || (p == Msi && *s == hmp_cache::LineState::Exclusive)
+                    };
+                    assert!(ok(a) && ok(b), "{a}+{b} → {r} but {s} unsupported");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(reduce(&[]).unwrap_err(), ReduceError::Empty);
+        assert_eq!(
+            reduce(&[Mesi, Si]).unwrap_err(),
+            ReduceError::SiNotAProcessorProtocol
+        );
+        assert!(ReduceError::Empty.to_string().contains("no protocols"));
+    }
+}

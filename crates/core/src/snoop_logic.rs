@@ -1,0 +1,400 @@
+//! TAG-CAM snoop logic for processors without coherence hardware.
+
+use hmp_mem::{Addr, LINE_BYTES};
+use std::collections::{HashSet, VecDeque};
+
+/// The external snooping assembly of paper §3 / Figure 3.
+///
+/// The ARM920T "does not have any native cache coherence support", so the
+/// platform adds logic that:
+///
+/// 1. watches the bus transactions *initiated by the ARM itself* to keep a
+///    content-addressable memory (TAG CAM) of the lines its data cache
+///    holds;
+/// 2. matches every *remote* master's address against the CAM; on a hit it
+///    kills the remote transaction (ARTRY) and raises the ARM's fast
+///    interrupt (**nFIQ**);
+/// 3. lets the ARM's interrupt service routine drain (dirty) or invalidate
+///    (clean) the hit line, after which the remote master's retry
+///    succeeds.
+///
+/// ### Conservatism
+///
+/// The CAM only sees bus traffic, so it cannot observe *clean* local
+/// evictions (they produce no transaction). This model therefore keeps a
+/// conservative **superset** of the cache's tags: stale entries cause an
+/// occasional spurious interrupt whose ISR finds nothing to drain and
+/// simply acknowledges, never a missed snoop — the safe direction. Dirty
+/// evictions do appear on the bus (write-backs) and prune the CAM
+/// immediately.
+///
+/// ### Capacity
+///
+/// Two storage organisations are provided:
+///
+/// * [`SnoopLogic::new`] — an unbounded *full-map* CAM, the idealised
+///   hardware ("keeps **all** the address tags", paper §3);
+/// * [`SnoopLogic::with_geometry`] — a finite set-associative CAM
+///   mirroring a realistic silicon budget. When a fill would overflow a
+///   set, the least-recently-filled tag is moved to a small overflow
+///   buffer and queued for the drain ISR (a **capacity interrupt**): the
+///   processor is forced to evict the line so the CAM can stay a superset
+///   of the cache. This is the standard inclusive-structure
+///   back-invalidate, realised through the same nFIQ path the paper
+///   already requires.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_core::SnoopLogic;
+/// use hmp_mem::Addr;
+///
+/// let mut cam = SnoopLogic::new();
+/// cam.observe_local_fill(Addr::new(0x100));
+/// assert!(cam.check_remote(Addr::new(0x11C))); // same line → ARTRY + nFIQ
+/// assert!(cam.nfiq());
+/// let line = cam.next_pending().unwrap();
+/// cam.ack(line); // ISR drained/invalidated it
+/// assert!(!cam.nfiq());
+/// assert!(!cam.check_remote(Addr::new(0x100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnoopLogic {
+    storage: Storage,
+    pending: VecDeque<u32>,
+    remote_hits: u64,
+    fills_observed: u64,
+    capacity_evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    FullMap(HashSet<u32>),
+    Mirrored {
+        sets: u32,
+        ways: u32,
+        /// Per set, tags most-recently-filled first.
+        entries: Vec<Vec<u32>>,
+        /// Tags evicted for capacity, awaiting their forced drain.
+        overflow: HashSet<u32>,
+    },
+}
+
+impl SnoopLogic {
+    /// Creates unbounded (full-map) snoop logic.
+    pub fn new() -> Self {
+        SnoopLogic {
+            storage: Storage::FullMap(HashSet::new()),
+            pending: VecDeque::new(),
+            remote_hits: 0,
+            fills_observed: 0,
+            capacity_evictions: 0,
+        }
+    }
+
+    /// Creates a finite set-associative CAM of `sets × ways` tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn with_geometry(sets: u32, ways: u32) -> Self {
+        assert!(sets.is_power_of_two(), "CAM set count must be a power of two");
+        assert!(ways > 0, "CAM needs at least one way");
+        SnoopLogic {
+            storage: Storage::Mirrored {
+                sets,
+                ways,
+                entries: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+                overflow: HashSet::new(),
+            },
+            pending: VecDeque::new(),
+            remote_hits: 0,
+            fills_observed: 0,
+            capacity_evictions: 0,
+        }
+    }
+
+    fn set_of(sets: u32, line: u32) -> usize {
+        ((line / LINE_BYTES) % sets) as usize
+    }
+
+    /// Records that the local processor filled a cache line (its miss was
+    /// visible on the bus). On a finite CAM this may trigger a *capacity
+    /// interrupt* for the tag it displaces.
+    pub fn observe_local_fill(&mut self, addr: Addr) {
+        let line = addr.line_base().as_u32();
+        self.fills_observed += 1;
+        match &mut self.storage {
+            Storage::FullMap(tags) => {
+                tags.insert(line);
+            }
+            Storage::Mirrored {
+                sets,
+                ways,
+                entries,
+                overflow,
+            } => {
+                let set = &mut entries[Self::set_of(*sets, line)];
+                if let Some(pos) = set.iter().position(|&t| t == line) {
+                    set.remove(pos);
+                }
+                set.insert(0, line);
+                if set.len() > *ways as usize {
+                    let victim = set.pop().expect("overfull set");
+                    overflow.insert(victim);
+                    if !self.pending.contains(&victim) {
+                        self.pending.push_back(victim);
+                    }
+                    self.capacity_evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Records that the local processor wrote a line back (dirty eviction
+    /// or ISR drain — both visible on the bus), pruning the CAM.
+    pub fn observe_local_writeback(&mut self, addr: Addr) {
+        let line = addr.line_base().as_u32();
+        match &mut self.storage {
+            Storage::FullMap(tags) => {
+                tags.remove(&line);
+            }
+            Storage::Mirrored {
+                sets, entries, overflow, ..
+            } => {
+                entries[Self::set_of(*sets, line)].retain(|&t| t != line);
+                overflow.remove(&line);
+            }
+        }
+    }
+
+    fn holds(&self, line: u32) -> bool {
+        match &self.storage {
+            Storage::FullMap(tags) => tags.contains(&line),
+            Storage::Mirrored {
+                sets, entries, overflow, ..
+            } => {
+                overflow.contains(&line)
+                    || entries[Self::set_of(*sets, line)].contains(&line)
+            }
+        }
+    }
+
+    /// Matches a remote master's address against the CAM. On a hit the
+    /// line is queued for the ISR (once) and the caller must ARTRY the
+    /// remote transaction; `nFIQ` stays asserted until every pending line
+    /// is [`ack`](SnoopLogic::ack)ed.
+    pub fn check_remote(&mut self, addr: Addr) -> bool {
+        let line = addr.line_base().as_u32();
+        if !self.holds(line) {
+            return false;
+        }
+        self.remote_hits += 1;
+        if !self.pending.contains(&line) {
+            self.pending.push_back(line);
+        }
+        true
+    }
+
+    /// The fast-interrupt line: asserted while any snoop hit (or capacity
+    /// eviction) awaits its ISR.
+    pub fn nfiq(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// The oldest line awaiting ISR service.
+    pub fn next_pending(&self) -> Option<Addr> {
+        self.pending.front().map(|&l| Addr::new(l))
+    }
+
+    /// Acknowledges that the ISR drained/invalidated `addr`'s line: removes
+    /// it from the CAM (and overflow buffer) and the pending queue.
+    pub fn ack(&mut self, addr: Addr) {
+        let line = addr.line_base().as_u32();
+        self.observe_local_writeback(Addr::new(line));
+        self.pending.retain(|&l| l != line);
+    }
+
+    /// Whether the CAM currently holds `addr`'s line.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.holds(addr.line_base().as_u32())
+    }
+
+    /// Number of tags currently held (overflow buffer included).
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::FullMap(tags) => tags.len(),
+            Storage::Mirrored {
+                entries, overflow, ..
+            } => entries.iter().map(Vec::len).sum::<usize>() + overflow.len(),
+        }
+    }
+
+    /// Returns `true` if the CAM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remote transactions killed so far.
+    pub fn remote_hits(&self) -> u64 {
+        self.remote_hits
+    }
+
+    /// Local fills observed so far.
+    pub fn fills_observed(&self) -> u64 {
+        self.fills_observed
+    }
+
+    /// Capacity interrupts raised so far (finite CAMs only).
+    pub fn capacity_evictions(&self) -> u64 {
+        self.capacity_evictions
+    }
+}
+
+impl Default for SnoopLogic {
+    fn default() -> Self {
+        SnoopLogic::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_remote_hit_raises_nfiq() {
+        let mut cam = SnoopLogic::new();
+        assert!(!cam.check_remote(Addr::new(0x100)));
+        cam.observe_local_fill(Addr::new(0x104));
+        assert!(cam.contains(Addr::new(0x100)), "line-granular");
+        assert!(cam.check_remote(Addr::new(0x118)));
+        assert!(cam.nfiq());
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x100)));
+        assert_eq!(cam.remote_hits(), 1);
+    }
+
+    #[test]
+    fn repeated_remote_hits_queue_once() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x100));
+        assert!(cam.check_remote(Addr::new(0x100)));
+        assert!(cam.check_remote(Addr::new(0x100)), "retries keep hitting");
+        assert_eq!(cam.remote_hits(), 2);
+        cam.ack(Addr::new(0x100));
+        assert!(!cam.nfiq());
+        assert!(!cam.check_remote(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn writeback_prunes_cam() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x100));
+        cam.observe_local_writeback(Addr::new(0x100));
+        assert!(cam.is_empty());
+        assert!(!cam.check_remote(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn multiple_pending_lines_fifo() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x100));
+        cam.observe_local_fill(Addr::new(0x200));
+        assert_eq!(cam.len(), 2);
+        assert!(cam.check_remote(Addr::new(0x200)));
+        assert!(cam.check_remote(Addr::new(0x100)));
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x200)));
+        cam.ack(Addr::new(0x200));
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x100)));
+        assert!(cam.nfiq());
+        cam.ack(Addr::new(0x100));
+        assert!(!cam.nfiq());
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_conservative_not_wrong() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x100));
+        // The cache silently (cleanly) evicted 0x100 — the CAM cannot see
+        // that. A remote access still hits (spurious interrupt)…
+        assert!(cam.check_remote(Addr::new(0x100)));
+        // …and the ISR, finding nothing in the cache, just acks.
+        cam.ack(Addr::new(0x100));
+        assert!(!cam.check_remote(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn fills_counter() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x0));
+        cam.observe_local_fill(Addr::new(0x20));
+        assert_eq!(cam.fills_observed(), 2);
+    }
+
+    // ---- finite (mirrored) CAM ----
+
+    #[test]
+    fn mirrored_cam_tracks_like_full_map_within_capacity() {
+        let mut cam = SnoopLogic::with_geometry(2, 2);
+        cam.observe_local_fill(Addr::new(0x000)); // set 0
+        cam.observe_local_fill(Addr::new(0x020)); // set 1
+        cam.observe_local_fill(Addr::new(0x040)); // set 0
+        assert_eq!(cam.len(), 3);
+        assert!(!cam.nfiq(), "within capacity: no interrupt");
+        assert!(cam.check_remote(Addr::new(0x020)));
+        cam.ack(Addr::new(0x020));
+        assert_eq!(cam.len(), 2);
+    }
+
+    #[test]
+    fn mirrored_cam_overflow_raises_capacity_interrupt() {
+        let mut cam = SnoopLogic::with_geometry(2, 1);
+        cam.observe_local_fill(Addr::new(0x000)); // set 0
+        cam.observe_local_fill(Addr::new(0x040)); // set 0 → evicts 0x000
+        assert!(cam.nfiq(), "capacity eviction raises nFIQ");
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x000)));
+        assert_eq!(cam.capacity_evictions(), 1);
+        // The overflowed tag still guards the line until the ISR acks…
+        assert!(cam.check_remote(Addr::new(0x000)), "still conservative");
+        cam.ack(Addr::new(0x000));
+        assert!(!cam.contains(Addr::new(0x000)));
+        assert!(cam.contains(Addr::new(0x040)));
+    }
+
+    #[test]
+    fn mirrored_cam_refill_touches_recency() {
+        let mut cam = SnoopLogic::with_geometry(1, 2);
+        cam.observe_local_fill(Addr::new(0x00));
+        cam.observe_local_fill(Addr::new(0x20));
+        cam.observe_local_fill(Addr::new(0x00)); // touch
+        cam.observe_local_fill(Addr::new(0x40)); // evicts 0x20 (LRU)
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x20)));
+        assert!(cam.contains(Addr::new(0x00)));
+        assert!(cam.contains(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn mirrored_cam_writeback_prunes_overflow_too() {
+        let mut cam = SnoopLogic::with_geometry(1, 1);
+        cam.observe_local_fill(Addr::new(0x00));
+        cam.observe_local_fill(Addr::new(0x20)); // 0x00 → overflow
+        cam.observe_local_writeback(Addr::new(0x00));
+        assert!(!cam.contains(Addr::new(0x00)));
+        // The pending entry remains until acked (a spurious ISR at worst).
+        assert!(cam.nfiq());
+        cam.ack(Addr::new(0x00));
+        assert!(!cam.nfiq());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mirrored_cam_bad_sets_panics() {
+        let _ = SnoopLogic::with_geometry(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn mirrored_cam_zero_ways_panics() {
+        let _ = SnoopLogic::with_geometry(2, 0);
+    }
+}

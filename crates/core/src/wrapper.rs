@@ -1,0 +1,180 @@
+//! The per-processor bus wrapper.
+
+use crate::{derive_policy, SharedSignalPolicy, WrapperPolicy};
+use hmp_bus::BusOp;
+use hmp_cache::{ProtocolKind, SnoopOp};
+
+/// A snoop-translation wrapper around one processor's bus interface.
+///
+/// In the paper's hardware (Figures 1–3) the wrapper converts between the
+/// processor's native bus protocol and the shared ASB *and* applies the two
+/// coherence manipulations of [`WrapperPolicy`]. In this simulator the
+/// protocol conversion is implicit (every core already speaks the modelled
+/// bus), so the wrapper's observable behaviour is:
+///
+/// * [`Wrapper::translate_snoop`] — maps the operation on the wire to the
+///   operation the local snoop port sees (read→write conversion happens
+///   here; the memory controller always sees the real operation);
+/// * [`Wrapper::gate_shared`] — maps the bus shared signal to the value the
+///   local cache samples on a fill.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_bus::BusOp;
+/// use hmp_cache::{ProtocolKind, SnoopOp};
+/// use hmp_core::Wrapper;
+///
+/// // MESI processor on a MEI-reduced bus (PowerPC755 + Intel486 platform).
+/// let mut w = Wrapper::for_system(ProtocolKind::Mesi, ProtocolKind::Mei);
+/// assert_eq!(w.translate_snoop(&BusOp::ReadLine), SnoopOp::Write);
+/// assert!(!w.gate_shared(true)); // shared gated low
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    protocol: ProtocolKind,
+    policy: WrapperPolicy,
+    reads_converted: u64,
+    shared_overridden: u64,
+}
+
+impl Wrapper {
+    /// Creates a wrapper with an explicit policy (ablation studies use
+    /// this to switch individual knobs off).
+    pub fn new(protocol: ProtocolKind, policy: WrapperPolicy) -> Self {
+        Wrapper {
+            protocol,
+            policy,
+            reads_converted: 0,
+            shared_overridden: 0,
+        }
+    }
+
+    /// Creates a wrapper whose policy is derived from the system's reduced
+    /// protocol (the normal path; see [`crate::derive_policy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on pairings the reduction lattice cannot produce.
+    pub fn for_system(protocol: ProtocolKind, system: ProtocolKind) -> Self {
+        Wrapper::new(protocol, derive_policy(protocol, system))
+    }
+
+    /// The protocol of the wrapped processor.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> WrapperPolicy {
+        self.policy
+    }
+
+    /// How many snooped reads were presented as writes.
+    pub fn reads_converted(&self) -> u64 {
+        self.reads_converted
+    }
+
+    /// How many sampled shared signals were overridden.
+    pub fn shared_overridden(&self) -> u64 {
+        self.shared_overridden
+    }
+
+    /// Maps an operation observed on the bus to what the local snoop port
+    /// sees.
+    ///
+    /// Writes and upgrades pass through; reads become writes when the
+    /// policy's conversion knob is on. Both burst and single-word
+    /// operations are translated — an uncached word read of a line some
+    /// cache holds must still behave per policy.
+    pub fn translate_snoop(&mut self, op: &BusOp) -> SnoopOp {
+        match op {
+            BusOp::ReadLine | BusOp::ReadWord => {
+                if self.policy.convert_read_to_write {
+                    self.reads_converted += 1;
+                    SnoopOp::Write
+                } else {
+                    SnoopOp::Read
+                }
+            }
+            // Read-with-intent-to-modify is a write as far as snoopers are
+            // concerned, whatever the policy says.
+            BusOp::ReadLineExcl => SnoopOp::Write,
+            BusOp::WriteLine(_) | BusOp::WriteWord(_) => SnoopOp::Write,
+            BusOp::Upgrade => SnoopOp::Upgrade,
+        }
+    }
+
+    /// Maps the bus shared signal to the value the local cache samples
+    /// when completing a fill.
+    pub fn gate_shared(&mut self, bus_shared: bool) -> bool {
+        let out = match self.policy.shared_signal {
+            SharedSignalPolicy::PassThrough => bus_shared,
+            SharedSignalPolicy::ForceDeassert => false,
+            SharedSignalPolicy::ForceAssert => true,
+        };
+        if out != bus_shared {
+            self.shared_overridden += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProtocolKind::*;
+
+    #[test]
+    fn transparent_wrapper_passes_everything() {
+        let mut w = Wrapper::new(Mesi, WrapperPolicy::TRANSPARENT);
+        assert_eq!(w.translate_snoop(&BusOp::ReadLine), SnoopOp::Read);
+        assert_eq!(w.translate_snoop(&BusOp::ReadWord), SnoopOp::Read);
+        assert_eq!(w.translate_snoop(&BusOp::WriteLine([0; 8])), SnoopOp::Write);
+        assert_eq!(w.translate_snoop(&BusOp::WriteWord(1)), SnoopOp::Write);
+        assert_eq!(w.translate_snoop(&BusOp::Upgrade), SnoopOp::Upgrade);
+        assert_eq!(
+            w.translate_snoop(&BusOp::ReadLineExcl),
+            SnoopOp::Write,
+            "RWITM snoops as a write even without conversion"
+        );
+        assert!(w.gate_shared(true));
+        assert!(!w.gate_shared(false));
+        assert_eq!(w.reads_converted(), 0);
+        assert_eq!(w.shared_overridden(), 0);
+    }
+
+    #[test]
+    fn conversion_rewrites_reads_only() {
+        let mut w = Wrapper::for_system(Mesi, Mei);
+        assert_eq!(w.translate_snoop(&BusOp::ReadLine), SnoopOp::Write);
+        assert_eq!(w.translate_snoop(&BusOp::ReadWord), SnoopOp::Write);
+        assert_eq!(w.translate_snoop(&BusOp::Upgrade), SnoopOp::Upgrade);
+        assert_eq!(w.translate_snoop(&BusOp::WriteWord(0)), SnoopOp::Write);
+        assert_eq!(w.reads_converted(), 2);
+    }
+
+    #[test]
+    fn deassert_gates_shared_low() {
+        let mut w = Wrapper::for_system(Moesi, Mei);
+        assert!(!w.gate_shared(true));
+        assert!(!w.gate_shared(false));
+        assert_eq!(w.shared_overridden(), 1);
+    }
+
+    #[test]
+    fn assert_gates_shared_high() {
+        let mut w = Wrapper::for_system(Mesi, Msi);
+        assert!(w.gate_shared(false), "read miss must fill Shared");
+        assert!(w.gate_shared(true));
+        assert_eq!(w.shared_overridden(), 1);
+        assert!(!w.policy().convert_read_to_write);
+    }
+
+    #[test]
+    fn accessors() {
+        let w = Wrapper::for_system(Moesi, Msi);
+        assert_eq!(w.protocol(), Moesi);
+        assert!(w.policy().convert_read_to_write);
+    }
+}

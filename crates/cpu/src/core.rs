@@ -1,0 +1,724 @@
+//! The in-order, blocking CPU interpreter.
+
+use crate::locks::{LockClient, LockLayout, LockStep};
+use crate::program::Cursor;
+use crate::{Op, Program};
+use hmp_mem::Addr;
+use hmp_sim::ClockDomain;
+
+/// Core cycles a spin loop burns between two polls of the same location
+/// (the compare/branch instructions around the load). Without this gap a
+/// high-priority master's spin loop could monopolise a fixed-priority bus
+/// and starve everyone else.
+const SPIN_GAP_CYCLES: u32 = 3;
+
+/// Timing of the snoop-drain interrupt service routine.
+///
+/// The paper (§3) notes the ARM "may or may not respond to the interrupt
+/// immediately, depending on the status of the CPU pipeline"; the response
+/// and entry costs model that latency deterministically. All values are in
+/// **core cycles** of the interrupted CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsrConfig {
+    /// Cycles between sampling nFIQ and the first ISR instruction
+    /// (pipeline drain + vectoring).
+    pub response_cycles: u32,
+    /// ISR prologue cost before the drain/invalidate is issued.
+    pub entry_cycles: u32,
+    /// ISR epilogue cost after the drain completes (return from FIQ).
+    pub exit_cycles: u32,
+}
+
+impl Default for IsrConfig {
+    /// ARM920T FIQ costs: ~2-cycle recognition, ~4-cycle prologue (the
+    /// FIQ's banked registers need no save/restore and the drain ISR is a
+    /// handful of instructions), ~4-cycle epilogue.
+    fn default() -> Self {
+        IsrConfig {
+            response_cycles: 2,
+            entry_cycles: 4,
+            exit_cycles: 4,
+        }
+    }
+}
+
+/// Static configuration of one modelled processor.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// Core clock relative to the bus clock (PowerPC755: 2, ARM920T: 1).
+    pub clock: ClockDomain,
+    /// Snoop-ISR timing (only exercised on processors that receive nFIQ).
+    pub isr: IsrConfig,
+    /// Where and how lock variables live.
+    pub lock_layout: LockLayout,
+    /// This processor's index among the lock parties.
+    pub lock_party: u32,
+}
+
+/// What kind of memory operation the CPU asks the platform to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Word load; completion must carry [`MemResult::Value`].
+    Read,
+    /// Word store of the value.
+    Write(u32),
+    /// Line drain: write back if dirty, then invalidate.
+    Flush,
+    /// Line invalidate (clean lines only).
+    Invalidate,
+}
+
+/// A memory operation the CPU is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Operation kind.
+    pub kind: ReqKind,
+    /// Target address (word for loads/stores, any address in the line for
+    /// maintenance ops).
+    pub addr: Addr,
+    /// `true` if this request is the snoop ISR's drain — the platform acks
+    /// the TAG CAM when it completes.
+    pub from_isr: bool,
+}
+
+/// Completion of a [`MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemResult {
+    /// A load's value.
+    Value(u32),
+    /// A store or maintenance op finished.
+    Done,
+}
+
+/// What a core cycle produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuAction {
+    /// Nothing for the platform to do (computing, blocked, or idle).
+    Idle,
+    /// The CPU issues a memory operation and blocks on it.
+    Issue(MemRequest),
+    /// The task has finished.
+    Halted,
+}
+
+/// Execution state, exposed for tests and tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuState {
+    /// Ready to execute the next micro-op.
+    Ready,
+    /// Busy with a pure-compute delay.
+    Computing,
+    /// Blocked on an outstanding memory operation.
+    AwaitMem,
+    /// Program complete.
+    Halted,
+}
+
+#[derive(Debug, Clone)]
+enum Exec {
+    Ready,
+    Computing { remaining: u32 },
+    AwaitMem,
+    Halted,
+}
+
+#[derive(Debug, Clone)]
+enum IsrPhase {
+    Entry { remaining: u32 },
+    AwaitFlush,
+    Exit { remaining: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct IsrContext {
+    line: Addr,
+    phase: IsrPhase,
+    saved: Exec,
+}
+
+/// Per-CPU activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuCounters {
+    /// Program loads committed.
+    pub reads: u64,
+    /// Program stores committed.
+    pub writes: u64,
+    /// Program flush/invalidate ops committed.
+    pub maintenance: u64,
+    /// Lock acquisitions completed.
+    pub lock_acquires: u64,
+    /// Lock releases completed.
+    pub lock_releases: u64,
+    /// Single-word lock-protocol memory operations issued (spins included).
+    pub lock_mem_ops: u64,
+    /// Snoop-ISR invocations.
+    pub isr_entries: u64,
+    /// Core cycles spent inside the ISR (response + entry + exit, plus the
+    /// cycles blocked on the drain).
+    pub isr_cycles: u64,
+}
+
+/// A blocking in-order processor executing one [`Program`].
+///
+/// Drive it with [`Cpu::tick`] once per **core** cycle (the platform runs
+/// `clock.core_cycles_per_bus_cycle()` ticks per bus cycle). When it
+/// returns [`CpuAction::Issue`], perform the memory operation and call
+/// [`Cpu::complete_mem`] when done — the CPU stays blocked until then.
+/// Raise/clear the fast interrupt each cycle with [`Cpu::set_nfiq_line`];
+/// the CPU enters its drain ISR between instructions, never while blocked
+/// on memory (this is exactly the "interrupt response time" window of the
+/// paper's Figure 4).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    id: usize,
+    config: CpuConfig,
+    cursor: Cursor,
+    exec: Exec,
+    lock: Option<LockClient>,
+    pending_lock_step: Option<LockStep>,
+    nfiq_line: Option<Addr>,
+    isr: Option<IsrContext>,
+    last_lock_read: Option<Addr>,
+    counters: CpuCounters,
+    committed: u64,
+    core_cycles: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU that will run `program`.
+    pub fn new(id: usize, config: CpuConfig, program: Program) -> Self {
+        Cpu {
+            id,
+            config,
+            cursor: Cursor::new(program),
+            exec: Exec::Ready,
+            lock: None,
+            pending_lock_step: None,
+            nfiq_line: None,
+            isr: None,
+            last_lock_read: None,
+            counters: CpuCounters::default(),
+            committed: 0,
+            core_cycles: 0,
+        }
+    }
+
+    /// The CPU's platform index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Coarse execution state.
+    pub fn state(&self) -> CpuState {
+        match self.exec {
+            Exec::Ready => CpuState::Ready,
+            Exec::Computing { .. } => CpuState::Computing,
+            Exec::AwaitMem => CpuState::AwaitMem,
+            Exec::Halted => CpuState::Halted,
+        }
+    }
+
+    /// `true` once the program has fully executed.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.exec, Exec::Halted) && self.isr.is_none()
+    }
+
+    /// `true` while the snoop ISR is running.
+    pub fn in_isr(&self) -> bool {
+        self.isr.is_some()
+    }
+
+    /// Monotone progress measure: micro-ops and lock steps committed.
+    /// Feed this to the platform watchdog.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Core cycles executed so far.
+    pub fn core_cycles(&self) -> u64 {
+        self.core_cycles
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> CpuCounters {
+        self.counters
+    }
+
+    /// Presents the level-triggered nFIQ input: `Some(line)` is the oldest
+    /// line the TAG CAM wants drained, `None` deasserts.
+    pub fn set_nfiq_line(&mut self, line: Option<Addr>) {
+        self.nfiq_line = line;
+    }
+
+    /// Runs one core cycle.
+    pub fn tick(&mut self) -> CpuAction {
+        self.core_cycles += 1;
+        if let Some(isr) = &mut self.isr {
+            self.counters.isr_cycles += 1;
+            match &mut isr.phase {
+                IsrPhase::Entry { remaining } => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        isr.phase = IsrPhase::AwaitFlush;
+                        return CpuAction::Issue(MemRequest {
+                            kind: ReqKind::Flush,
+                            addr: isr.line,
+                            from_isr: true,
+                        });
+                    }
+                    return CpuAction::Idle;
+                }
+                IsrPhase::AwaitFlush => return CpuAction::Idle,
+                IsrPhase::Exit { remaining } => {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        let ctx = self.isr.take().expect("in ISR");
+                        self.exec = ctx.saved;
+                        self.committed += 1; // the ISR itself is progress
+                    }
+                    return CpuAction::Idle;
+                }
+            }
+        }
+
+        // Interrupt entry happens between instructions: never while a
+        // memory operation is outstanding.
+        if let Some(line) = self.nfiq_line {
+            if matches!(self.exec, Exec::Ready | Exec::Computing { .. } | Exec::Halted) {
+                let saved = std::mem::replace(&mut self.exec, Exec::Ready);
+                self.counters.isr_entries += 1;
+                self.isr = Some(IsrContext {
+                    line,
+                    phase: IsrPhase::Entry {
+                        remaining: self.config.isr.response_cycles
+                            + self.config.isr.entry_cycles,
+                    },
+                    saved,
+                });
+                self.counters.isr_cycles += 1;
+                return CpuAction::Idle;
+            }
+        }
+
+        match &mut self.exec {
+            Exec::Halted => CpuAction::Halted,
+            Exec::AwaitMem => CpuAction::Idle,
+            Exec::Computing { remaining } => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.exec = Exec::Ready;
+                    self.committed += 1;
+                }
+                CpuAction::Idle
+            }
+            Exec::Ready => {
+                // A lock client mid-protocol issues its next step first.
+                if let Some(step) = self.pending_lock_step.take() {
+                    return self.issue_lock_step(step);
+                }
+                match self.cursor.next_op() {
+                    None | Some(Op::Halt) => {
+                        self.exec = Exec::Halted;
+                        CpuAction::Halted
+                    }
+                    Some(Op::Delay(0)) => {
+                        self.committed += 1;
+                        CpuAction::Idle
+                    }
+                    Some(Op::Delay(n)) => {
+                        self.exec = Exec::Computing { remaining: n };
+                        CpuAction::Idle
+                    }
+                    Some(Op::Read(addr)) => self.issue(ReqKind::Read, addr),
+                    Some(Op::Write(addr, v)) => self.issue(ReqKind::Write(v), addr),
+                    Some(Op::FlushLine(addr)) => self.issue(ReqKind::Flush, addr),
+                    Some(Op::InvalidateLine(addr)) => self.issue(ReqKind::Invalidate, addr),
+                    Some(Op::LockAcquire(lock)) => {
+                        let (client, step) = LockClient::acquire(
+                            self.config.lock_layout,
+                            lock,
+                            self.config.lock_party,
+                        );
+                        self.lock = Some(client);
+                        self.issue_lock_step(step)
+                    }
+                    Some(Op::LockRelease(lock)) => {
+                        let (client, step) = LockClient::release(
+                            self.config.lock_layout,
+                            lock,
+                            self.config.lock_party,
+                        );
+                        self.lock = Some(client);
+                        self.issue_lock_step(step)
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self, kind: ReqKind, addr: Addr) -> CpuAction {
+        self.exec = Exec::AwaitMem;
+        CpuAction::Issue(MemRequest {
+            kind,
+            addr,
+            from_isr: false,
+        })
+    }
+
+    fn issue_lock_step(&mut self, step: LockStep) -> CpuAction {
+        match step {
+            LockStep::Read(addr) => {
+                self.counters.lock_mem_ops += 1;
+                self.last_lock_read = Some(addr);
+                self.issue(ReqKind::Read, addr)
+            }
+            LockStep::Write(addr, v) => {
+                self.counters.lock_mem_ops += 1;
+                self.issue(ReqKind::Write(v), addr)
+            }
+            LockStep::Done => unreachable!("Done is consumed at completion"),
+        }
+    }
+
+    /// Completes the outstanding memory operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is outstanding, or if a load completes without a
+    /// value.
+    pub fn complete_mem(&mut self, result: MemResult) {
+        // ISR drain completion?
+        if let Some(isr) = &mut self.isr {
+            if matches!(isr.phase, IsrPhase::AwaitFlush) {
+                assert_eq!(result, MemResult::Done, "flush yields no value");
+                isr.phase = IsrPhase::Exit {
+                    remaining: self.config.isr.exit_cycles.max(1),
+                };
+                return;
+            }
+        }
+        assert!(
+            matches!(self.exec, Exec::AwaitMem),
+            "cpu{} completion without an outstanding request",
+            self.id
+        );
+        if let Some(client) = &mut self.lock {
+            let step = match result {
+                MemResult::Value(v) => client.on_read_value(v),
+                MemResult::Done => client.on_write_done(),
+            };
+            self.committed += 1;
+            // Re-polling the same location is a spin iteration: burn the
+            // loop's compare/branch cycles before hitting the bus again.
+            let is_spin = matches!(step, LockStep::Read(a) if Some(a) == self.last_lock_read);
+            if step == LockStep::Done {
+                let was_release = matches!(
+                    self.lock,
+                    Some(LockClient::TurnRelease)
+                        | Some(LockClient::HwRelease)
+                        | Some(LockClient::BakeryRelease)
+                );
+                if was_release {
+                    self.counters.lock_releases += 1;
+                } else {
+                    self.counters.lock_acquires += 1;
+                }
+                self.lock = None;
+                self.pending_lock_step = None;
+                self.exec = Exec::Ready;
+            } else {
+                self.pending_lock_step = Some(step);
+                self.exec = if is_spin {
+                    Exec::Computing {
+                        remaining: SPIN_GAP_CYCLES,
+                    }
+                } else {
+                    Exec::Ready
+                };
+            }
+            return;
+        }
+        match result {
+            MemResult::Value(_) => self.counters.reads += 1,
+            MemResult::Done => {
+                // Writes and maintenance ops both end here; split by what
+                // was issued is not tracked, so count coarsely as a write
+                // unless the caller used Flush/Invalidate — the platform
+                // keeps finer-grained stats.
+                self.counters.writes += 1;
+            }
+        }
+        self.committed += 1;
+        self.exec = Exec::Ready;
+    }
+
+    /// Like [`Cpu::complete_mem`] but records the op as cache maintenance
+    /// rather than a store (the platform knows which request it served).
+    pub fn complete_maintenance(&mut self) {
+        if let Some(isr) = &mut self.isr {
+            if matches!(isr.phase, IsrPhase::AwaitFlush) {
+                isr.phase = IsrPhase::Exit {
+                    remaining: self.config.isr.exit_cycles.max(1),
+                };
+                return;
+            }
+        }
+        assert!(
+            matches!(self.exec, Exec::AwaitMem),
+            "cpu{} completion without an outstanding request",
+            self.id
+        );
+        self.counters.maintenance += 1;
+        self.committed += 1;
+        self.exec = Exec::Ready;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LockKind, ProgramBuilder};
+
+    fn config() -> CpuConfig {
+        CpuConfig {
+            clock: ClockDomain::new(1),
+            // Explicit (not default) timing so the step-count assertions
+            // below stay valid if the defaults are retuned.
+            isr: IsrConfig {
+                response_cycles: 4,
+                entry_cycles: 12,
+                exit_cycles: 8,
+            },
+            lock_layout: LockLayout::new(LockKind::Turn, Addr::new(0x8000), 2),
+            lock_party: 0,
+        }
+    }
+
+    fn prog_read_write() -> Program {
+        ProgramBuilder::new()
+            .read(Addr::new(0x100))
+            .write(Addr::new(0x104), 7)
+            .build()
+    }
+
+    #[test]
+    fn executes_reads_and_writes_in_order() {
+        let mut cpu = Cpu::new(0, config(), prog_read_write());
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!("expected issue");
+        };
+        assert_eq!(req.kind, ReqKind::Read);
+        assert_eq!(req.addr, Addr::new(0x100));
+        assert!(!req.from_isr);
+        assert_eq!(cpu.state(), CpuState::AwaitMem);
+        assert_eq!(cpu.tick(), CpuAction::Idle, "blocked");
+        cpu.complete_mem(MemResult::Value(1));
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!("expected issue");
+        };
+        assert_eq!(req.kind, ReqKind::Write(7));
+        cpu.complete_mem(MemResult::Done);
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.counters().reads, 1);
+        assert_eq!(cpu.counters().writes, 1);
+        assert_eq!(cpu.committed(), 2);
+    }
+
+    #[test]
+    fn delay_computes_for_n_cycles() {
+        let p = ProgramBuilder::new().delay(3).build();
+        let mut cpu = Cpu::new(0, config(), p);
+        assert_eq!(cpu.tick(), CpuAction::Idle); // fetch, start computing
+        assert_eq!(cpu.state(), CpuState::Computing);
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.state(), CpuState::Computing); // hmm: 3 decrements?
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.core_cycles(), 5);
+    }
+
+    #[test]
+    fn turn_lock_acquire_spins_until_turn() {
+        let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().acquire(0).build());
+        // Party 0, turn word reads 1 → spin; then 0 → acquired.
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!()
+        };
+        assert_eq!(req.kind, ReqKind::Read);
+        assert_eq!(req.addr, Addr::new(0x8000));
+        cpu.complete_mem(MemResult::Value(1)); // not my turn
+        // A spin iteration burns the loop's compare/branch cycles first.
+        for _ in 0..3 {
+            assert_eq!(cpu.tick(), CpuAction::Idle, "spin gap");
+        }
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!()
+        };
+        assert_eq!(req.addr, Addr::new(0x8000));
+        cpu.complete_mem(MemResult::Value(0)); // my turn
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.counters().lock_acquires, 1);
+        assert_eq!(cpu.counters().lock_mem_ops, 2);
+    }
+
+    #[test]
+    fn lock_release_writes_next_turn() {
+        let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().release(0).build());
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!()
+        };
+        assert_eq!(req.kind, ReqKind::Write(1), "pass turn to party 1");
+        cpu.complete_mem(MemResult::Done);
+        assert_eq!(cpu.counters().lock_releases, 1);
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+    }
+
+    #[test]
+    fn maintenance_ops_counted_separately() {
+        let p = ProgramBuilder::new()
+            .flush(Addr::new(0x200))
+            .invalidate(Addr::new(0x240))
+            .build();
+        let mut cpu = Cpu::new(0, config(), p);
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!()
+        };
+        assert_eq!(req.kind, ReqKind::Flush);
+        cpu.complete_maintenance();
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!()
+        };
+        assert_eq!(req.kind, ReqKind::Invalidate);
+        cpu.complete_maintenance();
+        assert_eq!(cpu.counters().maintenance, 2);
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+    }
+
+    #[test]
+    fn nfiq_enters_isr_between_instructions() {
+        let cfg = config();
+        let mut cpu = Cpu::new(1, cfg, prog_read_write());
+        // Block on the first read…
+        let CpuAction::Issue(_) = cpu.tick() else {
+            panic!()
+        };
+        cpu.set_nfiq_line(Some(Addr::new(0x300)));
+        // …interrupt cannot be taken while blocked.
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert!(!cpu.in_isr());
+        cpu.complete_mem(MemResult::Value(0));
+        // Now Ready → the next tick vectors into the ISR.
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert!(cpu.in_isr());
+        // response(4) + entry(12) = 16 countdown cycles after vectoring.
+        let mut flush_req = None;
+        for _ in 0..16 {
+            if let CpuAction::Issue(r) = cpu.tick() {
+                flush_req = Some(r);
+                break;
+            }
+        }
+        let r = flush_req.expect("ISR issues the drain");
+        assert_eq!(r.kind, ReqKind::Flush);
+        assert_eq!(r.addr, Addr::new(0x300));
+        assert!(r.from_isr);
+        // Drain completes; exit takes 8 cycles, then the program resumes.
+        cpu.set_nfiq_line(None);
+        cpu.complete_maintenance();
+        for _ in 0..8 {
+            assert_eq!(cpu.tick(), CpuAction::Idle);
+        }
+        assert!(!cpu.in_isr());
+        let CpuAction::Issue(req) = cpu.tick() else {
+            panic!("program resumes")
+        };
+        assert_eq!(req.kind, ReqKind::Write(7));
+        assert_eq!(cpu.counters().isr_entries, 1);
+        assert!(cpu.counters().isr_cycles >= 24);
+    }
+
+    #[test]
+    fn halted_cpu_still_services_interrupts() {
+        // BCS: the ARM may finish its program while its cache still holds
+        // shared lines the PowerPC needs drained.
+        let mut cpu = Cpu::new(0, config(), Program::empty());
+        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert!(cpu.is_halted());
+        cpu.set_nfiq_line(Some(Addr::new(0x500)));
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert!(cpu.in_isr());
+        assert!(!cpu.is_halted(), "ISR keeps the CPU busy");
+        let mut got = None;
+        for _ in 0..20 {
+            if let CpuAction::Issue(r) = cpu.tick() {
+                got = Some(r);
+                break;
+            }
+        }
+        assert_eq!(got.map(|r| r.addr), Some(Addr::new(0x500)));
+        cpu.set_nfiq_line(None);
+        cpu.complete_maintenance();
+        for _ in 0..8 {
+            cpu.tick();
+        }
+        assert!(cpu.is_halted(), "returns to halted state after ISR");
+    }
+
+    #[test]
+    fn interrupt_does_not_clobber_lock_spin() {
+        let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().acquire(0).build());
+        let CpuAction::Issue(_) = cpu.tick() else {
+            panic!()
+        };
+        cpu.complete_mem(MemResult::Value(1)); // spin: next step pending
+        cpu.set_nfiq_line(Some(Addr::new(0x700)));
+        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert!(cpu.in_isr());
+        // Run the ISR to completion.
+        loop {
+            match cpu.tick() {
+                CpuAction::Issue(r) if r.from_isr => {
+                    cpu.set_nfiq_line(None);
+                    cpu.complete_maintenance();
+                }
+                CpuAction::Idle if !cpu.in_isr() => break,
+                _ => {}
+            }
+        }
+        // The spin resumes where it left off (after the remaining spin-gap
+        // cycles the interrupt pre-empted).
+        let mut resumed = None;
+        for _ in 0..5 {
+            if let CpuAction::Issue(r) = cpu.tick() {
+                resumed = Some(r);
+                break;
+            }
+        }
+        let req = resumed.expect("spin read resumes");
+        assert_eq!(req.kind, ReqKind::Read);
+        assert_eq!(req.addr, Addr::new(0x8000));
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without an outstanding request")]
+    fn completion_when_ready_panics() {
+        let mut cpu = Cpu::new(0, config(), prog_read_write());
+        cpu.complete_mem(MemResult::Done);
+    }
+
+    #[test]
+    fn accessors() {
+        let cpu = Cpu::new(3, config(), Program::empty());
+        assert_eq!(cpu.id(), 3);
+        assert_eq!(cpu.config().lock_party, 0);
+        assert_eq!(cpu.state(), CpuState::Ready);
+        assert_eq!(cpu.core_cycles(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hmp-cpu — the in-order processor model
+//!
+//! The paper's microbenchmarks run one task per processor; each task is a
+//! loop of loads, stores, lock operations and explicit cache-maintenance
+//! instructions. This crate models exactly that much of a CPU:
+//!
+//! * [`Op`] / [`Program`] — a tiny micro-op "ISA" (read, write, flush,
+//!   invalidate, lock acquire/release, delay, halt) with counted loops,
+//!   assembled through [`ProgramBuilder`];
+//! * [`Cpu`] — a blocking, in-order interpreter: one micro-op at a time,
+//!   stalling on memory, running in its own clock domain (the PowerPC755
+//!   ticks twice per bus cycle, the ARM920T once);
+//! * lock clients for the three lock placements the paper discusses
+//!   ([`LockKind`]): an alternating *turn* lock in uncached memory
+//!   (matching "each task acquiring the lock alternatively", §4), the
+//!   1-bit hardware lock register (§3), and Lamport's Bakery algorithm in
+//!   uncached memory (§3, first deadlock solution, citing its ref.\ 18);
+//! * the snoop-drain **ISR**: when the platform's TAG-CAM raises nFIQ, the
+//!   CPU (between instructions) enters a service routine that drains or
+//!   invalidates the hit line ([`IsrConfig`] models entry/exit overhead
+//!   and response latency — the paper's "interrupt response time").
+//!
+//! The CPU never touches a cache or bus directly: it emits
+//! [`MemRequest`]s and consumes [`MemResult`]s; the platform crate wires
+//! it to the memory system. That keeps this crate purely sequential and
+//! easily testable against a scripted memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core;
+mod locks;
+mod op;
+mod program;
+
+pub use crate::core::{
+    Cpu, CpuAction, CpuConfig, CpuCounters, CpuState, IsrConfig, MemRequest, MemResult, ReqKind,
+};
+pub use locks::{LockKind, LockLayout};
+pub use op::Op;
+pub use program::{Program, ProgramBuilder, Stmt};

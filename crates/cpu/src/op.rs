@@ -1,0 +1,75 @@
+//! The micro-op "ISA".
+
+use core::fmt;
+use hmp_mem::Addr;
+
+/// One micro-operation of the modelled task.
+///
+/// This is not a real instruction set — it is the minimal vocabulary the
+/// paper's microbenchmarks need. Data accesses are word-granular; cache
+/// maintenance is line-granular (PowerPC `dcbf`-style for
+/// [`Op::FlushLine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Load the word at the address.
+    Read(Addr),
+    /// Store the value to the word at the address.
+    Write(Addr, u32),
+    /// Write the line back if dirty, then invalidate it ("drain"). The
+    /// software solution executes these before leaving a critical section;
+    /// the snoop ISR executes one per CAM hit.
+    FlushLine(Addr),
+    /// Invalidate the (clean) line without writing back.
+    InvalidateLine(Addr),
+    /// Acquire lock `0`-indexed `id` (spins until owned).
+    LockAcquire(u32),
+    /// Release lock `id`.
+    LockRelease(u32),
+    /// Compute for the given number of core cycles without memory traffic.
+    Delay(u32),
+    /// Stop executing; the task is complete.
+    Halt,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(a) => write!(f, "read {a}"),
+            Op::Write(a, v) => write!(f, "write {a} <- {v}"),
+            Op::FlushLine(a) => write!(f, "flush {a}"),
+            Op::InvalidateLine(a) => write!(f, "inval {a}"),
+            Op::LockAcquire(id) => write!(f, "lock#{id} acquire"),
+            Op::LockRelease(id) => write!(f, "lock#{id} release"),
+            Op::Delay(n) => write!(f, "delay {n}"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_ops() {
+        let ops = [
+            Op::Read(Addr::new(4)),
+            Op::Write(Addr::new(8), 3),
+            Op::FlushLine(Addr::new(0x20)),
+            Op::InvalidateLine(Addr::new(0x40)),
+            Op::LockAcquire(0),
+            Op::LockRelease(0),
+            Op::Delay(7),
+            Op::Halt,
+        ];
+        let strings: Vec<String> = ops.iter().map(|o| o.to_string()).collect();
+        assert!(strings[0].contains("read"));
+        assert!(strings[1].contains("<- 3"));
+        assert!(strings[2].contains("flush"));
+        assert!(strings[3].contains("inval"));
+        assert!(strings[4].contains("acquire"));
+        assert!(strings[5].contains("release"));
+        assert!(strings[6].contains("delay 7"));
+        assert_eq!(strings[7], "halt");
+    }
+}

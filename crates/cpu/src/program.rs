@@ -1,0 +1,336 @@
+//! Programs: micro-op sequences with counted loops.
+
+use crate::Op;
+use hmp_mem::Addr;
+
+/// One statement of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A single micro-op.
+    Op(Op),
+    /// Execute the body the given number of times.
+    Repeat(u32, Vec<Stmt>),
+}
+
+/// A task: a finite tree of statements executed once, then the CPU halts.
+///
+/// Programs are streamed op by op inside the CPU (a private cursor walks
+/// the statement tree); loops are interpreted with a frame stack, so a
+/// million-iteration benchmark does not materialise a million ops.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_cpu::{Op, ProgramBuilder};
+/// use hmp_mem::Addr;
+///
+/// let prog = ProgramBuilder::new()
+///     .acquire(0)
+///     .repeat(2, |b| b.read(Addr::new(0x100)).write(Addr::new(0x100), 1))
+///     .release(0)
+///     .build();
+/// assert_eq!(prog.flatten().len(), 1 + 2 * 2 + 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    body: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program (halts immediately).
+    pub fn empty() -> Self {
+        Program::default()
+    }
+
+    /// The top-level statements.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Expands every loop, returning the full op sequence. Intended for
+    /// tests and debugging — execution streams instead.
+    pub fn flatten(&self) -> Vec<Op> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<Op>) {
+            for s in stmts {
+                match s {
+                    Stmt::Op(op) => out.push(*op),
+                    Stmt::Repeat(n, body) => {
+                        for _ in 0..*n {
+                            walk(body, out);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Total op count after loop expansion (without materialising them).
+    pub fn op_count(&self) -> u64 {
+        fn count(stmts: &[Stmt]) -> u64 {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Op(_) => 1,
+                    Stmt::Repeat(n, body) => u64::from(*n) * count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+/// Builder for [`Program`]s.
+///
+/// Methods append statements and return the builder for chaining;
+/// [`ProgramBuilder::repeat`] nests through a closure.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    body: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Appends a raw op.
+    pub fn op(mut self, op: Op) -> Self {
+        self.body.push(Stmt::Op(op));
+        self
+    }
+
+    /// Appends a load.
+    pub fn read(self, addr: Addr) -> Self {
+        self.op(Op::Read(addr))
+    }
+
+    /// Appends a store.
+    pub fn write(self, addr: Addr, value: u32) -> Self {
+        self.op(Op::Write(addr, value))
+    }
+
+    /// Appends a line drain (write back if dirty + invalidate).
+    pub fn flush(self, addr: Addr) -> Self {
+        self.op(Op::FlushLine(addr))
+    }
+
+    /// Appends a line invalidate.
+    pub fn invalidate(self, addr: Addr) -> Self {
+        self.op(Op::InvalidateLine(addr))
+    }
+
+    /// Appends a lock acquisition.
+    pub fn acquire(self, lock: u32) -> Self {
+        self.op(Op::LockAcquire(lock))
+    }
+
+    /// Appends a lock release.
+    pub fn release(self, lock: u32) -> Self {
+        self.op(Op::LockRelease(lock))
+    }
+
+    /// Appends a pure-compute delay.
+    pub fn delay(self, cycles: u32) -> Self {
+        self.op(Op::Delay(cycles))
+    }
+
+    /// Appends `count` repetitions of the statements built by `f`.
+    pub fn repeat(mut self, count: u32, f: impl FnOnce(ProgramBuilder) -> ProgramBuilder) -> Self {
+        let inner = f(ProgramBuilder::new());
+        self.body.push(Stmt::Repeat(count, inner.body));
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program { body: self.body }
+    }
+}
+
+/// A streaming cursor over a program's ops, interpreting loops with a
+/// frame stack.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor {
+    program: Program,
+    /// (statement index, iterations remaining at this level) per frame;
+    /// frame 0 is the program body with 1 iteration.
+    frames: Vec<Frame>,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Which Repeat's body this frame walks; `None` = top level.
+    path: Vec<usize>,
+    index: usize,
+    remaining: u32,
+}
+
+impl Cursor {
+    pub(crate) fn new(program: Program) -> Self {
+        Cursor {
+            program,
+            frames: vec![Frame {
+                path: Vec::new(),
+                index: 0,
+                remaining: 1,
+            }],
+        }
+    }
+
+    fn stmts_at<'a>(program: &'a Program, path: &[usize]) -> &'a [Stmt] {
+        let mut stmts: &[Stmt] = program.body();
+        for &i in path {
+            let Stmt::Repeat(_, body) = &stmts[i] else {
+                unreachable!("cursor paths always index Repeat statements");
+            };
+            stmts = body;
+        }
+        stmts
+    }
+
+    /// Produces the next op, or `None` when the program is exhausted.
+    pub(crate) fn next_op(&mut self) -> Option<Op> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            let stmts = Self::stmts_at(&self.program, &frame.path);
+            if frame.index >= stmts.len() {
+                // End of this body: loop again or pop.
+                if frame.remaining > 1 {
+                    frame.remaining -= 1;
+                    frame.index = 0;
+                    continue;
+                }
+                self.frames.pop();
+                if let Some(parent) = self.frames.last_mut() {
+                    parent.index += 1;
+                }
+                continue;
+            }
+            match &stmts[frame.index] {
+                Stmt::Op(op) => {
+                    let op = *op;
+                    frame.index += 1;
+                    return Some(op);
+                }
+                Stmt::Repeat(n, _) => {
+                    if *n == 0 {
+                        frame.index += 1;
+                        continue;
+                    }
+                    let mut path = frame.path.clone();
+                    path.push(frame.index);
+                    let n = *n;
+                    self.frames.push(Frame {
+                        path,
+                        index: 0,
+                        remaining: n,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Addr {
+        Addr::new(n)
+    }
+
+    #[test]
+    fn builder_produces_expected_sequence() {
+        let p = ProgramBuilder::new()
+            .read(a(0))
+            .write(a(4), 1)
+            .flush(a(0x20))
+            .invalidate(a(0x40))
+            .acquire(0)
+            .release(0)
+            .delay(3)
+            .build();
+        assert_eq!(
+            p.flatten(),
+            vec![
+                Op::Read(a(0)),
+                Op::Write(a(4), 1),
+                Op::FlushLine(a(0x20)),
+                Op::InvalidateLine(a(0x40)),
+                Op::LockAcquire(0),
+                Op::LockRelease(0),
+                Op::Delay(3),
+            ]
+        );
+        assert_eq!(p.op_count(), 7);
+    }
+
+    #[test]
+    fn nested_repeats_expand() {
+        let p = ProgramBuilder::new()
+            .repeat(2, |b| b.read(a(0)).repeat(3, |b| b.write(a(4), 9)))
+            .build();
+        let flat = p.flatten();
+        assert_eq!(flat.len(), 2 * (1 + 3));
+        assert_eq!(p.op_count(), 8);
+        assert_eq!(flat[0], Op::Read(a(0)));
+        assert_eq!(flat[1], Op::Write(a(4), 9));
+    }
+
+    #[test]
+    fn cursor_streams_same_as_flatten() {
+        let p = ProgramBuilder::new()
+            .read(a(0))
+            .repeat(3, |b| b.write(a(4), 1).repeat(2, |b| b.read(a(8))))
+            .delay(1)
+            .build();
+        let mut cur = Cursor::new(p.clone());
+        let mut streamed = Vec::new();
+        while let Some(op) = cur.next_op() {
+            streamed.push(op);
+        }
+        assert_eq!(streamed, p.flatten());
+    }
+
+    #[test]
+    fn zero_repeat_is_skipped() {
+        let p = ProgramBuilder::new()
+            .repeat(0, |b| b.read(a(0)))
+            .delay(1)
+            .build();
+        assert_eq!(p.flatten(), vec![Op::Delay(1)]);
+        let mut cur = Cursor::new(p);
+        assert_eq!(cur.next_op(), Some(Op::Delay(1)));
+        assert_eq!(cur.next_op(), None);
+    }
+
+    #[test]
+    fn empty_program_yields_nothing() {
+        let p = Program::empty();
+        assert_eq!(p.op_count(), 0);
+        assert!(p.body().is_empty());
+        let mut cur = Cursor::new(p);
+        assert_eq!(cur.next_op(), None);
+        assert_eq!(cur.next_op(), None, "exhausted cursor stays exhausted");
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let p = ProgramBuilder::new()
+            .repeat(2, |b| {
+                b.repeat(2, |b| b.repeat(2, |b| b.read(a(0))))
+            })
+            .build();
+        assert_eq!(p.op_count(), 8);
+        let mut cur = Cursor::new(p);
+        let mut n = 0;
+        while cur.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,194 @@
+//! Byte addresses and the platform's fixed word/line geometry.
+
+use core::fmt;
+
+/// Bytes per machine word. The reproduced processors (PowerPC755, ARM920T,
+/// Intel486) are all 32-bit machines.
+pub const WORD_BYTES: u32 = 4;
+
+/// Words per cache line. Table 4 of the paper specifies 8-word bursts,
+/// i.e. 32-byte lines — which is also the native line size of all three
+/// commercial cores the paper integrates.
+pub const LINE_WORDS: u32 = 8;
+
+/// Bytes per cache line.
+pub const LINE_BYTES: u32 = WORD_BYTES * LINE_WORDS;
+
+/// A 32-bit physical byte address.
+///
+/// All simulator traffic is word-granular; `Addr` values handed to caches
+/// and the bus are expected to be word-aligned (the micro-op interpreter
+/// only generates aligned accesses), and line operations align down
+/// internally.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_mem::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line_base().as_u32(), 0x1220);
+/// assert_eq!(a.word_offset_in_line(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u32);
+
+impl Addr {
+    /// Creates an address from a raw 32-bit byte address.
+    pub const fn new(a: u32) -> Self {
+        Addr(a)
+    }
+
+    /// The raw byte address.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Index of the word containing this address in a flat word array.
+    pub const fn word_index(self) -> usize {
+        (self.0 / WORD_BYTES) as usize
+    }
+
+    /// The address rounded down to its word boundary.
+    #[must_use]
+    pub const fn word_base(self) -> Addr {
+        Addr(self.0 & !(WORD_BYTES - 1))
+    }
+
+    /// The address rounded down to its cache-line boundary.
+    #[must_use]
+    pub const fn line_base(self) -> Addr {
+        Addr(self.0 & !(LINE_BYTES - 1))
+    }
+
+    /// Returns `true` if this address is the first byte of a cache line.
+    pub const fn is_line_aligned(self) -> bool {
+        self.0.is_multiple_of(LINE_BYTES)
+    }
+
+    /// Returns `true` if this address is word-aligned.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES)
+    }
+
+    /// Offset of the containing word within its cache line, in words
+    /// (`0..LINE_WORDS`).
+    pub const fn word_offset_in_line(self) -> u32 {
+        (self.0 % LINE_BYTES) / WORD_BYTES
+    }
+
+    /// The address `n` words after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 32-bit address overflow.
+    #[must_use]
+    pub fn add_words(self, n: u32) -> Addr {
+        Addr(
+            self.0
+                .checked_add(n * WORD_BYTES)
+                .expect("address overflow"),
+        )
+    }
+
+    /// The address `n` lines after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 32-bit address overflow.
+    #[must_use]
+    pub fn add_lines(self, n: u32) -> Addr {
+        Addr(
+            self.0
+                .checked_add(n * LINE_BYTES)
+                .expect("address overflow"),
+        )
+    }
+
+    /// Returns `true` if `self` and `other` fall in the same cache line.
+    pub const fn same_line(self, other: Addr) -> bool {
+        self.line_base().0 == other.line_base().0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(a: u32) -> Self {
+        Addr(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(LINE_BYTES, 32);
+        assert_eq!(LINE_WORDS * WORD_BYTES, LINE_BYTES);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Addr::new(0x1237);
+        assert_eq!(a.word_base(), Addr::new(0x1234));
+        assert_eq!(a.line_base(), Addr::new(0x1220));
+        assert!(!a.is_word_aligned());
+        assert!(Addr::new(0x1234).is_word_aligned());
+        assert!(Addr::new(0x1220).is_line_aligned());
+        assert!(!Addr::new(0x1224).is_line_aligned());
+    }
+
+    #[test]
+    fn word_indexing() {
+        assert_eq!(Addr::new(0).word_index(), 0);
+        assert_eq!(Addr::new(4).word_index(), 1);
+        assert_eq!(Addr::new(0x20).word_offset_in_line(), 0);
+        assert_eq!(Addr::new(0x24).word_offset_in_line(), 1);
+        assert_eq!(Addr::new(0x3C).word_offset_in_line(), 7);
+    }
+
+    #[test]
+    fn address_stepping() {
+        let a = Addr::new(0x100);
+        assert_eq!(a.add_words(3), Addr::new(0x10C));
+        assert_eq!(a.add_lines(2), Addr::new(0x140));
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow")]
+    fn overflow_panics() {
+        let _ = Addr::new(u32::MAX - 4).add_lines(1);
+    }
+
+    #[test]
+    fn same_line_predicate() {
+        assert!(Addr::new(0x100).same_line(Addr::new(0x11C)));
+        assert!(!Addr::new(0x100).same_line(Addr::new(0x120)));
+    }
+
+    #[test]
+    fn formatting() {
+        let a = Addr::new(0xBEEF);
+        assert_eq!(a.to_string(), "0x0000beef");
+        assert_eq!(format!("{a:x}"), "beef");
+        assert_eq!(format!("{a:X}"), "BEEF");
+        assert_eq!(Addr::from(0xBEEFu32), a);
+    }
+}

@@ -1,0 +1,238 @@
+//! Memory controller with the paper's latency model.
+
+use crate::{Addr, Memory, LINE_WORDS};
+use hmp_sim::Cycle;
+
+/// Main-memory access latencies, in bus cycles.
+///
+/// Table 4 of the paper: 6 cycles for a single word; for a burst, 6 cycles
+/// for the first word and 1 cycle for each subsequent word, giving the
+/// 13-cycle 8-word line fill the paper quotes as its baseline *miss
+/// penalty*. Figure 8 sweeps this penalty up to 96 cycles;
+/// [`LatencyModel::scaled_to_burst`] builds the swept configurations.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_mem::LatencyModel;
+/// let lat = LatencyModel::default();
+/// assert_eq!(lat.single().as_u64(), 6);
+/// assert_eq!(lat.burst(8).as_u64(), 13);
+/// let slow = LatencyModel::scaled_to_burst(96);
+/// assert_eq!(slow.burst(8).as_u64(), 96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyModel {
+    /// Cycles for a stand-alone single-word access.
+    pub single_word: u64,
+    /// Cycles until the first word of a burst is delivered.
+    pub burst_first: u64,
+    /// Cycles for each subsequent word of a burst.
+    pub burst_next: u64,
+}
+
+impl LatencyModel {
+    /// The paper's Table 4 configuration: 6 / 6 / 1.
+    pub const TABLE4: LatencyModel = LatencyModel {
+        single_word: 6,
+        burst_first: 6,
+        burst_next: 1,
+    };
+
+    /// Latency of a single-word access.
+    pub fn single(&self) -> Cycle {
+        Cycle::new(self.single_word)
+    }
+
+    /// Latency of an `n`-word burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn burst(&self, n: u32) -> Cycle {
+        assert!(n > 0, "burst length must be positive");
+        Cycle::new(self.burst_first + self.burst_next * u64::from(n - 1))
+    }
+
+    /// Latency of a full cache-line (8-word) burst — the *miss penalty* in
+    /// the paper's terminology.
+    pub fn line_burst(&self) -> Cycle {
+        self.burst(LINE_WORDS)
+    }
+
+    /// Builds a model whose 8-word burst costs exactly `burst_total` cycles,
+    /// scaling the first-word latency and keeping the 1-cycle-per-word
+    /// streaming rate; the single-word latency scales with the first-word
+    /// latency, as it does in the underlying DRAM timing.
+    ///
+    /// This reproduces the Figure 8 x-axis: burst penalties of 13, 24, 48
+    /// and 96 cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_total` is less than the 8 cycles needed to stream 8
+    /// words.
+    pub fn scaled_to_burst(burst_total: u64) -> LatencyModel {
+        let streaming = u64::from(LINE_WORDS) - 1;
+        assert!(
+            burst_total > streaming,
+            "burst penalty too small to stream a line"
+        );
+        let first = burst_total - streaming;
+        LatencyModel {
+            single_word: first,
+            burst_first: first,
+            burst_next: 1,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::TABLE4
+    }
+}
+
+/// The bus slave that owns main memory.
+///
+/// The controller is *passive*: the bus FSM asks it for the latency of an
+/// operation when the data phase starts, counts the cycles down itself, and
+/// applies the data movement on completion. (The paper notes the memory
+/// controller must see the *actual* operation — wrappers convert reads to
+/// writes only on the snoop path, never on the path to memory; this is why
+/// data movement lives here and translation lives in `hmp-core`.)
+///
+/// # Examples
+///
+/// ```
+/// use hmp_mem::{Addr, LatencyModel, Memory, MemoryController};
+/// let mut ctrl = MemoryController::new(Memory::new(4096), LatencyModel::default());
+/// ctrl.write_word(Addr::new(0), 9);
+/// assert_eq!(ctrl.read_word(Addr::new(0)), 9);
+/// assert_eq!(ctrl.line_fill_latency().as_u64(), 13);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    memory: Memory,
+    latency: LatencyModel,
+}
+
+impl MemoryController {
+    /// Creates a controller over `memory` with the given timing.
+    pub fn new(memory: Memory, latency: LatencyModel) -> Self {
+        MemoryController { memory, latency }
+    }
+
+    /// The timing model in force.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Replaces the timing model (used by the Figure 8 sweep).
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// Latency of a single-word access.
+    pub fn word_latency(&self) -> Cycle {
+        self.latency.single()
+    }
+
+    /// Latency of a full line fill or write-back burst.
+    pub fn line_fill_latency(&self) -> Cycle {
+        self.latency.line_burst()
+    }
+
+    /// Reads one word (data movement only; timing is the bus's job).
+    pub fn read_word(&self, addr: Addr) -> u32 {
+        self.memory.read_word(addr)
+    }
+
+    /// Writes one word.
+    pub fn write_word(&mut self, addr: Addr, value: u32) {
+        self.memory.write_word(addr, value);
+    }
+
+    /// Reads the line containing `addr`.
+    pub fn read_line(&self, addr: Addr) -> [u32; LINE_WORDS as usize] {
+        self.memory.read_line(addr)
+    }
+
+    /// Writes the line containing `addr` (write-back / drain path).
+    pub fn write_line(&mut self, addr: Addr, data: &[u32; LINE_WORDS as usize]) {
+        self.memory.write_line(addr, data);
+    }
+
+    /// Shared view of the backing memory (golden-model checks, tests).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable view of the backing memory (test fixtures).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_defaults() {
+        let lat = LatencyModel::default();
+        assert_eq!(lat, LatencyModel::TABLE4);
+        assert_eq!(lat.single().as_u64(), 6);
+        assert_eq!(lat.burst(1).as_u64(), 6);
+        assert_eq!(lat.burst(8).as_u64(), 13);
+        assert_eq!(lat.line_burst().as_u64(), 13);
+    }
+
+    #[test]
+    fn figure8_sweep_points() {
+        for total in [13u64, 24, 48, 96] {
+            let lat = LatencyModel::scaled_to_burst(total);
+            assert_eq!(lat.line_burst().as_u64(), total);
+            assert_eq!(lat.burst_next, 1);
+            assert_eq!(lat.single_word, lat.burst_first);
+        }
+        assert_eq!(LatencyModel::scaled_to_burst(13), LatencyModel::TABLE4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn scaled_burst_too_small_panics() {
+        let _ = LatencyModel::scaled_to_burst(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length must be positive")]
+    fn zero_burst_panics() {
+        LatencyModel::default().burst(0);
+    }
+
+    #[test]
+    fn controller_moves_data() {
+        let mut ctrl =
+            MemoryController::new(Memory::new(1024), LatencyModel::default());
+        let line = [9u32; 8];
+        ctrl.write_line(Addr::new(0x20), &line);
+        assert_eq!(ctrl.read_line(Addr::new(0x2C)), line);
+        ctrl.write_word(Addr::new(0x20), 1);
+        assert_eq!(ctrl.read_word(Addr::new(0x20)), 1);
+        assert_eq!(ctrl.memory().read_word(Addr::new(0x24)), 9);
+        ctrl.memory_mut().fill(0);
+        assert_eq!(ctrl.read_word(Addr::new(0x20)), 0);
+    }
+
+    #[test]
+    fn latency_swap() {
+        let mut ctrl =
+            MemoryController::new(Memory::new(64), LatencyModel::default());
+        assert_eq!(ctrl.line_fill_latency().as_u64(), 13);
+        ctrl.set_latency(LatencyModel::scaled_to_burst(48));
+        assert_eq!(ctrl.line_fill_latency().as_u64(), 48);
+        assert_eq!(ctrl.word_latency().as_u64(), 41);
+        assert_eq!(ctrl.latency().burst_next, 1);
+    }
+}

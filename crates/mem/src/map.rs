@@ -1,0 +1,287 @@
+//! Address-space classification.
+
+use crate::{Addr, LINE_BYTES};
+use core::fmt;
+
+/// How accesses to an address window behave.
+///
+/// The paper's three evaluated configurations are expressed entirely
+/// through this attribute:
+///
+/// * *proposed* / *software solution*: shared data in a
+///   [`MemAttr::CachedWriteBack`] window;
+/// * *cache disabled*: shared data in an [`MemAttr::Uncached`] window;
+/// * lock variables: always [`MemAttr::Uncached`] (or a
+///   [`MemAttr::Device`] window for the hardware lock register), because
+///   cacheable locks cause the hardware deadlock of Figure 4.
+///
+/// [`MemAttr::CachedWriteThrough`] models the Intel486's write-through
+/// lines, whose coherence protocol degenerates to SI (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAttr {
+    /// Cacheable, write-back allocation (MEI/MSI/MESI/MOESI lines).
+    CachedWriteBack,
+    /// Cacheable, write-through allocation (SI lines on the Intel486).
+    CachedWriteThrough,
+    /// Not cached; every access is a single-word bus transaction.
+    Uncached,
+    /// A memory-mapped device (bus slave) identified by its device index,
+    /// e.g. the 1-bit hardware lock register of paper §3.
+    Device(u32),
+}
+
+impl MemAttr {
+    /// Returns `true` for attributes that allocate into a data cache.
+    pub fn is_cacheable(self) -> bool {
+        matches!(self, MemAttr::CachedWriteBack | MemAttr::CachedWriteThrough)
+    }
+}
+
+impl fmt::Display for MemAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemAttr::CachedWriteBack => write!(f, "cached/write-back"),
+            MemAttr::CachedWriteThrough => write!(f, "cached/write-through"),
+            MemAttr::Uncached => write!(f, "uncached"),
+            MemAttr::Device(id) => write!(f, "device#{id}"),
+        }
+    }
+}
+
+/// A half-open address window `[base, base + size)` with one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// First byte of the window.
+    pub base: Addr,
+    /// Size of the window in bytes.
+    pub size: u32,
+    /// Behaviour of accesses inside the window.
+    pub attr: MemAttr,
+}
+
+impl Region {
+    /// Creates a region.
+    pub fn new(base: Addr, size: u32, attr: MemAttr) -> Self {
+        Region { base, size, attr }
+    }
+
+    /// Returns `true` if `addr` falls inside this window.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let a = addr.as_u32();
+        let b = self.base.as_u32();
+        a >= b && (a - b) < self.size
+    }
+
+    /// Exclusive end address of the window.
+    pub fn end(&self) -> u32 {
+        self.base.as_u32() + self.size
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#010x}..{:#010x}) {}",
+            self.base.as_u32(),
+            self.end(),
+            self.attr
+        )
+    }
+}
+
+/// Classifies every address into a [`MemAttr`].
+///
+/// Regions are non-overlapping; addresses outside every region fall back to
+/// [`MemAttr::Uncached`], the conservative choice for an embedded platform.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_mem::{Addr, MemAttr, MemoryMap, Region};
+/// let mut map = MemoryMap::new();
+/// map.add(Region::new(Addr::new(0x0000), 0x1000, MemAttr::CachedWriteBack)).unwrap();
+/// assert_eq!(map.classify(Addr::new(0x10)), MemAttr::CachedWriteBack);
+/// assert_eq!(map.classify(Addr::new(0x2000)), MemAttr::Uncached);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryMap {
+    regions: Vec<Region>,
+}
+
+/// Error returned by [`MemoryMap::add`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The new region overlaps an existing one.
+    Overlap {
+        /// The region being added.
+        new: Region,
+        /// The already-present region it collides with.
+        existing: Region,
+    },
+    /// A cacheable region must be line-aligned so that no cache line
+    /// straddles an attribute boundary.
+    Misaligned(Region),
+    /// The region is empty or wraps past the end of the address space.
+    BadExtent(Region),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap { new, existing } => {
+                write!(f, "region {new} overlaps {existing}")
+            }
+            MapError::Misaligned(r) => {
+                write!(f, "cacheable region {r} is not line-aligned")
+            }
+            MapError::BadExtent(r) => write!(f, "region {r} has a bad extent"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl MemoryMap {
+    /// Creates an empty map (everything uncached).
+    pub fn new() -> Self {
+        MemoryMap::default()
+    }
+
+    /// Adds a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the region is empty, wraps around the address
+    /// space, overlaps an existing region, or is a cacheable region that is
+    /// not cache-line aligned.
+    pub fn add(&mut self, region: Region) -> Result<(), MapError> {
+        if region.size == 0
+            || region.base.as_u32().checked_add(region.size).is_none()
+        {
+            return Err(MapError::BadExtent(region));
+        }
+        if region.attr.is_cacheable()
+            && (!region.base.as_u32().is_multiple_of(LINE_BYTES) || !region.size.is_multiple_of(LINE_BYTES))
+        {
+            return Err(MapError::Misaligned(region));
+        }
+        for &existing in &self.regions {
+            let disjoint = region.end() <= existing.base.as_u32()
+                || existing.end() <= region.base.as_u32();
+            if !disjoint {
+                return Err(MapError::Overlap {
+                    new: region,
+                    existing,
+                });
+            }
+        }
+        self.regions.push(region);
+        Ok(())
+    }
+
+    /// Returns the attribute governing `addr` ([`MemAttr::Uncached`] if no
+    /// region matches).
+    pub fn classify(&self, addr: Addr) -> MemAttr {
+        self.regions
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.attr)
+            .unwrap_or(MemAttr::Uncached)
+    }
+
+    /// Iterates the registered regions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if no region is registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(base: u32, size: u32) -> Region {
+        Region::new(Addr::new(base), size, MemAttr::CachedWriteBack)
+    }
+
+    #[test]
+    fn classify_hits_and_default() {
+        let mut map = MemoryMap::new();
+        map.add(wb(0x0, 0x100)).unwrap();
+        map.add(Region::new(Addr::new(0x1000), 0x20, MemAttr::Device(3)))
+            .unwrap();
+        assert_eq!(map.classify(Addr::new(0x0)), MemAttr::CachedWriteBack);
+        assert_eq!(map.classify(Addr::new(0xFF)), MemAttr::CachedWriteBack);
+        assert_eq!(map.classify(Addr::new(0x100)), MemAttr::Uncached);
+        assert_eq!(map.classify(Addr::new(0x1004)), MemAttr::Device(3));
+        assert_eq!(map.len(), 2);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut map = MemoryMap::new();
+        map.add(wb(0x0, 0x100)).unwrap();
+        let err = map.add(wb(0xE0, 0x40)).unwrap_err();
+        assert!(matches!(err, MapError::Overlap { .. }));
+        // Adjacent is fine.
+        map.add(wb(0x100, 0x40)).unwrap();
+    }
+
+    #[test]
+    fn cacheable_must_be_line_aligned() {
+        let mut map = MemoryMap::new();
+        assert!(matches!(
+            map.add(wb(0x10, 0x100)),
+            Err(MapError::Misaligned(_))
+        ));
+        assert!(matches!(
+            map.add(wb(0x0, 0x30)),
+            Err(MapError::Misaligned(_))
+        ));
+        // Uncached regions may be byte-granular.
+        map.add(Region::new(Addr::new(0x10), 4, MemAttr::Uncached))
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_extent_rejected() {
+        let mut map = MemoryMap::new();
+        assert!(matches!(map.add(wb(0x0, 0)), Err(MapError::BadExtent(_))));
+        assert!(matches!(
+            map.add(Region::new(Addr::new(u32::MAX - 3), 8, MemAttr::Uncached)),
+            Err(MapError::BadExtent(_))
+        ));
+    }
+
+    #[test]
+    fn attr_helpers() {
+        assert!(MemAttr::CachedWriteBack.is_cacheable());
+        assert!(MemAttr::CachedWriteThrough.is_cacheable());
+        assert!(!MemAttr::Uncached.is_cacheable());
+        assert!(!MemAttr::Device(0).is_cacheable());
+        assert_eq!(MemAttr::Device(2).to_string(), "device#2");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MapError::Misaligned(wb(0x10, 0x20));
+        assert!(e.to_string().contains("not line-aligned"));
+    }
+
+    #[test]
+    fn region_display() {
+        let r = wb(0x100, 0x40);
+        assert_eq!(r.to_string(), "[0x00000100..0x00000140) cached/write-back");
+    }
+}

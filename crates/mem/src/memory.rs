@@ -1,0 +1,159 @@
+//! Flat physical memory with real data storage.
+
+use crate::{Addr, LINE_WORDS};
+
+/// A flat, word-addressed physical memory.
+///
+/// The simulator stores *actual data values*, not just timing state. That is
+/// deliberate: the correctness property the paper's wrappers exist to
+/// protect is "no processor ever reads a stale value", and the test suite
+/// checks it by comparing every committed read against a golden memory
+/// image. Tables 2 and 3 of the paper are reproduced as data-value
+/// divergence, not just as state-machine traces.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_mem::{Addr, Memory};
+/// let mut mem = Memory::new(4096);
+/// mem.write_word(Addr::new(8), 7);
+/// assert_eq!(mem.read_word(Addr::new(8)), 7);
+/// assert_eq!(mem.read_word(Addr::new(12)), 0); // zero-initialised
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// Creates a zero-initialised memory of `size_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a multiple of the line size.
+    pub fn new(size_bytes: u32) -> Self {
+        assert!(
+            size_bytes.is_multiple_of(crate::LINE_BYTES),
+            "memory size must be a whole number of cache lines"
+        );
+        Memory {
+            words: vec![0; (size_bytes / crate::WORD_BYTES) as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() as u32) * crate::WORD_BYTES
+    }
+
+    /// Returns `true` if `addr`'s word lies inside this memory.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.word_index() < self.words.len()
+    }
+
+    /// Reads the word containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read_word(&self, addr: Addr) -> u32 {
+        self.words[addr.word_index()]
+    }
+
+    /// Writes the word containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_word(&mut self, addr: Addr, value: u32) {
+        let i = addr.word_index();
+        self.words[i] = value;
+    }
+
+    /// Reads the whole cache line containing `addr` (aligned down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range.
+    pub fn read_line(&self, addr: Addr) -> [u32; LINE_WORDS as usize] {
+        let base = addr.line_base().word_index();
+        let mut out = [0u32; LINE_WORDS as usize];
+        out.copy_from_slice(&self.words[base..base + LINE_WORDS as usize]);
+        out
+    }
+
+    /// Writes a whole cache line at the line containing `addr` (aligned
+    /// down). This is the write-back (drain) path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range.
+    pub fn write_line(&mut self, addr: Addr, data: &[u32; LINE_WORDS as usize]) {
+        let base = addr.line_base().word_index();
+        self.words[base..base + LINE_WORDS as usize].copy_from_slice(data);
+    }
+
+    /// Fills every word with `value` — handy for test fixtures.
+    pub fn fill(&mut self, value: u32) {
+        self.words.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = Memory::new(1024);
+        assert_eq!(mem.size_bytes(), 1024);
+        assert_eq!(mem.read_word(Addr::new(0)), 0);
+        assert_eq!(mem.read_word(Addr::new(1020)), 0);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut mem = Memory::new(1024);
+        mem.write_word(Addr::new(100), 42); // unaligned byte addr → same word
+        assert_eq!(mem.read_word(Addr::new(100)), 42);
+        assert_eq!(mem.read_word(Addr::new(103)), 42);
+        assert_eq!(mem.read_word(Addr::new(104)), 0);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let mut mem = Memory::new(1024);
+        let line: [u32; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+        mem.write_line(Addr::new(0x40), &line);
+        assert_eq!(mem.read_line(Addr::new(0x44)), line); // any addr in line
+        assert_eq!(mem.read_word(Addr::new(0x40)), 1);
+        assert_eq!(mem.read_word(Addr::new(0x5C)), 8);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let mem = Memory::new(64);
+        assert!(mem.contains(Addr::new(60)));
+        assert!(!mem.contains(Addr::new(64)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        Memory::new(64).read_word(Addr::new(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of cache lines")]
+    fn ragged_size_panics() {
+        let _ = Memory::new(100);
+    }
+
+    #[test]
+    fn fill_sets_everything() {
+        let mut mem = Memory::new(64);
+        mem.fill(0xAB);
+        assert_eq!(mem.read_word(Addr::new(0)), 0xAB);
+        assert_eq!(mem.read_word(Addr::new(60)), 0xAB);
+    }
+}

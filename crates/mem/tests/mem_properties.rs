@@ -1,0 +1,101 @@
+//! Property-based tests for the memory subsystem.
+
+use hmp_mem::{Addr, LatencyModel, MemAttr, Memory, MemoryMap, Region, LINE_BYTES, LINE_WORDS};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn memory_matches_a_word_map(
+        writes in prop::collection::vec((0u32..256, any::<u32>()), 0..200),
+    ) {
+        let mut mem = Memory::new(1024);
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for (word, value) in writes {
+            let addr = Addr::new(word * 4);
+            mem.write_word(addr, value);
+            model.insert(word, value);
+        }
+        for word in 0..256u32 {
+            prop_assert_eq!(
+                mem.read_word(Addr::new(word * 4)),
+                *model.get(&word).unwrap_or(&0)
+            );
+        }
+    }
+
+    #[test]
+    fn line_ops_agree_with_word_ops(line in 0u32..32, data in any::<[u32; 8]>()) {
+        let mut mem = Memory::new(1024);
+        mem.write_line(Addr::new(line * LINE_BYTES), &data);
+        for w in 0..LINE_WORDS {
+            prop_assert_eq!(
+                mem.read_word(Addr::new(line * LINE_BYTES + w * 4)),
+                data[w as usize]
+            );
+        }
+        prop_assert_eq!(mem.read_line(Addr::new(line * LINE_BYTES + 12)), data);
+    }
+
+    #[test]
+    fn addr_alignment_laws(a in any::<u32>()) {
+        let addr = Addr::new(a & !0x3); // word aligned inputs
+        prop_assert!(addr.line_base().is_line_aligned());
+        prop_assert!(addr.line_base() <= addr);
+        prop_assert!(addr.same_line(addr.line_base()));
+        prop_assert_eq!(
+            addr.line_base().add_words(addr.word_offset_in_line()),
+            addr.word_base()
+        );
+    }
+
+    #[test]
+    fn burst_latency_is_affine(n in 1u32..=8, first in 1u64..200, per in 1u64..8) {
+        let lat = LatencyModel {
+            single_word: first,
+            burst_first: first,
+            burst_next: per,
+        };
+        prop_assert_eq!(lat.burst(n).as_u64(), first + per * u64::from(n - 1));
+        prop_assert!(lat.line_burst() >= lat.burst(n));
+    }
+
+    #[test]
+    fn scaled_burst_round_trips(total in 8u64..500) {
+        let lat = LatencyModel::scaled_to_burst(total);
+        prop_assert_eq!(lat.line_burst().as_u64(), total);
+    }
+
+    #[test]
+    fn map_classification_is_stable_and_region_local(
+        region_idx in 0usize..3,
+        offset in 0u32..0x100,
+    ) {
+        let mut map = MemoryMap::new();
+        let regions = [
+            Region::new(Addr::new(0x0000), 0x100, MemAttr::CachedWriteBack),
+            Region::new(Addr::new(0x1000), 0x100, MemAttr::CachedWriteThrough),
+            Region::new(Addr::new(0x2000), 0x100, MemAttr::Device(1)),
+        ];
+        for r in regions {
+            map.add(r).unwrap();
+        }
+        let r = regions[region_idx];
+        let addr = Addr::new(r.base.as_u32() + offset);
+        prop_assert_eq!(map.classify(addr), r.attr);
+        // Outside every region: uncached.
+        prop_assert_eq!(map.classify(Addr::new(0x9000 + offset)), MemAttr::Uncached);
+    }
+
+    #[test]
+    fn overlapping_regions_always_rejected(
+        base in 0u32..0x80,
+        size in 1u32..0x80,
+    ) {
+        let mut map = MemoryMap::new();
+        map.add(Region::new(Addr::new(0x40), 0x40, MemAttr::Uncached)).unwrap();
+        let candidate = Region::new(Addr::new(base), size, MemAttr::Uncached);
+        let overlaps = base < 0x80 && base + size > 0x40;
+        prop_assert_eq!(map.add(candidate).is_err(), overlaps, "{}", candidate);
+    }
+}

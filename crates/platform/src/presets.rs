@@ -1,0 +1,167 @@
+//! Named platforms from the paper's case studies.
+
+use crate::{layout, CpuSpec, MemLayout, PlatformSpec, Strategy, System};
+use hmp_cache::ProtocolKind;
+use hmp_cpu::{LockKind, LockLayout, Program};
+
+/// The paper's Figure 3 platform: PowerPC755 (MEI, 100 MHz) + ARM920T
+/// (no coherence hardware, 50 MHz) — platform class PF2. The evaluation
+/// section (§4) measures this pairing.
+///
+/// `cacheable_locks` reproduces the hardware-deadlock configuration of
+/// Figure 4; leave it `false` for the paper's measured setups.
+pub fn ppc_arm(
+    strategy: Strategy,
+    lock_kind: LockKind,
+    cacheable_locks: bool,
+) -> (PlatformSpec, MemLayout) {
+    let (lay, map) = layout(2, strategy, lock_kind, cacheable_locks);
+    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
+    let spec = PlatformSpec::new(vec![CpuSpec::powerpc755(), CpuSpec::arm920t()], map, lock);
+    (spec, lay)
+}
+
+/// The paper's Figure 2 platform: Intel486 (modified MESI) + PowerPC755
+/// (MEI) — platform class PF3, no snoop logic or ISR needed. The paper
+/// expects it to outperform the PF2 platform "due to the absence of an
+/// interrupt service routine".
+pub fn i486_ppc(
+    strategy: Strategy,
+    lock_kind: LockKind,
+) -> (PlatformSpec, MemLayout) {
+    let (lay, map) = layout(2, strategy, lock_kind, false);
+    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
+    let spec = PlatformSpec::new(vec![CpuSpec::intel486(), CpuSpec::powerpc755()], map, lock);
+    (spec, lay)
+}
+
+/// A generic PF3 pairing of two write-back protocols — used to exercise
+/// every combination of §2's reduction table.
+pub fn protocol_pair(
+    a: ProtocolKind,
+    b: ProtocolKind,
+    strategy: Strategy,
+    lock_kind: LockKind,
+) -> (PlatformSpec, MemLayout) {
+    let (lay, map) = layout(2, strategy, lock_kind, false);
+    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
+    let spec = PlatformSpec::new(
+        vec![
+            CpuSpec::generic(&format!("cpu0-{a}"), a),
+            CpuSpec::generic(&format!("cpu1-{b}"), b),
+        ],
+        map,
+        lock,
+    );
+    (spec, lay)
+}
+
+/// A generic PF3 platform with one processor per protocol in `protocols`
+/// — the paper's "easily extended to platforms with more than two
+/// processors" (§2).
+///
+/// # Panics
+///
+/// Panics if `protocols` is empty.
+pub fn generic_many(
+    protocols: &[ProtocolKind],
+    strategy: Strategy,
+    lock_kind: LockKind,
+) -> (PlatformSpec, MemLayout) {
+    assert!(!protocols.is_empty(), "need at least one processor");
+    let (lay, map) = layout(protocols.len(), strategy, lock_kind, false);
+    let lock = LockLayout::new(lock_kind, lay.lock_base, protocols.len() as u32);
+    let cpus = protocols
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| CpuSpec::generic(&format!("cpu{i}-{p}"), p))
+        .collect();
+    let spec = PlatformSpec::new(cpus, map, lock);
+    (spec, lay)
+}
+
+/// A PF1 platform: two processors with *no* coherence hardware, each
+/// behind its own TAG-CAM snoop logic ("The same methodology used in
+/// ARM920T can be employed in PF1", paper §3).
+pub fn pf1_dual(strategy: Strategy, lock_kind: LockKind) -> (PlatformSpec, MemLayout) {
+    let (lay, map) = layout(2, strategy, lock_kind, false);
+    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
+    let mut a = CpuSpec::arm920t();
+    a.name = "ARM920T-0".into();
+    let mut b = CpuSpec::arm920t();
+    b.name = "ARM920T-1".into();
+    let spec = PlatformSpec::new(vec![a, b], map, lock);
+    (spec, lay)
+}
+
+/// Instantiates a [`System`] for a spec under a strategy, enabling the
+/// TAG-CAM snoop logic only for [`Strategy::Proposed`] — the baselines
+/// exist precisely to avoid that hardware.
+pub fn instantiate(spec: &PlatformSpec, strategy: Strategy, programs: Vec<Program>) -> System {
+    let mut sys = System::new(spec, programs);
+    sys.set_snoop_logic_enabled(strategy == Strategy::Proposed);
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_core::PlatformClass;
+
+    #[test]
+    fn ppc_arm_is_pf2() {
+        let (spec, _) = ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+        let sys = System::new(&spec, vec![Program::empty(); 2]);
+        assert_eq!(sys.platform_class(), PlatformClass::Pf2);
+        assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+        assert!(sys.snoop_logic(1).is_some(), "ARM gets the TAG CAM");
+        assert!(sys.snoop_logic(0).is_none());
+        assert!(sys.wrapper(0).is_some());
+        assert!(sys.wrapper(1).is_none());
+    }
+
+    #[test]
+    fn i486_ppc_is_pf3_reduced_to_mei() {
+        let (spec, _) = i486_ppc(Strategy::Proposed, LockKind::Turn);
+        let sys = System::new(&spec, vec![Program::empty(); 2]);
+        assert_eq!(sys.platform_class(), PlatformClass::Pf3);
+        assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+        // The Intel486 side converts reads to writes (INV pin)…
+        assert!(sys.wrapper(0).unwrap().policy().convert_read_to_write);
+        // …the PowerPC side does not need to (paper §3).
+        assert!(!sys.wrapper(1).unwrap().policy().convert_read_to_write);
+    }
+
+    #[test]
+    fn pf1_has_two_cams() {
+        let (spec, _) = pf1_dual(Strategy::Proposed, LockKind::Turn);
+        let sys = System::new(&spec, vec![Program::empty(); 2]);
+        assert_eq!(sys.platform_class(), PlatformClass::Pf1);
+        assert_eq!(sys.system_protocol(), None);
+        assert!(sys.snoop_logic(0).is_some());
+        assert!(sys.snoop_logic(1).is_some());
+    }
+
+    #[test]
+    fn protocol_pair_reduces_per_lattice() {
+        for (a, b, want) in [
+            (ProtocolKind::Mei, ProtocolKind::Moesi, ProtocolKind::Mei),
+            (ProtocolKind::Msi, ProtocolKind::Mesi, ProtocolKind::Msi),
+            (ProtocolKind::Mesi, ProtocolKind::Moesi, ProtocolKind::Mesi),
+        ] {
+            let (spec, _) = protocol_pair(a, b, Strategy::Proposed, LockKind::Turn);
+            let sys = System::new(&spec, vec![Program::empty(); 2]);
+            assert_eq!(sys.system_protocol(), Some(want), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn instantiate_gates_snoop_logic() {
+        let (spec, lay) = ppc_arm(Strategy::SoftwareDrain, LockKind::Turn, false);
+        let _ = lay;
+        let sys = instantiate(&spec, Strategy::SoftwareDrain, vec![Program::empty(); 2]);
+        // The CAM exists but is disabled; run() finishes immediately with
+        // empty programs either way.
+        assert!(sys.snoop_logic(1).is_some());
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation run results.
+
+use crate::Violation;
+use core::fmt;
+use hmp_bus::BusStats;
+use hmp_cpu::CpuCounters;
+use hmp_sim::{Cycle, Stats};
+
+/// Why the run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every program halted and all queued bus work drained.
+    Completed,
+    /// The watchdog saw no forward progress for its full window — the
+    /// hardware deadlock of paper Figure 4 reports this way.
+    Stalled,
+    /// The cycle budget ran out first.
+    CycleLimit,
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => write!(f, "completed"),
+            RunOutcome::Stalled => write!(f, "stalled (deadlock)"),
+            RunOutcome::CycleLimit => write!(f, "cycle limit reached"),
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Bus cycles elapsed — the paper's *execution time* metric.
+    pub cycles: Cycle,
+    /// Bus activity counters.
+    pub bus: BusStats,
+    /// Per-CPU activity counters, in master order.
+    pub cpus: Vec<CpuCounters>,
+    /// Fine-grained platform counters (`cpu0.read_hit`,
+    /// `bus.retry.cam`, …).
+    pub stats: Stats,
+    /// Stale reads the checker recorded (empty when coherent or the
+    /// checker was off).
+    pub violations: Vec<Violation>,
+}
+
+impl RunResult {
+    /// `true` if the run completed with no coherence violations.
+    pub fn is_clean_completion(&self) -> bool {
+        self.outcome == RunOutcome::Completed && self.violations.is_empty()
+    }
+
+    /// Execution time as a plain cycle count.
+    pub fn cycles_u64(&self) -> u64 {
+        self.cycles.as_u64()
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "outcome:    {}", self.outcome)?;
+        writeln!(f, "cycles:     {}", self.cycles.as_u64())?;
+        writeln!(
+            f,
+            "bus:        {} grants, {} retries, {} drains, {} data cycles",
+            self.bus.grants, self.bus.retries, self.bus.drains, self.bus.data_cycles
+        )?;
+        for (i, c) in self.cpus.iter().enumerate() {
+            writeln!(
+                f,
+                "cpu{i}:       {} reads, {} writes, {} maint, {} lock-ops, {} ISRs",
+                c.reads, c.writes, c.maintenance, c.lock_mem_ops, c.isr_entries
+            )?;
+        }
+        if !self.violations.is_empty() {
+            writeln!(f, "VIOLATIONS: {}", self.violations.len())?;
+            for v in self.violations.iter().take(5) {
+                writeln!(f, "  {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(outcome: RunOutcome) -> RunResult {
+        RunResult {
+            outcome,
+            cycles: Cycle::new(100),
+            bus: BusStats::default(),
+            cpus: vec![CpuCounters::default(); 2],
+            stats: Stats::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_completion() {
+        assert!(result(RunOutcome::Completed).is_clean_completion());
+        assert!(!result(RunOutcome::Stalled).is_clean_completion());
+        assert!(!result(RunOutcome::CycleLimit).is_clean_completion());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(RunOutcome::Completed.to_string(), "completed");
+        assert!(RunOutcome::Stalled.to_string().contains("deadlock"));
+        assert!(RunOutcome::CycleLimit.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn result_display_mentions_cpus() {
+        let r = result(RunOutcome::Completed);
+        let s = r.to_string();
+        assert!(s.contains("cpu0"));
+        assert!(s.contains("cpu1"));
+        assert!(s.contains("cycles:     100"));
+        assert_eq!(r.cycles_u64(), 100);
+    }
+}

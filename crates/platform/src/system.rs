@@ -1,0 +1,984 @@
+//! The assembled platform and its cycle loop.
+
+use crate::{
+    CoherenceChecker, PlatformSpec, RunOutcome, RunResult, WrapperMode,
+};
+use hmp_bus::{
+    AddressOutcome, Bus, BusDevice, BusOp, BusPhase, CompletedTxn, GrantedTxn, LockRegister,
+    MasterId,
+};
+use hmp_cache::{Access, DataCache, ProtocolKind, ReadProbe, SnoopAction, WriteProbe};
+use hmp_core::{
+    classify_platform, reduce, CoherenceSupport, PlatformClass, SnoopLogic, Wrapper,
+    WrapperPolicy,
+};
+use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, MemRequest, MemResult, Program, ReqKind};
+use hmp_mem::{Addr, MemAttr, Memory, MemoryController, MemoryMap};
+use hmp_sim::{ClockDomain, Cycle, Stats, TraceBuffer, Watchdog, WatchdogVerdict};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    /// Single-word bus operation (uncached, device, write-through store,
+    /// no-allocate store).
+    Word { attr: MemAttr },
+    /// Line fill in flight.
+    Fill {
+        access: Access,
+        value: Option<u32>,
+        wt: bool,
+    },
+    /// Upgrade broadcast in flight.
+    Upgrade { value: u32 },
+    /// Flush write-back in flight.
+    FlushWb,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    req: MemRequest,
+    kind: PendingKind,
+}
+
+struct Node {
+    cpu: Cpu,
+    cache: DataCache,
+    wrapper: Option<Wrapper>,
+    cam: Option<SnoopLogic>,
+    pending: Option<Pending>,
+}
+
+/// The running platform: CPUs, wrappers, snoop logic, bus, memory,
+/// checker.
+///
+/// Construct with [`System::new`] (or a preset from [`crate::presets`]),
+/// then either [`System::run`] to completion or [`System::step`] one bus
+/// cycle at a time for fine-grained tests.
+pub struct System {
+    nodes: Vec<Node>,
+    bus: Bus,
+    mem: MemoryController,
+    map: MemoryMap,
+    devices: Vec<Box<dyn BusDevice>>,
+    checker: Option<CoherenceChecker>,
+    watchdog: Watchdog,
+    trace: TraceBuffer,
+    stats: Stats,
+    now: Cycle,
+    class: PlatformClass,
+    system_protocol: Option<ProtocolKind>,
+    snoop_logic_enabled: bool,
+}
+
+impl System {
+    /// Builds a platform from its spec, loading one program per CPU.
+    ///
+    /// A [`LockRegister`] device is attached automatically when the spec's
+    /// lock kind is [`LockKind::HardwareRegister`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count does not match the CPU count, or if the
+    /// spec mixes protocols the reduction lattice rejects.
+    pub fn new(spec: &PlatformSpec, programs: Vec<Program>) -> Self {
+        assert_eq!(
+            programs.len(),
+            spec.cpus.len(),
+            "one program per processor"
+        );
+        let support: Vec<CoherenceSupport> =
+            spec.cpus.iter().map(|c| c.coherence).collect();
+        let class = classify_platform(&support);
+        let native: Vec<ProtocolKind> =
+            support.iter().filter_map(|s| s.protocol()).collect();
+        let system_protocol = if native.is_empty() {
+            None
+        } else {
+            Some(reduce(&native).expect("native protocols reduce"))
+        };
+
+        let mut nodes = Vec::with_capacity(spec.cpus.len());
+        for (i, (cs, program)) in spec.cpus.iter().zip(programs).enumerate() {
+            let (cache_protocol, wrapper, cam) = match cs.coherence {
+                CoherenceSupport::Native(own) => {
+                    let policy = match spec.wrapper_mode {
+                        WrapperMode::Paper => None, // derive below
+                        WrapperMode::Transparent => Some(WrapperPolicy::TRANSPARENT),
+                    };
+                    let wrapper = match policy {
+                        Some(p) => Wrapper::new(own, p),
+                        None => Wrapper::for_system(
+                            own,
+                            system_protocol.expect("native CPU implies protocols"),
+                        ),
+                    };
+                    (own, Some(wrapper), None)
+                }
+                // A non-coherent processor still has a write-back cache;
+                // MEI models it exactly (fills E, silent E→M, no snooping —
+                // and indeed its snoop port is never wired up).
+                CoherenceSupport::None => {
+                    let cam = match cs.cam_geometry {
+                        Some((sets, ways)) => SnoopLogic::with_geometry(sets, ways),
+                        None => SnoopLogic::new(),
+                    };
+                    (ProtocolKind::Mei, None, Some(cam))
+                }
+            };
+            let cpu = Cpu::new(
+                i,
+                CpuConfig {
+                    clock: ClockDomain::new(cs.clock_mult),
+                    isr: cs.isr,
+                    lock_layout: spec.lock,
+                    lock_party: i as u32,
+                },
+                program,
+            );
+            nodes.push(Node {
+                cpu,
+                cache: DataCache::new(cs.cache, cache_protocol),
+                wrapper,
+                cam,
+                pending: None,
+            });
+        }
+
+        let mut devices: Vec<Box<dyn BusDevice>> = Vec::new();
+        if spec.lock.kind == LockKind::HardwareRegister {
+            devices.push(Box::new(LockRegister::new(16)));
+        }
+
+        let mut bus = Bus::new(nodes.len());
+        bus.set_arbitration(spec.arbitration);
+        bus.set_retry_backoff(spec.retry_backoff);
+        System {
+            bus,
+            nodes,
+            mem: MemoryController::new(Memory::new(spec.memory_bytes), spec.latency),
+            map: spec.map.clone(),
+            devices,
+            checker: spec
+                .check_coherence
+                .then(|| CoherenceChecker::new(spec.memory_bytes, 64)),
+            watchdog: Watchdog::new(Cycle::new(spec.watchdog_window)),
+            trace: TraceBuffer::new(spec.trace_capacity),
+            stats: Stats::new(),
+            now: Cycle::ZERO,
+            class,
+            system_protocol,
+            snoop_logic_enabled: true,
+        }
+    }
+
+    /// Disables the TAG-CAM snoop logic (used by the cache-disabled and
+    /// software-drain baselines, which exist precisely to avoid needing
+    /// that hardware).
+    pub fn set_snoop_logic_enabled(&mut self, enabled: bool) {
+        self.snoop_logic_enabled = enabled;
+    }
+
+    /// Attaches an extra bus device; its index must match the
+    /// [`MemAttr::Device`] ids in the memory map.
+    pub fn add_device(&mut self, device: Box<dyn BusDevice>) -> u32 {
+        self.devices.push(device);
+        (self.devices.len() - 1) as u32
+    }
+
+    /// Current bus time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The Table 1 platform class.
+    pub fn platform_class(&self) -> PlatformClass {
+        self.class
+    }
+
+    /// The reduced system protocol, if any processor is coherent.
+    pub fn system_protocol(&self) -> Option<ProtocolKind> {
+        self.system_protocol
+    }
+
+    /// A CPU, by master index.
+    pub fn cpu(&self, i: usize) -> &Cpu {
+        &self.nodes[i].cpu
+    }
+
+    /// A data cache, by master index.
+    pub fn cache(&self, i: usize) -> &DataCache {
+        &self.nodes[i].cache
+    }
+
+    /// A wrapper, by master index (None for non-coherent processors).
+    pub fn wrapper(&self, i: usize) -> Option<&Wrapper> {
+        self.nodes[i].wrapper.as_ref()
+    }
+
+    /// The snoop logic, by master index (None for coherent processors).
+    pub fn snoop_logic(&self, i: usize) -> Option<&SnoopLogic> {
+        self.nodes[i].cam.as_ref()
+    }
+
+    /// The backing memory (for fixtures and assertions).
+    pub fn memory(&self) -> &Memory {
+        self.mem.memory()
+    }
+
+    /// Mutable backing memory (test fixtures). Also updates the golden
+    /// image so the checker treats the poked values as committed.
+    pub fn poke_word(&mut self, addr: Addr, value: u32) {
+        self.mem.write_word(addr, value);
+        if let Some(c) = &mut self.checker {
+            c.on_write(addr, value);
+        }
+    }
+
+    /// Platform counters accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The trace ring.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// The coherence checker, if enabled.
+    pub fn checker(&self) -> Option<&CoherenceChecker> {
+        self.checker.as_ref()
+    }
+
+    /// `true` once every program halted and all bus work drained.
+    pub fn finished(&self) -> bool {
+        self.nodes.iter().all(|n| n.cpu.is_halted())
+            && self.bus.phase() == BusPhase::Idle
+            && self.bus.queued_drains() == 0
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.cam.as_ref().is_none_or(|c| !c.nfiq()))
+    }
+
+    /// Advances the platform by one bus cycle.
+    pub fn step(&mut self) {
+        self.now.tick();
+        self.step_bus();
+        self.step_cpus();
+    }
+
+    /// Runs until completion, watchdog stall, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let outcome = loop {
+            if self.finished() {
+                break RunOutcome::Completed;
+            }
+            if self.now.as_u64() >= max_cycles {
+                break RunOutcome::CycleLimit;
+            }
+            self.step();
+            let progress: u64 = self.nodes.iter().map(|n| n.cpu.committed()).sum();
+            if self.watchdog.poll(self.now, progress) == WatchdogVerdict::Stalled {
+                break RunOutcome::Stalled;
+            }
+        };
+        RunResult {
+            outcome,
+            cycles: self.now,
+            bus: self.bus.stats(),
+            cpus: self.nodes.iter().map(|n| n.cpu.counters()).collect(),
+            stats: self.stats.clone(),
+            violations: self
+                .checker
+                .as_ref()
+                .map(|c| c.violations().to_vec())
+                .unwrap_or_default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Bus side
+    // ------------------------------------------------------------------
+
+    fn step_bus(&mut self) {
+        self.bus.begin_cycle();
+        match self.bus.phase() {
+            BusPhase::Idle => {
+                if let Some(txn) = self.bus.try_grant() {
+                    if self.trace.is_enabled() {
+                        self.trace.record(
+                            self.now,
+                            "bus",
+                            format!(
+                                "grant {} {} {}{}",
+                                txn.master,
+                                txn.op,
+                                txn.addr,
+                                if txn.is_retry { " (retry)" } else { "" }
+                            ),
+                        );
+                    }
+                    let outcome = self.snoop_and_decide(&txn);
+                    if matches!(outcome, AddressOutcome::Retry) && self.trace.is_enabled() {
+                        self.trace
+                            .record(self.now, "bus", format!("ARTRY {} {}", txn.master, txn.addr));
+                    }
+                    if let Some(done) = self.bus.resolve(outcome) {
+                        self.complete_txn(done);
+                    }
+                }
+            }
+            BusPhase::Data { .. } => {
+                if let Some(done) = self.bus.advance_data() {
+                    self.complete_txn(done);
+                }
+            }
+            BusPhase::Address => unreachable!("address phases resolve within their grant cycle"),
+        }
+    }
+
+    fn snoop_and_decide(&mut self, txn: &GrantedTxn) -> AddressOutcome {
+        let addr = txn.addr;
+        // Write-buffer interlocks (CPU transactions only; drains *are* the
+        // buffers being emptied).
+        if !txn.is_drain && self.bus.drain_pending_to(addr) {
+            self.stats.incr("bus.retry.wb_buffer");
+            return AddressOutcome::Retry;
+        }
+
+        let mut shared = false;
+        let mut supplied = None;
+        let mut retry = false;
+        let mut drains: Vec<(usize, [u32; 8])> = Vec::new();
+        for j in 0..self.nodes.len() {
+            if j == txn.master.index() {
+                continue;
+            }
+            let node = &mut self.nodes[j];
+            if let Some(wrapper) = &mut node.wrapper {
+                let sop = wrapper.translate_snoop(&txn.op);
+                if let Some(reply) = node.cache.snoop(addr, sop) {
+                    self.stats.incr(&format!("cpu{j}.snoop_hit"));
+                    if reply.asserts_shared {
+                        shared = true;
+                    }
+                    match reply.action {
+                        SnoopAction::None => {}
+                        SnoopAction::WritebackLine => {
+                            drains.push((j, reply.data.expect("writeback carries data")));
+                            retry = true;
+                            self.stats.incr(&format!("cpu{j}.snoop_drain"));
+                            self.stats.incr("bus.retry.snoop_drain");
+                        }
+                        SnoopAction::SupplyLine => {
+                            supplied = Some(reply.data.expect("supply carries data"));
+                            self.stats.incr(&format!("cpu{j}.cache_to_cache"));
+                        }
+                    }
+                }
+            } else if self.snoop_logic_enabled {
+                if let Some(cam) = &mut node.cam {
+                    if cam.check_remote(addr) {
+                        retry = true;
+                        self.stats.incr("bus.retry.cam");
+                        self.stats.incr(&format!("cpu{j}.cam_hit"));
+                    }
+                }
+            }
+        }
+        for (j, data) in drains {
+            self.bus.submit_drain(MasterId(j), data, addr);
+        }
+        if retry {
+            return AddressOutcome::Retry;
+        }
+
+        let data_cycles = match txn.op {
+            BusOp::ReadLine | BusOp::ReadLineExcl | BusOp::WriteLine(_) => {
+                if supplied.is_some() {
+                    // Cache-to-cache transfers stream a word per bus cycle.
+                    u64::from(hmp_mem::LINE_WORDS)
+                } else {
+                    self.mem.line_fill_latency().as_u64()
+                }
+            }
+            BusOp::ReadWord | BusOp::WriteWord(_) => self.mem.word_latency().as_u64(),
+            BusOp::Upgrade => 0,
+        };
+        AddressOutcome::Proceed {
+            data_cycles,
+            shared,
+            supplied,
+        }
+    }
+
+    fn complete_txn(&mut self, done: CompletedTxn) {
+        let m = done.master.index();
+        if done.is_drain {
+            let BusOp::WriteLine(data) = done.op else {
+                unreachable!("drains are line writes");
+            };
+            self.mem.write_line(done.addr, &data);
+            if let Some(cam) = &mut self.nodes[m].cam {
+                cam.observe_local_writeback(done.addr);
+            }
+            return;
+        }
+
+        let pending = self.nodes[m]
+            .pending
+            .take()
+            .expect("completed CPU transaction has a pending record");
+        match (done.op, pending.kind) {
+            (BusOp::ReadWord, PendingKind::Word { attr }) => {
+                let value = match attr {
+                    MemAttr::Device(id) => self.devices[id as usize].read_word(done.addr),
+                    _ => {
+                        let v = self.mem.read_word(done.addr);
+                        if let Some(c) = &mut self.checker {
+                            c.on_read(self.now, m, done.addr, v);
+                        }
+                        v
+                    }
+                };
+                self.stats.incr(&format!("cpu{m}.uncached_read"));
+                self.nodes[m].cpu.complete_mem(MemResult::Value(value));
+            }
+            (BusOp::WriteWord(v), PendingKind::Word { attr }) => {
+                match attr {
+                    MemAttr::Device(id) => self.devices[id as usize].write_word(done.addr, v),
+                    _ => {
+                        self.mem.write_word(done.addr, v);
+                        if let Some(c) = &mut self.checker {
+                            c.on_write(done.addr, v);
+                        }
+                    }
+                }
+                self.stats.incr(&format!("cpu{m}.uncached_write"));
+                self.nodes[m].cpu.complete_mem(MemResult::Done);
+            }
+            (BusOp::ReadLine | BusOp::ReadLineExcl, PendingKind::Fill { access, value, wt }) => {
+                let line = done.addr.line_base();
+                let data = done.supplied.unwrap_or_else(|| self.mem.read_line(line));
+                let gated_shared = match &mut self.nodes[m].wrapper {
+                    Some(w) => w.gate_shared(done.shared),
+                    None => false,
+                };
+                self.nodes[m].cache.fill(line, data, access, gated_shared, wt);
+                if let Some(cam) = &mut self.nodes[m].cam {
+                    cam.observe_local_fill(line);
+                }
+                match access {
+                    Access::Read => {
+                        let v = data[done.addr.word_offset_in_line() as usize];
+                        if let Some(c) = &mut self.checker {
+                            c.on_read(self.now, m, done.addr, v);
+                        }
+                        self.nodes[m].cpu.complete_mem(MemResult::Value(v));
+                    }
+                    Access::Write => {
+                        let v = value.expect("write fills carry the store value");
+                        self.nodes[m].cache.commit_write(done.addr, v);
+                        if let Some(c) = &mut self.checker {
+                            c.on_write(done.addr, v);
+                        }
+                        self.nodes[m].cpu.complete_mem(MemResult::Done);
+                    }
+                }
+            }
+            (BusOp::Upgrade, PendingKind::Upgrade { value }) => {
+                if self.nodes[m].cache.complete_upgrade(done.addr, value) {
+                    if let Some(c) = &mut self.checker {
+                        c.on_write(done.addr, value);
+                    }
+                    self.nodes[m].cpu.complete_mem(MemResult::Done);
+                } else {
+                    // The line was snoop-invalidated while the upgrade
+                    // waited: restart the store as a write miss.
+                    self.stats.incr(&format!("cpu{m}.upgrade_lost"));
+                    self.dispatch_write_miss(m, pending.req, value, false);
+                }
+            }
+            (BusOp::WriteLine(data), PendingKind::FlushWb) => {
+                self.mem.write_line(done.addr, &data);
+                if let Some(cam) = &mut self.nodes[m].cam {
+                    cam.observe_local_writeback(done.addr);
+                    if pending.req.from_isr {
+                        cam.ack(done.addr);
+                        self.stats.incr(&format!("cpu{m}.isr_drain_dirty"));
+                    }
+                }
+                self.stats.incr(&format!("cpu{m}.flush_dirty"));
+                self.nodes[m].cpu.complete_maintenance();
+            }
+            (op, kind) => unreachable!("mismatched completion: {op} vs {kind:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CPU side
+    // ------------------------------------------------------------------
+
+    fn step_cpus(&mut self) {
+        for i in 0..self.nodes.len() {
+            let nfiq = if self.snoop_logic_enabled {
+                self.nodes[i]
+                    .cam
+                    .as_ref()
+                    .and_then(|c| c.next_pending())
+            } else {
+                None
+            };
+            self.nodes[i].cpu.set_nfiq_line(nfiq);
+            let mult = self.nodes[i]
+                .cpu
+                .config()
+                .clock
+                .core_cycles_per_bus_cycle();
+            for _ in 0..mult {
+                match self.nodes[i].cpu.tick() {
+                    CpuAction::Idle | CpuAction::Halted => {}
+                    CpuAction::Issue(req) => self.handle_request(i, req),
+                }
+            }
+        }
+    }
+
+    fn evict_victim(&mut self, i: usize, victim: Option<hmp_cache::EvictedLine>) {
+        if let Some(v) = victim {
+            if v.dirty {
+                self.bus.submit_drain(MasterId(i), v.data, v.addr);
+                self.stats.incr(&format!("cpu{i}.victim_writeback"));
+            } else {
+                self.stats.incr(&format!("cpu{i}.victim_clean"));
+                // A clean eviction is invisible on the bus, so a TAG CAM
+                // keeps a stale (conservative) entry — see SnoopLogic docs.
+            }
+        }
+    }
+
+    fn dispatch_write_miss(&mut self, i: usize, req: MemRequest, value: u32, wt: bool) {
+        let probe = self.nodes[i].cache.probe_write(req.addr, value, wt);
+        match probe {
+            WriteProbe::Miss { victim } => {
+                self.evict_victim(i, victim);
+                self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
+                self.nodes[i].pending = Some(Pending {
+                    req,
+                    kind: PendingKind::Fill {
+                        access: Access::Write,
+                        value: Some(value),
+                        wt,
+                    },
+                });
+            }
+            other => unreachable!("restarted write miss cannot {other:?}"),
+        }
+    }
+
+    fn handle_request(&mut self, i: usize, req: MemRequest) {
+        let attr = self.map.classify(req.addr);
+        match req.kind {
+            ReqKind::Read => match attr {
+                MemAttr::CachedWriteBack | MemAttr::CachedWriteThrough => {
+                    let wt = attr == MemAttr::CachedWriteThrough;
+                    match self.nodes[i].cache.probe_read(req.addr, wt) {
+                        ReadProbe::Hit(v) => {
+                            self.stats.incr(&format!("cpu{i}.read_hit"));
+                            if let Some(c) = &mut self.checker {
+                                c.on_read(self.now, i, req.addr, v);
+                            }
+                            self.nodes[i].cpu.complete_mem(MemResult::Value(v));
+                        }
+                        ReadProbe::Miss { victim } => {
+                            self.stats.incr(&format!("cpu{i}.read_miss"));
+                            self.evict_victim(i, victim);
+                            self.bus.submit(MasterId(i), BusOp::ReadLine, req.addr);
+                            self.nodes[i].pending = Some(Pending {
+                                req,
+                                kind: PendingKind::Fill {
+                                    access: Access::Read,
+                                    value: None,
+                                    wt,
+                                },
+                            });
+                        }
+                    }
+                }
+                MemAttr::Uncached | MemAttr::Device(_) => {
+                    self.bus.submit(MasterId(i), BusOp::ReadWord, req.addr);
+                    self.nodes[i].pending = Some(Pending {
+                        req,
+                        kind: PendingKind::Word { attr },
+                    });
+                }
+            },
+            ReqKind::Write(value) => match attr {
+                MemAttr::CachedWriteBack | MemAttr::CachedWriteThrough => {
+                    let wt = attr == MemAttr::CachedWriteThrough;
+                    match self.nodes[i].cache.probe_write(req.addr, value, wt) {
+                        WriteProbe::Hit => {
+                            self.stats.incr(&format!("cpu{i}.write_hit"));
+                            if let Some(c) = &mut self.checker {
+                                c.on_write(req.addr, value);
+                            }
+                            self.nodes[i].cpu.complete_mem(MemResult::Done);
+                        }
+                        WriteProbe::HitNeedsUpgrade => {
+                            self.stats.incr(&format!("cpu{i}.write_upgrade"));
+                            self.bus.submit(MasterId(i), BusOp::Upgrade, req.addr);
+                            self.nodes[i].pending = Some(Pending {
+                                req,
+                                kind: PendingKind::Upgrade { value },
+                            });
+                        }
+                        WriteProbe::HitWriteThrough => {
+                            // Locally stored; the word must also reach
+                            // memory. Golden commit happens at bus
+                            // completion — remote access is interlocked on
+                            // the pending word write until then.
+                            self.stats.incr(&format!("cpu{i}.write_through"));
+                            self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                            self.nodes[i].pending = Some(Pending {
+                                req,
+                                kind: PendingKind::Word { attr },
+                            });
+                        }
+                        WriteProbe::Miss { victim } => {
+                            self.stats.incr(&format!("cpu{i}.write_miss"));
+                            self.evict_victim(i, victim);
+                            self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
+                            self.nodes[i].pending = Some(Pending {
+                                req,
+                                kind: PendingKind::Fill {
+                                    access: Access::Write,
+                                    value: Some(value),
+                                    wt,
+                                },
+                            });
+                        }
+                        WriteProbe::MissNoAllocate => {
+                            self.stats.incr(&format!("cpu{i}.write_no_allocate"));
+                            self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                            self.nodes[i].pending = Some(Pending {
+                                req,
+                                kind: PendingKind::Word { attr },
+                            });
+                        }
+                    }
+                }
+                MemAttr::Uncached | MemAttr::Device(_) => {
+                    self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                    self.nodes[i].pending = Some(Pending {
+                        req,
+                        kind: PendingKind::Word { attr },
+                    });
+                }
+            },
+            ReqKind::Flush => {
+                match self.nodes[i].cache.flush_line(req.addr) {
+                    Some((true, data)) => {
+                        self.bus
+                            .submit(MasterId(i), BusOp::WriteLine(data), req.addr.line_base());
+                        self.nodes[i].pending = Some(Pending {
+                            req,
+                            kind: PendingKind::FlushWb,
+                        });
+                    }
+                    Some((false, _)) | None => {
+                        // Clean or absent: no bus work.
+                        self.stats.incr(&format!("cpu{i}.flush_clean"));
+                        if req.from_isr {
+                            if let Some(cam) = &mut self.nodes[i].cam {
+                                cam.ack(req.addr);
+                            }
+                            self.stats.incr(&format!("cpu{i}.isr_drain_clean"));
+                        }
+                        self.nodes[i].cpu.complete_maintenance();
+                    }
+                }
+            }
+            ReqKind::Invalidate => {
+                self.nodes[i].cache.invalidate_line(req.addr);
+                self.stats.incr(&format!("cpu{i}.invalidate"));
+                if req.from_isr {
+                    if let Some(cam) = &mut self.nodes[i].cam {
+                        cam.ack(req.addr);
+                    }
+                }
+                self.nodes[i].cpu.complete_maintenance();
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for System {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("System")
+            .field("cpus", &self.nodes.len())
+            .field("now", &self.now)
+            .field("class", &self.class)
+            .field("system_protocol", &self.system_protocol)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{layout, CpuSpec, PlatformSpec, Strategy};
+    use hmp_cache::LineState;
+    use hmp_cpu::{LockLayout, ProgramBuilder};
+
+    fn two_mesi_spec(strategy: Strategy) -> (PlatformSpec, crate::MemLayout) {
+        let (lay, map) = layout(2, strategy, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+        let spec = PlatformSpec::new(
+            vec![
+                CpuSpec::generic("P0", ProtocolKind::Mesi),
+                CpuSpec::generic("P1", ProtocolKind::Mesi),
+            ],
+            map,
+            lock,
+        );
+        (spec, lay)
+    }
+
+    #[test]
+    fn single_read_miss_fills_exclusive() {
+        let (spec, lay) = two_mesi_spec(Strategy::Proposed);
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().read(a).build();
+        let mut sys = System::new(&spec, vec![p0, hmp_cpu::Program::empty()]);
+        sys.poke_word(a, 42);
+        let result = sys.run(10_000);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(result.is_clean_completion());
+        assert_eq!(sys.cache(0).line_state(a), Some(LineState::Exclusive));
+        assert_eq!(sys.cache(0).peek_word(a), Some(42));
+        // Timing: ~1 cycle issue + 1 grant + 13-cycle burst.
+        assert!(result.cycles_u64() >= 14, "got {}", result.cycles_u64());
+        assert!(result.cycles_u64() <= 20, "got {}", result.cycles_u64());
+        assert_eq!(result.bus.grants, 1);
+    }
+
+    #[test]
+    fn read_sharing_between_two_mesi_cpus() {
+        let (spec, lay) = two_mesi_spec(Strategy::Proposed);
+        let a = lay.shared_base;
+        // P0 reads first; P1 reads later (delay keeps ordering).
+        let p0 = ProgramBuilder::new().read(a).build();
+        let p1 = ProgramBuilder::new().delay(60).read(a).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(10_000);
+        assert!(result.is_clean_completion());
+        // Homogeneous MESI platform: both end Shared.
+        assert_eq!(sys.cache(0).line_state(a), Some(LineState::Shared));
+        assert_eq!(sys.cache(1).line_state(a), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn write_read_transfer_through_drain() {
+        let (spec, lay) = two_mesi_spec(Strategy::Proposed);
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().write(a, 7).build();
+        let p1 = ProgramBuilder::new().delay(80).read(a).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(10_000);
+        assert!(result.is_clean_completion(), "{result}");
+        // P0's dirty line was drained by P1's read snoop.
+        assert_eq!(sys.cache(0).line_state(a), Some(LineState::Shared));
+        assert_eq!(sys.cache(1).line_state(a), Some(LineState::Shared));
+        assert_eq!(sys.cache(1).peek_word(a), Some(7));
+        assert_eq!(sys.memory().read_word(a), 7, "drain reached memory");
+        assert!(result.bus.retries >= 1, "ARTRY path exercised");
+        assert!(result.bus.drains >= 1);
+    }
+
+    #[test]
+    fn upgrade_invalidates_remote_shared_copy() {
+        let (spec, lay) = two_mesi_spec(Strategy::Proposed);
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().read(a).delay(100).write(a, 5).build();
+        let p1 = ProgramBuilder::new().delay(40).read(a).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(10_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(sys.cache(0).line_state(a), Some(LineState::Modified));
+        assert_eq!(sys.cache(1).line_state(a), None, "upgrade invalidated P1");
+        assert!(result.stats.get("cpu0.write_upgrade") >= 1);
+    }
+
+    #[test]
+    fn uncached_shared_data_round_trip() {
+        let (spec, lay) = two_mesi_spec(Strategy::CacheDisabled);
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().write(a, 9).build();
+        let p1 = ProgramBuilder::new().delay(40).read(a).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(10_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(sys.memory().read_word(a), 9);
+        assert!(!sys.cache(0).contains(a), "shared data must not be cached");
+        assert!(!sys.cache(1).contains(a));
+        assert!(result.stats.get("cpu0.uncached_write") >= 1);
+        assert!(result.stats.get("cpu1.uncached_read") >= 1);
+    }
+
+    #[test]
+    fn turn_lock_alternates_critical_sections() {
+        let (spec, lay) = two_mesi_spec(Strategy::Proposed);
+        let a = lay.shared_base;
+        // Both increment-ish: each writes its id then reads. Lock keeps
+        // them alternating; checker keeps them honest.
+        let p0 = ProgramBuilder::new()
+            .repeat(3, |b| b.acquire(0).read(a).write(a, 1).release(0))
+            .build();
+        let p1 = ProgramBuilder::new()
+            .repeat(3, |b| b.acquire(0).read(a).write(a, 2).release(0))
+            .build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(200_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(result.cpus[0].lock_acquires, 3);
+        assert_eq!(result.cpus[1].lock_acquires, 3);
+        assert_eq!(result.cpus[0].lock_releases, 3);
+    }
+
+    #[test]
+    fn hardware_lock_register_device() {
+        let (lay, map) = layout(2, Strategy::Proposed, LockKind::HardwareRegister, false);
+        let lock = LockLayout::new(LockKind::HardwareRegister, lay.lock_base, 2);
+        let spec = PlatformSpec::new(
+            vec![
+                CpuSpec::generic("P0", ProtocolKind::Mesi),
+                CpuSpec::generic("P1", ProtocolKind::Mesi),
+            ],
+            map,
+            lock,
+        );
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new()
+            .repeat(2, |b| b.acquire(0).write(a, 1).release(0))
+            .build();
+        let p1 = ProgramBuilder::new()
+            .repeat(2, |b| b.acquire(0).write(a, 2).release(0))
+            .build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(100_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(result.cpus[0].lock_acquires + result.cpus[1].lock_acquires, 4);
+    }
+
+    #[test]
+    fn mei_mesi_reduces_and_stays_coherent() {
+        let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+        let spec = PlatformSpec::new(
+            vec![
+                CpuSpec::generic("mesi", ProtocolKind::Mesi),
+                CpuSpec::generic("mei", ProtocolKind::Mei),
+            ],
+            map,
+            lock,
+        );
+        let a = lay.shared_base;
+        // The Table 2 sequence: P0 reads, P1 reads, P1 writes, P0 reads.
+        let p0 = ProgramBuilder::new().read(a).delay(200).read(a).build();
+        let p1 = ProgramBuilder::new().delay(60).read(a).write(a, 77).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+        let result = sys.run(10_000);
+        assert!(
+            result.is_clean_completion(),
+            "wrappers must prevent the Table 2 stale read: {result}"
+        );
+        // The final read must see 77.
+        assert_eq!(sys.cache(0).peek_word(a), Some(77));
+    }
+
+    #[test]
+    fn transparent_wrappers_reproduce_table2_stale_read() {
+        let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+        let mut spec = PlatformSpec::new(
+            vec![
+                CpuSpec::generic("mesi", ProtocolKind::Mesi),
+                CpuSpec::generic("mei", ProtocolKind::Mei),
+            ],
+            map,
+            lock,
+        );
+        spec.wrapper_mode = WrapperMode::Transparent;
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().read(a).delay(200).read(a).build();
+        let p1 = ProgramBuilder::new().delay(60).read(a).write(a, 77).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        let result = sys.run(10_000);
+        assert_eq!(result.outcome, RunOutcome::Completed);
+        assert!(
+            !result.violations.is_empty(),
+            "naive MEI+MESI integration must produce the stale read"
+        );
+        let v = result.violations[0];
+        assert_eq!(v.cpu, 0);
+        assert_eq!(v.expected, 77);
+    }
+
+    #[test]
+    fn pf2_cam_interrupt_drains_arm_line() {
+        let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+        let spec = PlatformSpec::new(
+            vec![CpuSpec::powerpc755(), CpuSpec::arm920t()],
+            map,
+            lock,
+        );
+        let a = lay.shared_base;
+        // ARM dirties the line, then idles; PowerPC reads it later.
+        let arm = ProgramBuilder::new().write(a, 123).build();
+        let ppc = ProgramBuilder::new().delay(200).read(a).build();
+        let mut sys = System::new(&spec, vec![ppc, arm]);
+        assert_eq!(sys.platform_class().to_string(), "PF2");
+        let result = sys.run(100_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(sys.cache(0).peek_word(a), Some(123), "PPC sees ARM's write");
+        assert!(result.cpus[1].isr_entries >= 1, "ARM took the nFIQ");
+        assert!(result.stats.get("bus.retry.cam") >= 1);
+        assert_eq!(sys.memory().read_word(a), 123, "ISR drained to memory");
+    }
+
+    #[test]
+    fn victim_writeback_preserves_data() {
+        // A tiny cache forces evictions: 2 sets × 1 way.
+        let (lay, map) = layout(1, Strategy::Proposed, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 1);
+        let mut spec = PlatformSpec::new(
+            vec![CpuSpec::generic("P0", ProtocolKind::Mesi)],
+            map,
+            lock,
+        );
+        spec.cpus[0].cache = hmp_cache::CacheConfig { sets: 2, ways: 1 };
+        let a = lay.shared_base;
+        let b = a.add_lines(2); // same set, different tag
+        let p = ProgramBuilder::new()
+            .write(a, 1)
+            .write(b, 2) // evicts dirty `a`
+            .read(a) // refetches from memory
+            .build();
+        let mut sys = System::new(&spec, vec![p]);
+        let result = sys.run(10_000);
+        assert!(result.is_clean_completion(), "{result}");
+        assert_eq!(sys.memory().read_word(a), 1);
+        assert!(result.stats.get("cpu0.victim_writeback") >= 1);
+    }
+
+    #[test]
+    fn finished_and_debug() {
+        let (spec, _) = two_mesi_spec(Strategy::Proposed);
+        let mut sys = System::new(&spec, vec![hmp_cpu::Program::empty(); 2]);
+        assert!(!format!("{sys:?}").is_empty());
+        let r = sys.run(100);
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert!(sys.finished());
+    }
+}

@@ -1,0 +1,262 @@
+//! Clock-domain bookkeeping.
+//!
+//! The simulated platform is stepped at **bus-clock** granularity (the AMBA
+//! ASB runs at 50 MHz in the paper's Table 4). Each processor core runs in
+//! its own clock domain at an integer multiple of the bus clock: the
+//! PowerPC755 at 100 MHz (multiplier 2), the ARM920T at 50 MHz
+//! (multiplier 1). [`ClockDomain`] converts between the two time bases.
+
+use core::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time (or a duration) measured in **bus-clock** cycles.
+///
+/// This is the master time base of the whole simulation; every latency in
+/// the memory system (6-cycle single word, 13-cycle burst, …) is expressed
+/// in bus cycles.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::Cycle;
+/// let t = Cycle::new(6) + Cycle::new(7);
+/// assert_eq!(t.as_u64(), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero — the simulation reset point.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count from a raw number of bus cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycle(n)
+    }
+
+    /// Returns the raw bus-cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Advances this time stamp by one bus cycle.
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Saturating difference `self - earlier`, useful for latency
+    /// measurements that must not underflow at reset.
+    #[must_use]
+    pub fn saturating_since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bus-cycles", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (cycle arithmetic underflow).
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(n: u64) -> Self {
+        Cycle(n)
+    }
+}
+
+/// A point in time (or a duration) measured in **core-clock** cycles of one
+/// particular processor.
+///
+/// Core cycles from different processors are not comparable; convert
+/// through [`ClockDomain`] and [`Cycle`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreCycle(u64);
+
+impl CoreCycle {
+    /// Time zero in the core domain.
+    pub const ZERO: CoreCycle = CoreCycle(0);
+
+    /// Creates a core-cycle count.
+    pub const fn new(n: u64) -> Self {
+        CoreCycle(n)
+    }
+
+    /// Returns the raw core-cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Advances by one core cycle.
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for CoreCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} core-cycles", self.0)
+    }
+}
+
+impl Add for CoreCycle {
+    type Output = CoreCycle;
+    fn add(self, rhs: CoreCycle) -> CoreCycle {
+        CoreCycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for CoreCycle {
+    fn add_assign(&mut self, rhs: CoreCycle) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Relates a processor's core clock to the shared bus clock.
+///
+/// The multiplier must be a positive integer: the paper's platform uses
+/// ratio 2 (PowerPC755, 100 MHz) and ratio 1 (ARM920T, 50 MHz) against the
+/// 50 MHz ASB. The platform loop runs `core_cycles_per_bus_cycle()` core
+/// ticks for every bus tick.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::{ClockDomain, Cycle, CoreCycle};
+/// let dom = ClockDomain::new(2);
+/// assert_eq!(dom.to_core(Cycle::new(3)), CoreCycle::new(6));
+/// assert_eq!(dom.to_bus_ceil(CoreCycle::new(5)), Cycle::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    multiplier: u32,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain running at `multiplier ×` the bus clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is zero.
+    pub fn new(multiplier: u32) -> Self {
+        assert!(multiplier > 0, "clock multiplier must be positive");
+        ClockDomain { multiplier }
+    }
+
+    /// Number of core cycles executed per bus cycle.
+    pub fn core_cycles_per_bus_cycle(self) -> u32 {
+        self.multiplier
+    }
+
+    /// Converts a bus-cycle count into the equivalent core-cycle count.
+    pub fn to_core(self, bus: Cycle) -> CoreCycle {
+        CoreCycle(bus.as_u64() * u64::from(self.multiplier))
+    }
+
+    /// Converts a core-cycle count into bus cycles, rounding up (a partial
+    /// bus cycle still occupies the whole cycle).
+    pub fn to_bus_ceil(self, core: CoreCycle) -> Cycle {
+        let m = u64::from(self.multiplier);
+        Cycle(core.as_u64().div_ceil(m))
+    }
+}
+
+impl Default for ClockDomain {
+    /// A 1:1 clock domain (core runs at bus speed).
+    fn default() -> Self {
+        ClockDomain::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!((a + b).as_u64(), 14);
+        assert_eq!((a - b).as_u64(), 6);
+        let mut c = Cycle::ZERO;
+        c.tick();
+        c += Cycle::new(2);
+        assert_eq!(c.as_u64(), 3);
+    }
+
+    #[test]
+    fn cycle_saturating_since() {
+        assert_eq!(
+            Cycle::new(3).saturating_since(Cycle::new(10)),
+            Cycle::ZERO
+        );
+        assert_eq!(
+            Cycle::new(10).saturating_since(Cycle::new(3)),
+            Cycle::new(7)
+        );
+    }
+
+    #[test]
+    fn cycle_display_and_from() {
+        assert_eq!(Cycle::from(5u64).to_string(), "5 bus-cycles");
+        assert_eq!(CoreCycle::new(5).to_string(), "5 core-cycles");
+    }
+
+    #[test]
+    fn core_cycle_arithmetic() {
+        let mut c = CoreCycle::ZERO;
+        c.tick();
+        c += CoreCycle::new(4);
+        assert_eq!((c + CoreCycle::new(1)).as_u64(), 6);
+    }
+
+    #[test]
+    fn clock_domain_conversions() {
+        let d = ClockDomain::new(2);
+        assert_eq!(d.to_core(Cycle::new(5)), CoreCycle::new(10));
+        assert_eq!(d.to_bus_ceil(CoreCycle::new(10)), Cycle::new(5));
+        assert_eq!(d.to_bus_ceil(CoreCycle::new(11)), Cycle::new(6));
+        assert_eq!(d.to_bus_ceil(CoreCycle::ZERO), Cycle::ZERO);
+    }
+
+    #[test]
+    fn clock_domain_default_is_unity() {
+        let d = ClockDomain::default();
+        assert_eq!(d.core_cycles_per_bus_cycle(), 1);
+        assert_eq!(d.to_core(Cycle::new(7)), CoreCycle::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be positive")]
+    fn zero_multiplier_panics() {
+        let _ = ClockDomain::new(0);
+    }
+
+    #[test]
+    fn cycle_ordering() {
+        assert!(Cycle::new(1) < Cycle::new(2));
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hmp-sim — simulation kernel for the hmp heterogeneous-coherence simulator
+//!
+//! This crate holds the domain-neutral plumbing every other `hmp` crate
+//! builds on:
+//!
+//! * [`Cycle`] / [`CoreCycle`] — newtypes for bus-clock and core-clock time,
+//!   plus [`ClockDomain`] to relate the two (the reproduced platform runs a
+//!   100 MHz PowerPC755 and a 50 MHz ARM920T on a 50 MHz ASB bus).
+//! * [`SplitMix64`] — a tiny, deterministic, seedable RNG used for every
+//!   randomized decision in the simulator (typical-case workload block
+//!   picks, interrupt-response jitter). No global or wall-clock entropy is
+//!   ever used, so every run is bit-reproducible.
+//! * [`Stats`] — a string-keyed counter registry for instrumentation.
+//! * [`TraceBuffer`] — a bounded ring of timestamped trace events.
+//! * [`Watchdog`] — forward-progress detection, used to turn the paper's
+//!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
+//!   instead of a hang.
+//!
+//! # Examples
+//!
+//! ```
+//! use hmp_sim::{ClockDomain, Cycle, SplitMix64};
+//!
+//! let ppc = ClockDomain::new(2); // 100 MHz core on a 50 MHz bus
+//! assert_eq!(ppc.core_cycles_per_bus_cycle(), 2);
+//!
+//! let mut rng = SplitMix64::new(42);
+//! let a = rng.next_u64();
+//! let b = SplitMix64::new(42).next_u64();
+//! assert_eq!(a, b); // fully deterministic
+//! # let _ = Cycle::ZERO;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod rng;
+mod stats;
+mod trace;
+mod watchdog;
+
+pub use clock::{ClockDomain, CoreCycle, Cycle};
+pub use rng::SplitMix64;
+pub use stats::Stats;
+pub use trace::{TraceBuffer, TraceEvent};
+pub use watchdog::{Watchdog, WatchdogVerdict};

@@ -1,0 +1,188 @@
+//! Counter registry for simulator instrumentation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A string-keyed bag of monotonically increasing counters.
+///
+/// Every component of the platform (bus, caches, wrappers, snoop logic,
+/// CPUs) records its activity here: bus retries, snoop hits, interrupt
+/// counts, drained lines, and so on. Keys are free-form but conventionally
+/// dotted, e.g. `"bus.retry"` or `"cpu1.isr.drains"`. A `BTreeMap` keeps
+/// report output sorted and deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::Stats;
+/// let mut s = Stats::new();
+/// s.add("bus.retry", 1);
+/// s.add("bus.retry", 2);
+/// assert_eq!(s.get("bus.retry"), 3);
+/// assert_eq!(s.get("never.touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `delta` to the counter named `key`, creating it at zero first
+    /// if it does not exist.
+    pub fn add(&mut self, key: &str, delta: u64) {
+        *self.counters.entry(key.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the counter named `key` by one.
+    pub fn incr(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Returns the current value of `key`, or zero if never touched.
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sums every counter whose key starts with `prefix`.
+    ///
+    /// Useful for rolling per-CPU counters (`cpu0.miss`, `cpu1.miss`) into a
+    /// platform total.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Merges another registry into this one, adding matching counters.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct counters recorded.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Returns `true` if no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() {
+            return writeln!(f, "(no counters)");
+        }
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Extend<(&'a str, u64)> for Stats {
+    fn extend<T: IntoIterator<Item = (&'a str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+impl FromIterator<(String, u64)> for Stats {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
+        let mut s = Stats::new();
+        for (k, v) in iter {
+            s.add(&k, v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.add("a", 4);
+        assert_eq!(s.get("a"), 5);
+        assert_eq!(s.get("b"), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let s = Stats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.to_string(), "(no counters)\n");
+    }
+
+    #[test]
+    fn sum_prefix_rolls_up() {
+        let mut s = Stats::new();
+        s.add("cpu0.miss", 3);
+        s.add("cpu1.miss", 4);
+        s.add("bus.retry", 9);
+        assert_eq!(s.sum_prefix("cpu"), 7);
+        assert_eq!(s.sum_prefix("cpu0"), 3);
+        assert_eq!(s.sum_prefix("x"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Stats::new();
+        a.add("k", 1);
+        let mut b = Stats::new();
+        b.add("k", 2);
+        b.add("j", 5);
+        a.merge(&b);
+        assert_eq!(a.get("k"), 3);
+        assert_eq!(a.get("j"), 5);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut s = Stats::new();
+        s.incr("zeta");
+        s.incr("alpha");
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut s = Stats::new();
+        s.add("bus.retry", 2);
+        let out = s.to_string();
+        assert!(out.contains("bus.retry"));
+        assert!(out.contains('2'));
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s = Stats::new();
+        s.extend([("a", 1u64), ("a", 2), ("b", 3)]);
+        assert_eq!(s.get("a"), 3);
+        let t: Stats = vec![("x".to_owned(), 7u64)].into_iter().collect();
+        assert_eq!(t.get("x"), 7);
+    }
+}

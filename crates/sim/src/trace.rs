@@ -1,0 +1,212 @@
+//! Bounded event tracing.
+
+use crate::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One timestamped trace record.
+///
+/// The payload is a plain `String`: trace events cross crate boundaries
+/// (bus, cache, wrapper, CPU all emit them), and a stringly-typed payload
+/// keeps the kernel crate free of domain types. Structured analysis happens
+/// on the counters in [`crate::Stats`], not on the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Bus-clock time at which the event occurred.
+    pub at: Cycle,
+    /// Component that emitted the event, e.g. `"bus"` or `"cpu1"`.
+    pub source: String,
+    /// Human-readable description of what happened.
+    pub what: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:<10} {}", self.at.as_u64(), self.source, self.what)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are discarded — long simulations keep the
+/// most recent window, which is what post-mortem debugging (e.g. of a
+/// detected hardware deadlock) needs.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::{Cycle, TraceBuffer};
+/// let mut t = TraceBuffer::new(2);
+/// t.record(Cycle::new(1), "bus", "grant cpu0");
+/// t.record(Cycle::new(2), "bus", "grant cpu1");
+/// t.record(Cycle::new(3), "bus", "retry cpu0");
+/// assert_eq!(t.len(), 2); // oldest evicted
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates an enabled buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            enabled: capacity > 0,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled buffer that records nothing (zero overhead).
+    pub fn disabled() -> Self {
+        TraceBuffer::new(0)
+    }
+
+    /// Returns `true` if the buffer records events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off without touching stored events.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled && self.capacity > 0;
+    }
+
+    /// Records an event, evicting the oldest if at capacity.
+    pub fn record(&mut self, at: Cycle, source: &str, what: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            source: source.to_owned(),
+            what: what.into(),
+        });
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates stored events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Drops all stored events, keeping capacity and enablement.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl fmt::Display for TraceBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "({} earlier events dropped)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceBuffer::new(10);
+        t.record(Cycle::new(1), "a", "first");
+        t.record(Cycle::new(2), "b", "second");
+        let whats: Vec<&str> = t.iter().map(|e| e.what.as_str()).collect();
+        assert_eq!(whats, vec!["first", "second"]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut t = TraceBuffer::new(2);
+        t.record(Cycle::new(1), "x", "one");
+        t.record(Cycle::new(2), "x", "two");
+        t.record(Cycle::new(3), "x", "three");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.iter().next().unwrap().what, "two");
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.is_enabled());
+        t.record(Cycle::new(1), "x", "ignored");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn set_enabled_respects_zero_capacity() {
+        let mut t = TraceBuffer::disabled();
+        t.set_enabled(true);
+        assert!(!t.is_enabled(), "zero-capacity buffer cannot be enabled");
+
+        let mut t2 = TraceBuffer::new(4);
+        t2.set_enabled(false);
+        t2.record(Cycle::new(1), "x", "ignored");
+        assert!(t2.is_empty());
+        t2.set_enabled(true);
+        t2.record(Cycle::new(2), "x", "kept");
+        assert_eq!(t2.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_settings() {
+        let mut t = TraceBuffer::new(4);
+        t.record(Cycle::new(1), "x", "e");
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_formats_events() {
+        let mut t = TraceBuffer::new(4);
+        t.record(Cycle::new(12), "bus", "grant cpu0");
+        let s = t.to_string();
+        assert!(s.contains("12"));
+        assert!(s.contains("bus"));
+        assert!(s.contains("grant cpu0"));
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TraceEvent {
+            at: Cycle::new(7),
+            source: "cpu1".into(),
+            what: "nFIQ asserted".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7'));
+        assert!(s.contains("cpu1"));
+        assert!(s.contains("nFIQ asserted"));
+    }
+}

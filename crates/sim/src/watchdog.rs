@@ -1,0 +1,152 @@
+//! Forward-progress watchdog.
+//!
+//! Section 3 of the paper identifies a *hardware deadlock*: with cacheable
+//! lock variables on a PF1/PF2 platform, a bus master retrying a snooped
+//! transaction and a processor waiting to service the snoop interrupt can
+//! block each other forever (Figure 4). The simulator reproduces that
+//! situation, so it needs a way to recognise it: the [`Watchdog`] watches a
+//! monotone progress measure (committed memory operations) and reports
+//! [`WatchdogVerdict::Stalled`] when no progress happens for a configurable
+//! number of bus cycles.
+
+use crate::Cycle;
+
+/// Outcome of a watchdog poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchdogVerdict {
+    /// Progress has been observed within the stall window.
+    Healthy,
+    /// No progress for at least the stall window — likely deadlock/livelock.
+    Stalled,
+}
+
+/// Detects lack of forward progress in the simulated platform.
+///
+/// Feed it the current bus time and a monotone progress counter every cycle
+/// (or every polling interval); it reports [`WatchdogVerdict::Stalled`] once
+/// the counter has not moved for `window` bus cycles.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::{Cycle, Watchdog, WatchdogVerdict};
+/// let mut dog = Watchdog::new(Cycle::new(100));
+/// assert_eq!(dog.poll(Cycle::new(0), 0), WatchdogVerdict::Healthy);
+/// assert_eq!(dog.poll(Cycle::new(99), 0), WatchdogVerdict::Healthy);
+/// assert_eq!(dog.poll(Cycle::new(100), 0), WatchdogVerdict::Stalled);
+/// assert_eq!(dog.poll(Cycle::new(101), 1), WatchdogVerdict::Healthy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    window: Cycle,
+    last_progress_at: Cycle,
+    last_counter: u64,
+    started: bool,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that trips after `window` bus cycles without
+    /// progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero — a zero window would trip on the very
+    /// first poll.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > Cycle::ZERO, "watchdog window must be positive");
+        Watchdog {
+            window,
+            last_progress_at: Cycle::ZERO,
+            last_counter: 0,
+            started: false,
+        }
+    }
+
+    /// The configured stall window.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Polls the watchdog with the current time and progress counter.
+    ///
+    /// `progress` must be monotone non-decreasing; any increase resets the
+    /// stall timer.
+    pub fn poll(&mut self, now: Cycle, progress: u64) -> WatchdogVerdict {
+        if !self.started {
+            self.started = true;
+            self.last_progress_at = now;
+            self.last_counter = progress;
+            return WatchdogVerdict::Healthy;
+        }
+        if progress != self.last_counter {
+            self.last_counter = progress;
+            self.last_progress_at = now;
+            return WatchdogVerdict::Healthy;
+        }
+        if now.saturating_since(self.last_progress_at) >= self.window {
+            WatchdogVerdict::Stalled
+        } else {
+            WatchdogVerdict::Healthy
+        }
+    }
+
+    /// Bus cycles elapsed since progress was last observed.
+    pub fn stalled_for(&self, now: Cycle) -> Cycle {
+        now.saturating_since(self.last_progress_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_while_progressing() {
+        let mut dog = Watchdog::new(Cycle::new(10));
+        for t in 0..100 {
+            assert_eq!(
+                dog.poll(Cycle::new(t), t), // counter moves every poll
+                WatchdogVerdict::Healthy
+            );
+        }
+    }
+
+    #[test]
+    fn trips_after_window() {
+        let mut dog = Watchdog::new(Cycle::new(10));
+        dog.poll(Cycle::new(0), 5);
+        assert_eq!(dog.poll(Cycle::new(9), 5), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(10), 5), WatchdogVerdict::Stalled);
+        assert_eq!(dog.stalled_for(Cycle::new(10)), Cycle::new(10));
+    }
+
+    #[test]
+    fn progress_resets_timer() {
+        let mut dog = Watchdog::new(Cycle::new(10));
+        dog.poll(Cycle::new(0), 0);
+        assert_eq!(dog.poll(Cycle::new(9), 0), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(9), 1), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(18), 1), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(19), 1), WatchdogVerdict::Stalled);
+    }
+
+    #[test]
+    fn first_poll_establishes_baseline() {
+        let mut dog = Watchdog::new(Cycle::new(5));
+        // Even at a late time, the first poll cannot trip.
+        assert_eq!(dog.poll(Cycle::new(1000), 0), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(1004), 0), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(1005), 0), WatchdogVerdict::Stalled);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = Watchdog::new(Cycle::ZERO);
+    }
+
+    #[test]
+    fn window_accessor() {
+        assert_eq!(Watchdog::new(Cycle::new(7)).window(), Cycle::new(7));
+    }
+}

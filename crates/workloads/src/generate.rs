@@ -1,0 +1,315 @@
+//! Program generation for the three scenarios.
+
+use crate::{MicrobenchParams, Scenario};
+use hmp_cpu::{LockKind, Program, ProgramBuilder};
+use hmp_mem::Addr;
+use hmp_platform::{MemLayout, Strategy};
+use hmp_sim::SplitMix64;
+
+/// Bytes per shared block: 32 lines of 32 bytes, big enough for the
+/// largest `lines_per_iter` the paper sweeps.
+pub(crate) const BLOCK_BYTES: u32 = 32 * 32;
+
+/// The lock mechanism each scenario uses.
+///
+/// WCS and TCS follow the paper's "each task acquiring the lock
+/// alternatively" with the turn lock; BCS has a single, uncontended lock
+/// user, for which the paper's hardware lock register is the natural fit
+/// (a turn lock cannot be re-acquired by the same party without the
+/// other's participation).
+pub fn scenario_lock_kind(scenario: Scenario) -> LockKind {
+    match scenario {
+        Scenario::Worst | Scenario::Typical => LockKind::Turn,
+        Scenario::Best => LockKind::HardwareRegister,
+    }
+}
+
+/// A value unique to each store, so the coherence checker can tell every
+/// write apart (identical values would mask stale reads).
+fn store_value(cpu: u32, outer: u32, rep: u32, line: u32) -> u32 {
+    ((cpu + 1) << 28) | ((outer & 0xFF) << 20) | ((rep & 0xF) << 16) | (line & 0xFFFF)
+}
+
+fn block_base(lay: &MemLayout, block: u32) -> Addr {
+    Addr::new(lay.shared_base.as_u32() + block * BLOCK_BYTES)
+}
+
+/// Appends one critical-section entry: acquire, `exec_time` read-modify
+/// sweeps over `n` lines of `block`, the software drain loop if the
+/// strategy needs it, release, and a short think delay.
+#[allow(clippy::too_many_arguments)]
+fn cs_iteration(
+    mut b: ProgramBuilder,
+    lay: &MemLayout,
+    strategy: Strategy,
+    params: &MicrobenchParams,
+    block: u32,
+    cpu: u32,
+    outer: u32,
+) -> ProgramBuilder {
+    let n = params.lines_per_iter;
+    let exec_time = params.exec_time;
+    let base = block_base(lay, block);
+    b = b.acquire(0);
+    for rep in 0..exec_time {
+        for l in 0..n {
+            let line = base.add_lines(l);
+            // "accesses a number of cache lines and modifies them" (§4):
+            // read-modify-write every touched word of the line, with the
+            // loop-instruction overhead a real task pays per word.
+            for w in 0..params.words_per_line {
+                let addr = line.add_words(w);
+                b = b
+                    .read(addr)
+                    .write(addr, store_value(cpu, outer, rep, l * 8 + w));
+                if params.overhead_per_word > 0 {
+                    b = b.delay(params.overhead_per_word);
+                }
+            }
+        }
+    }
+    if strategy.needs_software_drain() {
+        // "the programmer should make sure to drain/invalidate all the
+        // used cache lines in the critical section before exiting" (§4).
+        // The drain loop pays the same per-element instruction overhead
+        // as the access loop.
+        for l in 0..n {
+            b = b.flush(base.add_lines(l));
+            if params.overhead_per_word > 0 {
+                b = b.delay(params.overhead_per_word);
+            }
+        }
+    }
+    b = b.release(0);
+    b.delay(10)
+}
+
+/// Builds the two task programs for a scenario/strategy pair on the
+/// standard address map. Index 0 is the first platform CPU (the
+/// PowerPC755 on the paper's platform), index 1 the second (the ARM920T).
+///
+/// # Panics
+///
+/// Panics if the parameters are invalid (see
+/// [`MicrobenchParams::validate`]).
+pub fn build_programs(
+    scenario: Scenario,
+    strategy: Strategy,
+    params: &MicrobenchParams,
+    lay: &MemLayout,
+) -> Vec<Program> {
+    build_programs_for(scenario, strategy, params, lay, 2)
+}
+
+/// [`build_programs`] generalised to `cpus` processors — the paper's
+/// approach "can be easily extended to platforms with more than two
+/// processors" (§2), and this is the workload side of that extension:
+/// WCS rotates the turn lock through all parties, TCS gives each party
+/// its own block stream, and BCS keeps a single critical-section user
+/// (the last CPU) with everyone else idle.
+///
+/// # Panics
+///
+/// Panics if `cpus < 2` or the parameters are invalid.
+pub fn build_programs_for(
+    scenario: Scenario,
+    strategy: Strategy,
+    params: &MicrobenchParams,
+    lay: &MemLayout,
+    cpus: usize,
+) -> Vec<Program> {
+    params.validate();
+    assert!(cpus >= 2, "microbenchmarks need at least two processors");
+    let cpus = cpus as u32;
+    match scenario {
+        Scenario::Worst => {
+            // Every task, the same block, strict lock rotation.
+            let mut progs = Vec::new();
+            for cpu in 0..cpus {
+                let mut b = ProgramBuilder::new();
+                for outer in 0..params.outer_iters {
+                    b = cs_iteration(b, lay, strategy, params, 0, cpu, outer);
+                }
+                progs.push(b.build());
+            }
+            progs
+        }
+        Scenario::Typical => {
+            // Each task draws its block per iteration from 10 blocks.
+            let mut progs = Vec::new();
+            for cpu in 0..cpus {
+                let mut rng = SplitMix64::new(params.seed ^ (u64::from(cpu) << 32));
+                let mut b = ProgramBuilder::new();
+                for outer in 0..params.outer_iters {
+                    let block = rng.gen_range(u64::from(MicrobenchParams::TCS_BLOCKS)) as u32;
+                    b = cs_iteration(b, lay, strategy, params, block, cpu, outer);
+                }
+                progs.push(b.build());
+            }
+            progs
+        }
+        Scenario::Best => {
+            // Only the last task runs the critical section.
+            let mut b = ProgramBuilder::new();
+            for outer in 0..params.outer_iters {
+                b = cs_iteration(b, lay, strategy, params, 0, cpus - 1, outer);
+            }
+            let mut progs = vec![Program::empty(); (cpus - 1) as usize];
+            progs.push(b.build());
+            progs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_cpu::Op;
+
+    fn lay() -> MemLayout {
+        MemLayout::default()
+    }
+
+    fn params(n: u32, et: u32, outer: u32) -> MicrobenchParams {
+        // One word per line and no overhead keeps op counts easy to state.
+        MicrobenchParams {
+            lines_per_iter: n,
+            exec_time: et,
+            outer_iters: outer,
+            words_per_line: 1,
+            overhead_per_word: 0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn lock_kinds_per_scenario() {
+        assert_eq!(scenario_lock_kind(Scenario::Worst), LockKind::Turn);
+        assert_eq!(scenario_lock_kind(Scenario::Typical), LockKind::Turn);
+        assert_eq!(
+            scenario_lock_kind(Scenario::Best),
+            LockKind::HardwareRegister
+        );
+    }
+
+    #[test]
+    fn wcs_op_counts() {
+        let p = build_programs(Scenario::Worst, Strategy::Proposed, &params(4, 2, 3), &lay());
+        assert_eq!(p.len(), 2);
+        // Per iteration: acquire + 2×4×(read+write) + release + delay = 19.
+        assert_eq!(p[0].op_count(), 3 * (1 + 2 * 4 * 2 + 1 + 1));
+        assert_eq!(p[0].op_count(), p[1].op_count());
+    }
+
+    #[test]
+    fn software_strategy_adds_drains() {
+        let base = build_programs(Scenario::Worst, Strategy::Proposed, &params(4, 1, 2), &lay());
+        let sw = build_programs(
+            Scenario::Worst,
+            Strategy::SoftwareDrain,
+            &params(4, 1, 2),
+            &lay(),
+        );
+        assert_eq!(sw[0].op_count(), base[0].op_count() + 2 * 4);
+        let flushes = sw[0]
+            .flatten()
+            .iter()
+            .filter(|op| matches!(op, Op::FlushLine(_)))
+            .count();
+        assert_eq!(flushes, 8);
+    }
+
+    #[test]
+    fn cache_disabled_has_no_drains() {
+        let p = build_programs(
+            Scenario::Worst,
+            Strategy::CacheDisabled,
+            &params(2, 1, 1),
+            &lay(),
+        );
+        assert!(p[0]
+            .flatten()
+            .iter()
+            .all(|op| !matches!(op, Op::FlushLine(_))));
+    }
+
+    #[test]
+    fn wcs_both_tasks_same_lines_distinct_values() {
+        let p = build_programs(Scenario::Worst, Strategy::Proposed, &params(2, 1, 1), &lay());
+        let addr_of = |prog: &hmp_cpu::Program| -> Vec<u32> {
+            prog.flatten()
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Read(a) => Some(a.as_u32()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(addr_of(&p[0]), addr_of(&p[1]), "same blocks in WCS");
+        let vals = |prog: &hmp_cpu::Program| -> Vec<u32> {
+            prog.flatten()
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Write(_, v) => Some(*v),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(vals(&p[0]), vals(&p[1]), "distinct store values per CPU");
+    }
+
+    #[test]
+    fn tcs_picks_blocks_within_pool_and_is_seeded() {
+        let a = build_programs(
+            Scenario::Typical,
+            Strategy::Proposed,
+            &params(1, 1, 16),
+            &lay(),
+        );
+        let b = build_programs(
+            Scenario::Typical,
+            Strategy::Proposed,
+            &params(1, 1, 16),
+            &lay(),
+        );
+        assert_eq!(a[0], b[0], "same seed, same program");
+        // All touched addresses must fall inside the 10-block pool.
+        let pool_end =
+            lay().shared_base.as_u32() + MicrobenchParams::TCS_BLOCKS * BLOCK_BYTES;
+        for op in a[0].flatten() {
+            if let Op::Read(addr) = op {
+                assert!(addr.as_u32() >= lay().shared_base.as_u32());
+                assert!(addr.as_u32() < pool_end);
+            }
+        }
+        // With 16 draws from 10 blocks, both tasks must visit >1 block.
+        let blocks: std::collections::HashSet<u32> = a[1]
+            .flatten()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read(addr) => {
+                    Some((addr.as_u32() - lay().shared_base.as_u32()) / BLOCK_BYTES)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(blocks.len() > 1, "TCS should wander across blocks");
+    }
+
+    #[test]
+    fn bcs_first_cpu_is_idle() {
+        let p = build_programs(Scenario::Best, Strategy::Proposed, &params(4, 1, 2), &lay());
+        assert_eq!(p[0].op_count(), 0, "PowerPC-side task never runs the CS");
+        assert!(p[1].op_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 lines")]
+    fn invalid_params_rejected() {
+        let bad = MicrobenchParams {
+            lines_per_iter: 64,
+            ..Default::default()
+        };
+        let _ = build_programs(Scenario::Worst, Strategy::Proposed, &bad, &lay());
+    }
+}

@@ -1,0 +1,199 @@
+//! One-call microbenchmark execution.
+
+use crate::{build_programs, scenario_lock_kind, MicrobenchParams, Scenario};
+use hmp_cache::ProtocolKind;
+use hmp_mem::LatencyModel;
+use hmp_platform::{presets, RunResult, Strategy, System};
+
+/// Which hardware platform to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformPick {
+    /// PowerPC755 + ARM920T (PF2) — the paper's measured platform.
+    PpcArm,
+    /// Intel486 + PowerPC755 (PF3) — the paper's other case study.
+    I486Ppc,
+    /// Two non-coherent processors behind TAG CAMs (PF1).
+    Pf1Dual,
+    /// Two generic processors with the given protocols (PF3).
+    Pair(ProtocolKind, ProtocolKind),
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Which microbenchmark.
+    pub scenario: Scenario,
+    /// Which shared-data strategy.
+    pub strategy: Strategy,
+    /// Workload knobs.
+    pub params: MicrobenchParams,
+    /// Hardware platform (default: the paper's PowerPC755 + ARM920T).
+    pub platform: PlatformPick,
+    /// Burst miss penalty in bus cycles (Table 4 default 13; Figure 8
+    /// sweeps 13 → 96).
+    pub burst_penalty: u64,
+    /// Whether lock variables are cacheable — `true` reproduces the
+    /// hardware deadlock of paper Figure 4.
+    pub cacheable_locks: bool,
+    /// Simulation cycle budget.
+    pub max_cycles: u64,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults for everything but the triple that
+    /// identifies a data point.
+    pub fn new(scenario: Scenario, strategy: Strategy, params: MicrobenchParams) -> Self {
+        RunSpec {
+            scenario,
+            strategy,
+            params,
+            platform: PlatformPick::PpcArm,
+            burst_penalty: 13,
+            cacheable_locks: false,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// Same spec on a different platform.
+    #[must_use]
+    pub fn on(mut self, platform: PlatformPick) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Same spec with a different burst miss penalty.
+    #[must_use]
+    pub fn with_burst_penalty(mut self, cycles: u64) -> Self {
+        self.burst_penalty = cycles;
+        self
+    }
+}
+
+/// Builds the platform and programs for `spec` without running — useful
+/// for tests that want to inspect intermediate state.
+pub fn prepare(spec: &RunSpec) -> System {
+    let lock_kind = scenario_lock_kind(spec.scenario);
+    let (mut pspec, lay) = match spec.platform {
+        PlatformPick::PpcArm => {
+            presets::ppc_arm(spec.strategy, lock_kind, spec.cacheable_locks)
+        }
+        PlatformPick::I486Ppc => presets::i486_ppc(spec.strategy, lock_kind),
+        PlatformPick::Pf1Dual => presets::pf1_dual(spec.strategy, lock_kind),
+        PlatformPick::Pair(a, b) => presets::protocol_pair(a, b, spec.strategy, lock_kind),
+    };
+    pspec.latency = LatencyModel::scaled_to_burst(spec.burst_penalty);
+    let programs = build_programs(spec.scenario, spec.strategy, &spec.params, &lay);
+    presets::instantiate(&pspec, spec.strategy, programs)
+}
+
+/// Runs one microbenchmark to completion and returns its result.
+///
+/// This is the primitive every figure-regeneration binary is built on:
+/// the paper's data points are ratios of the `cycles` field between
+/// strategies.
+pub fn run(spec: &RunSpec) -> RunResult {
+    prepare(spec).run(spec.max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MicrobenchParams {
+        MicrobenchParams {
+            lines_per_iter: 2,
+            exec_time: 1,
+            outer_iters: 2,
+            seed: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn wcs_all_strategies_complete_cleanly() {
+        for strategy in Strategy::ALL {
+            let r = run(&RunSpec::new(Scenario::Worst, strategy, small()));
+            assert!(r.is_clean_completion(), "{strategy}: {r}");
+        }
+    }
+
+    #[test]
+    fn bcs_all_strategies_complete_cleanly() {
+        for strategy in Strategy::ALL {
+            let r = run(&RunSpec::new(Scenario::Best, strategy, small()));
+            assert!(r.is_clean_completion(), "{strategy}: {r}");
+        }
+    }
+
+    #[test]
+    fn tcs_all_strategies_complete_cleanly() {
+        for strategy in Strategy::ALL {
+            let r = run(&RunSpec::new(Scenario::Typical, strategy, small()));
+            assert!(r.is_clean_completion(), "{strategy}: {r}");
+        }
+    }
+
+    #[test]
+    fn proposed_beats_cache_disabled_in_wcs() {
+        let mut p = small();
+        p.lines_per_iter = 8;
+        p.exec_time = 4;
+        p.outer_iters = 4;
+        let disabled = run(&RunSpec::new(Scenario::Worst, Strategy::CacheDisabled, p));
+        let proposed = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, p));
+        assert!(
+            proposed.cycles_u64() < disabled.cycles_u64(),
+            "proposed {} vs disabled {}",
+            proposed.cycles_u64(),
+            disabled.cycles_u64()
+        );
+    }
+
+    #[test]
+    fn proposed_beats_software_in_bcs() {
+        let mut p = small();
+        p.lines_per_iter = 16;
+        p.outer_iters = 4;
+        let software = run(&RunSpec::new(Scenario::Best, Strategy::SoftwareDrain, p));
+        let proposed = run(&RunSpec::new(Scenario::Best, Strategy::Proposed, p));
+        assert!(
+            proposed.cycles_u64() < software.cycles_u64(),
+            "proposed {} vs software {}",
+            proposed.cycles_u64(),
+            software.cycles_u64()
+        );
+    }
+
+    #[test]
+    fn i486_platform_runs_wcs() {
+        let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+            .on(PlatformPick::I486Ppc));
+        assert!(r.is_clean_completion(), "{r}");
+    }
+
+    #[test]
+    fn pf1_platform_runs_wcs() {
+        let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+            .on(PlatformPick::Pf1Dual));
+        assert!(r.is_clean_completion(), "{r}");
+    }
+
+    #[test]
+    fn generic_pairs_run_wcs() {
+        use ProtocolKind::*;
+        for (a, b) in [(Mei, Mesi), (Msi, Moesi), (Mesi, Moesi), (Moesi, Moesi)] {
+            let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+                .on(PlatformPick::Pair(a, b)));
+            assert!(r.is_clean_completion(), "{a}+{b}: {r}");
+        }
+    }
+
+    #[test]
+    fn burst_penalty_slows_execution() {
+        let fast = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small()));
+        let slow = run(
+            &RunSpec::new(Scenario::Worst, Strategy::Proposed, small()).with_burst_penalty(96),
+        );
+        assert!(slow.cycles_u64() > fast.cycles_u64());
+    }
+}

@@ -1,0 +1,97 @@
+//! The hardware deadlock of paper Figure 4, live.
+//!
+//! On a PF2 platform (PowerPC755 + ARM920T) with *cacheable* lock
+//! variables, the retry/interrupt protocols can starve each other:
+//!
+//! 1. the PowerPC holds the lock (the lock line is Modified in its cache)
+//!    and touches shared lines the ARM has cached → TAG-CAM hit, the
+//!    PowerPC's transaction is killed (ARTRY) and nFIQ is raised;
+//! 2. the ARM, before it can take the interrupt, tries to acquire the
+//!    lock → its bus transaction snoop-hits the Modified lock line, so
+//!    the PowerPC must drain it;
+//! 3. but a master granted the bus retries its own killed transaction
+//!    *"instead of draining out the lock variables"* — and the ARM,
+//!    blocked on its lock access, can never service the nFIQ.
+//!
+//! Nobody progresses. The simulator's watchdog reports the stall. The
+//! fix — either of the paper's two solutions — is to keep lock variables
+//! out of the caches.
+//!
+//! Run with: `cargo run --release --example deadlock_demo`
+
+use hmp::cpu::{LockKind, ProgramBuilder};
+use hmp::platform::{presets, RunOutcome, Strategy};
+use hmp::workloads::{run, MicrobenchParams, RunSpec, Scenario};
+
+/// One deterministic run of the Figure 4 cast: the ARM caches the shared
+/// data, the PowerPC acquires the (cacheable!) lock and walks the shared
+/// lines, and the ARM tries to acquire `arm_delay` core cycles after its
+/// fills — the knob that decides whether its lock access is in flight at
+/// the fatal moment.
+fn deadlock_run(cacheable_locks: bool, arm_delay: u32) -> RunOutcome {
+    let (mut spec, lay) =
+        presets::ppc_arm(Strategy::Proposed, LockKind::Bakery, cacheable_locks);
+    spec.watchdog_window = 10_000;
+    // The paper's platform (Figure 2): fixed-priority AMBA arbitration with
+    // BOFF back-off after ARTRY. Round-robin arbitration happens to dodge
+    // the fatal ordering on a two-master bus.
+    spec.arbitration = hmp::bus::ArbitrationPolicy::FixedPriority;
+    spec.retry_backoff = 4;
+    let x = lay.shared_base;
+    // The ARM caches a handful of shared lines (the CAM now guards them),
+    // waits `arm_delay` cycles, then goes for the lock.
+    let mut arm = ProgramBuilder::new();
+    for l in 0..4 {
+        arm = arm.read(x.add_lines(l)).write(x.add_lines(l), 0xA0 + l);
+    }
+    let arm = arm.delay(arm_delay).acquire(0).delay(50).release(0).build();
+    // The PowerPC (2× clock: delays are core cycles) lets the ARM finish
+    // its fills, acquires the lock — the (cacheable!) lock line is now
+    // Modified in its cache — and walks the ARM-cached shared lines.
+    let mut ppc = ProgramBuilder::new().delay(200).acquire(0);
+    for l in 0..4 {
+        ppc = ppc.read(x.add_lines(l)).delay(16);
+    }
+    let ppc = ppc.release(0).build();
+    let mut sys = presets::instantiate(&spec, Strategy::Proposed, vec![ppc, arm]);
+    sys.run(500_000).outcome
+}
+
+fn main() {
+    println!("--- cacheable lock variables (the Figure 4 configuration) ---");
+    println!("The deadlock is a race: it needs the ARM's lock access in");
+    println!("flight when the PowerPC's snooped transaction is killed.");
+    println!("Sweeping the ARM's acquire timing over one window:\n");
+    let mut stalls = 0;
+    let mut first_stall = None;
+    for arm_delay in 0..500 {
+        if deadlock_run(true, arm_delay) == RunOutcome::Stalled {
+            stalls += 1;
+            first_stall.get_or_insert(arm_delay);
+        }
+    }
+    println!("{stalls}/500 interleavings deadlock (first at ARM delay {first_stall:?})");
+    assert!(stalls > 0, "the Figure 4 hardware deadlock must be reachable");
+
+    println!("\n--- solution 1: software lock (Bakery) in uncached memory ---");
+    for arm_delay in (0..500).step_by(5) {
+        let outcome = deadlock_run(false, arm_delay);
+        assert_eq!(outcome, RunOutcome::Completed, "delay {arm_delay}");
+    }
+    println!("all sampled interleavings complete");
+
+    println!("\n--- solution 2: the 1-bit hardware lock register ---");
+    let params = MicrobenchParams {
+        lines_per_iter: 8,
+        outer_iters: 4,
+        ..Default::default()
+    };
+    // The BCS runner uses the hardware lock register by default.
+    let result = run(&RunSpec::new(Scenario::Best, Strategy::Proposed, params));
+    println!("outcome: {}", result.outcome);
+    assert!(result.is_clean_completion());
+
+    println!("\nCacheable locks deadlock the PF2 platform; both of the");
+    println!("paper's remedies (uncached software locks, hardware lock");
+    println!("register) complete cleanly.");
+}

@@ -1,0 +1,76 @@
+//! Protocol zoo: every heterogeneous pairing from paper §2.
+//!
+//! For each combination of MEI/MSI/MESI/MOESI this example prints the
+//! reduced system protocol, the derived wrapper policies, and then *runs*
+//! a lock-free ping-pong workload twice — once with transparent (naive)
+//! wrappers, once with the paper's policies — showing the stale reads the
+//! wrappers eliminate.
+//!
+//! Run with: `cargo run --release --example protocol_zoo`
+
+use hmp::cache::ProtocolKind;
+use hmp::core::{derive_policy, reduce};
+use hmp::cpu::{LockKind, LockLayout, ProgramBuilder};
+use hmp::platform::{layout, CpuSpec, PlatformSpec, Strategy, System, WrapperMode};
+
+/// A ping-pong without locks: each CPU repeatedly writes then reads the
+/// shared line, interleaved by delays. Under a broken integration the
+/// reads observe stale values.
+fn violations(a: ProtocolKind, b: ProtocolKind, mode: WrapperMode) -> usize {
+    let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+    let mut spec = PlatformSpec::new(
+        vec![CpuSpec::generic("a", a), CpuSpec::generic("b", b)],
+        map,
+        lock,
+    );
+    spec.wrapper_mode = mode;
+    let c = lay.shared_base;
+    let p0 = ProgramBuilder::new()
+        .repeat(8, |p| p.read(c).delay(97).write(c, 0xAAAA).delay(61))
+        .build();
+    let p1 = ProgramBuilder::new()
+        .delay(31)
+        .repeat(8, |p| p.read(c).delay(83).write(c, 0xBBBB).delay(59))
+        .build();
+    let mut sys = System::new(&spec, vec![p0, p1]);
+    let result = sys.run(1_000_000);
+    result.violations.len()
+}
+
+fn main() {
+    use ProtocolKind::*;
+    println!(
+        "{:<7} {:<7} {:<7} {:<9} {:<9} cpu0 wrapper policy",
+        "cpu0", "cpu1", "system", "naive", "wrapped"
+    );
+    for (a, b) in [
+        (Mei, Mei),
+        (Mei, Msi),
+        (Mei, Mesi),
+        (Mei, Moesi),
+        (Msi, Msi),
+        (Msi, Mesi),
+        (Msi, Moesi),
+        (Mesi, Mesi),
+        (Mesi, Moesi),
+        (Moesi, Moesi),
+    ] {
+        let system = reduce(&[a, b]).expect("valid pair");
+        let naive = violations(a, b, WrapperMode::Transparent);
+        let wrapped = violations(a, b, WrapperMode::Paper);
+        println!(
+            "{:<7} {:<7} {:<7} {:<9} {:<9} {}",
+            a.to_string(),
+            b.to_string(),
+            system.to_string(),
+            format!("{naive} stale"),
+            format!("{wrapped} stale"),
+            derive_policy(a, system)
+        );
+        assert_eq!(wrapped, 0, "paper wrappers must be coherent for {a}+{b}");
+    }
+    println!("\nEvery pairing is coherent under the derived wrapper policies;");
+    println!("the mismatched pairings (MEI+MESI, MSI+MESI, …) read stale data");
+    println!("when integrated naively — exactly the paper's Tables 2 and 3.");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run the paper's platform end-to-end.
+//!
+//! Builds the DATE 2004 evaluation platform (PowerPC755 + ARM920T on a
+//! 50 MHz ASB), runs the worst-case microbenchmark under all three
+//! shared-data strategies, and prints the execution-time comparison the
+//! paper's Figure 5 is made of.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hmp::platform::{Report, Strategy};
+use hmp::workloads::{run, MicrobenchParams, RunSpec, Scenario};
+
+fn main() {
+    let params = MicrobenchParams {
+        lines_per_iter: 8,
+        exec_time: 1,
+        outer_iters: 8,
+        ..Default::default()
+    };
+
+    println!("PowerPC755 + ARM920T, worst-case scenario, 8 lines/iteration\n");
+    let mut baseline = None;
+    for strategy in Strategy::ALL {
+        let result = run(&RunSpec::new(Scenario::Worst, strategy, params));
+        assert!(
+            result.is_clean_completion(),
+            "run must finish coherently: {result}"
+        );
+        let cycles = result.cycles_u64();
+        let baseline_cycles = *baseline.get_or_insert(cycles);
+        println!(
+            "{strategy:>14}: {cycles:>8} bus cycles  (ratio vs cache-disabled: {:.3})",
+            cycles as f64 / baseline_cycles as f64
+        );
+        for line in Report::from_result(&result).to_string().lines().skip(1) {
+            println!("{:>14}  {line}", "");
+        }
+    }
+    println!("\nBoth cached strategies beat the uncached baseline, and the");
+    println!("proposed wrappers beat the software drain loop — without any");
+    println!("explicit cache management in the program.");
+}

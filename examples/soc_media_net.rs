@@ -1,0 +1,103 @@
+//! The paper's motivating SoC: a media processor feeding a network
+//! processor.
+//!
+//! The introduction motivates heterogeneous SoCs with exactly this split:
+//! "one can employ a media processor or a DSP for the MPEG/audio
+//! applications while a different one for the TCP/IP stack processing".
+//! This example builds that system as a PF3 platform — a MOESI media
+//! engine and a MEI protocol processor — and runs a lock-protected
+//! producer/consumer pipeline over a shared frame buffer:
+//!
+//! * the media core "decodes" frames (writes pseudo-macroblock data into
+//!   the shared buffer) under the lock;
+//! * the network core packetises them (reads every word back) under the
+//!   lock, alternating with the producer.
+//!
+//! No task ever executes a cache-maintenance instruction: the wrappers
+//! reduce MOESI+MEI to MEI and keep the buffer coherent. The golden-model
+//! checker verifies every word the consumer reads.
+//!
+//! Run with: `cargo run --release --example soc_media_net`
+
+use hmp::cache::ProtocolKind;
+use hmp::cpu::{LockKind, LockLayout, ProgramBuilder};
+use hmp::platform::{layout, CpuSpec, PlatformSpec, Strategy, System};
+
+const FRAMES: u32 = 6;
+const FRAME_LINES: u32 = 16; // 512-byte "frames"
+
+fn main() {
+    let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+    let mut media = CpuSpec::generic("media-dsp", ProtocolKind::Moesi);
+    media.clock_mult = 2; // the DSP runs at twice the bus clock
+    let net = CpuSpec::generic("net-proc", ProtocolKind::Mei);
+    let spec = PlatformSpec::new(vec![media, net], map, lock);
+
+    let frame_base = |f: u32| lay.shared_base.add_lines(f * FRAME_LINES);
+
+    // Producer: per frame, take the lock, write every word of the frame.
+    let mut producer = ProgramBuilder::new();
+    for f in 0..FRAMES {
+        producer = producer.acquire(0);
+        for l in 0..FRAME_LINES {
+            for w in 0..8 {
+                let addr = frame_base(f).add_lines(l).add_words(w);
+                producer = producer.write(addr, (f << 16) | (l << 8) | w);
+            }
+        }
+        producer = producer.release(0).delay(25);
+    }
+    let producer = producer.build();
+
+    // Consumer: per frame, take the lock, read every word back ("build
+    // packets"), with a little compute per line for header processing.
+    let mut consumer = ProgramBuilder::new();
+    for f in 0..FRAMES {
+        consumer = consumer.acquire(0);
+        for l in 0..FRAME_LINES {
+            for w in 0..8 {
+                consumer = consumer.read(frame_base(f).add_lines(l).add_words(w));
+            }
+            consumer = consumer.delay(4);
+        }
+        consumer = consumer.release(0).delay(25);
+    }
+    let consumer = consumer.build();
+
+    let mut sys = System::new(&spec, vec![producer, consumer]);
+    assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+    let result = sys.run(10_000_000);
+
+    assert!(
+        result.is_clean_completion(),
+        "pipeline must stay coherent: {result}"
+    );
+    // Every frame's data is in memory or cache coherently; spot-check the
+    // last frame's last word through memory + caches.
+    let last = frame_base(FRAMES - 1)
+        .add_lines(FRAME_LINES - 1)
+        .add_words(7);
+    let expect = ((FRAMES - 1) << 16) | ((FRAME_LINES - 1) << 8) | 7;
+    let observed = sys
+        .cache(0)
+        .peek_word(last)
+        .or_else(|| sys.cache(1).peek_word(last))
+        .unwrap_or_else(|| sys.memory().read_word(last));
+    assert_eq!(observed, expect);
+
+    println!("media→net pipeline: {} frames of {} lines", FRAMES, FRAME_LINES);
+    println!("outcome:   {}", result.outcome);
+    println!("cycles:    {}", result.cycles_u64());
+    println!(
+        "bus:       {} grants, {} retries, {} snoop drains",
+        result.bus.grants, result.bus.retries, result.bus.drains
+    );
+    println!(
+        "checker:   {} reads verified, 0 stale",
+        sys.checker().map(|c| c.checked_reads()).unwrap_or(0)
+    );
+    println!("\nMOESI (media DSP) + MEI (network processor) reduced to MEI;");
+    println!("the consumer saw every produced word without a single explicit");
+    println!("cache flush in either program.");
+}

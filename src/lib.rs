@@ -1,0 +1,39 @@
+//! # hmp — heterogeneous multiprocessor cache-coherence simulator
+//!
+//! A Rust reproduction of *"Supporting Cache Coherence in Heterogeneous
+//! Multiprocessor Systems"* (Suh, Blough, Lee — DATE 2004): snoop-translation
+//! wrappers that reduce mismatched invalidation protocols (MEI, MSI, MESI,
+//! MOESI) to their greatest common sub-protocol, TAG-CAM snoop logic with a
+//! fast-interrupt drain path for processors without native coherence
+//! hardware, and the cycle-level platform (ASB-style bus, caches, in-order
+//! cores) needed to evaluate them.
+//!
+//! This facade crate re-exports the public API of every workspace member so
+//! downstream users can depend on a single crate. See the individual crates
+//! for detailed documentation:
+//!
+//! * [`sim`] — simulation kernel (clocks, deterministic RNG, stats, watchdog)
+//! * [`mem`] — flat memory, memory map, latency-modelled memory controller
+//! * [`bus`] — ASB-style shared bus, arbiter, ARTRY/BOFF, lock register
+//! * [`cache`] — set-associative caches and the protocol FSM zoo
+//! * [`core`] — the paper's contribution: reduction lattice, wrappers,
+//!   TAG-CAM snoop logic, platform classes, deadlock analysis
+//! * [`cpu`] — micro-op processor model with ISR and lock clients
+//! * [`workloads`] — WCS/TCS/BCS microbenchmarks and shared-data strategies
+//! * [`platform`] — system assembly and the cycle loop
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run of the paper's PF2
+//! platform (PowerPC755 + ARM920T) under all three shared-data strategies.
+
+#![forbid(unsafe_code)]
+
+pub use hmp_bus as bus;
+pub use hmp_cache as cache;
+pub use hmp_core as core;
+pub use hmp_cpu as cpu;
+pub use hmp_mem as mem;
+pub use hmp_platform as platform;
+pub use hmp_sim as sim;
+pub use hmp_workloads as workloads;

@@ -1,0 +1,314 @@
+//! Property-based coherence testing.
+//!
+//! Random programs over a small shared working set run on randomly chosen
+//! heterogeneous protocol pairings (and on the paper's PF2 platform). The
+//! golden-memory checker must never observe a stale read, every run must
+//! complete, and stepping invariants (single dirty owner; no sharing under
+//! a MEI-reduced bus) must hold throughout.
+
+use hmp::cache::{LineState, ProtocolKind};
+use hmp::cpu::{LockKind, LockLayout, Op, Program, ProgramBuilder};
+use hmp::mem::Addr;
+use hmp::platform::{layout, presets, CpuSpec, PlatformSpec, RunOutcome, System};
+// NB: `hmp::platform::Strategy` stays fully qualified — its name collides
+// with proptest's `Strategy` trait.
+use hmp::platform::Strategy as ShareStrategy;
+use proptest::prelude::*;
+
+const LINES: u32 = 6;
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Read { line: u32, word: u32 },
+    Write { line: u32, word: u32 },
+    Flush { line: u32 },
+    Delay { cycles: u32 },
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0..LINES, 0..8u32).prop_map(|(line, word)| GenOp::Read { line, word }),
+        (0..LINES, 0..8u32).prop_map(|(line, word)| GenOp::Write { line, word }),
+        (0..LINES).prop_map(|line| GenOp::Flush { line }),
+        (1..16u32).prop_map(|cycles| GenOp::Delay { cycles }),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(gen_op(), 1..40)
+}
+
+fn protocol() -> impl Strategy<Value = ProtocolKind> {
+    prop::sample::select(ProtocolKind::WRITE_BACK.to_vec())
+}
+
+/// Appends a generated op list with globally unique store values.
+fn append(mut b: ProgramBuilder, ops: &[GenOp], cpu: u32, shared: Addr) -> ProgramBuilder {
+    for (i, op) in ops.iter().enumerate() {
+        let value = (cpu << 24) | (i as u32);
+        b = match *op {
+            GenOp::Read { line, word } => b.read(shared.add_lines(line).add_words(word)),
+            GenOp::Write { line, word } => {
+                b.write(shared.add_lines(line).add_words(word), value)
+            }
+            GenOp::Flush { line } => b.flush(shared.add_lines(line)),
+            GenOp::Delay { cycles } => b.delay(cycles),
+        };
+    }
+    b
+}
+
+/// Materialises a generated op list as a whole program.
+fn build(ops: &[GenOp], cpu: u32, shared: Addr) -> Program {
+    append(ProgramBuilder::new(), ops, cpu, shared).build()
+}
+
+/// Same, wrapped in one lock-protected critical section (the PF2
+/// programming model of paper §3).
+fn build_locked(ops: &[GenOp], cpu: u32, shared: Addr) -> Program {
+    append(ProgramBuilder::new().acquire(0), ops, cpu, shared)
+        .release(0)
+        .build()
+}
+
+fn pair_system(a: ProtocolKind, b: ProtocolKind, programs: Vec<Program>) -> System {
+    let (spec, _) = presets::protocol_pair(a, b, ShareStrategy::Proposed, LockKind::Turn);
+    presets::instantiate(&spec, ShareStrategy::Proposed, programs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_stay_coherent_on_any_protocol_pair(
+        a in protocol(),
+        b in protocol(),
+        ops0 in gen_program(),
+        ops1 in gen_program(),
+    ) {
+        let shared = hmp::platform::MemLayout::default().shared_base;
+        let programs = vec![build(&ops0, 0, shared), build(&ops1, 1, shared)];
+        let mut sys = pair_system(a, b, programs);
+        let result = sys.run(2_000_000);
+        prop_assert_eq!(result.outcome, RunOutcome::Completed);
+        prop_assert!(result.violations.is_empty(),
+            "stale reads on {}+{}: {:?}", a, b, result.violations);
+    }
+
+    /// On PF2, paper §3 restricts programs to "perform all shared variable
+    /// operations within critical sections, or a similar deadlock can
+    /// occur on non-lock variables" — so the property quantifies over
+    /// lock-protected programs, exactly as the paper's programming model
+    /// demands. (The unprotected hazard is pinned by
+    /// `pf2_unlocked_concurrent_access_is_a_liveness_hazard` below.)
+    #[test]
+    fn random_programs_stay_coherent_on_pf2(
+        ops0 in gen_program(),
+        ops1 in gen_program(),
+    ) {
+        let (spec, lay) = presets::ppc_arm(ShareStrategy::Proposed, LockKind::Turn, false);
+        let programs = vec![
+            build_locked(&ops0, 0, lay.shared_base),
+            build_locked(&ops1, 1, lay.shared_base),
+        ];
+        let mut sys = presets::instantiate(&spec, ShareStrategy::Proposed, programs);
+        let result = sys.run(2_000_000);
+        prop_assert_eq!(result.outcome, RunOutcome::Completed);
+        prop_assert!(result.violations.is_empty(), "{:?}", result.violations);
+    }
+
+    #[test]
+    fn stepping_invariants_hold_throughout(
+        a in protocol(),
+        b in protocol(),
+        ops0 in gen_program(),
+        ops1 in gen_program(),
+    ) {
+        let shared = hmp::platform::MemLayout::default().shared_base;
+        let programs = vec![build(&ops0, 0, shared), build(&ops1, 1, shared)];
+        let mut sys = pair_system(a, b, programs);
+        let system_protocol = sys.system_protocol().expect("native pair");
+        let mut steps = 0u32;
+        while !sys.finished() && steps < 1_000_000 {
+            sys.step();
+            steps += 1;
+            for line in 0..LINES {
+                let addr = shared.add_lines(line);
+                let s0 = sys.cache(0).line_state(addr);
+                let s1 = sys.cache(1).line_state(addr);
+                // Invariant 1: at most one dirty owner.
+                let dirty =
+                    [s0, s1].iter().filter(|s| s.is_some_and(|s| s.is_dirty())).count();
+                prop_assert!(dirty <= 1, "two dirty owners of {addr}: {s0:?} {s1:?}");
+                // Invariant 2: M/E excludes any other valid copy.
+                let exclusive = [s0, s1].iter().any(|s| {
+                    matches!(s, Some(LineState::Modified) | Some(LineState::Exclusive))
+                });
+                let valid =
+                    [s0, s1].iter().filter(|s| s.is_some_and(|s| s.is_valid())).count();
+                if exclusive {
+                    prop_assert!(valid <= 1, "E/M alongside another copy of {addr}");
+                }
+                // Invariant 3: a MEI-reduced bus never shares.
+                if system_protocol == ProtocolKind::Mei {
+                    prop_assert!(valid <= 1,
+                        "sharing on a MEI bus at {addr}: {s0:?} {s1:?}");
+                }
+            }
+        }
+        prop_assert!(sys.finished(), "run must terminate");
+    }
+
+    #[test]
+    fn lock_protected_random_critical_sections(
+        a in protocol(),
+        b in protocol(),
+        cs_ops in prop::collection::vec(gen_op(), 1..10),
+        rounds in 1..4u32,
+    ) {
+        // Both tasks run the same number of lock-protected rounds (the
+        // turn lock hands over strictly alternately).
+        let shared = hmp::platform::MemLayout::default().shared_base;
+        let mut programs = Vec::new();
+        for cpu in 0..2u32 {
+            let mut bld = ProgramBuilder::new();
+            for round in 0..rounds {
+                bld = bld.acquire(0);
+                for (i, op) in cs_ops.iter().enumerate() {
+                    let value = (cpu << 24) | (round << 12) | (i as u32);
+                    bld = match *op {
+                        GenOp::Read { line, word } =>
+                            bld.read(shared.add_lines(line).add_words(word)),
+                        GenOp::Write { line, word } =>
+                            bld.write(shared.add_lines(line).add_words(word), value),
+                        GenOp::Flush { line } => bld.flush(shared.add_lines(line)),
+                        GenOp::Delay { cycles } => bld.delay(cycles),
+                    };
+                }
+                bld = bld.release(0);
+            }
+            programs.push(bld.build());
+        }
+        let mut sys = pair_system(a, b, programs);
+        let result = sys.run(4_000_000);
+        prop_assert_eq!(result.outcome, RunOutcome::Completed);
+        prop_assert!(result.violations.is_empty(), "{:?}", result.violations);
+        prop_assert_eq!(result.cpus[0].lock_acquires, u64::from(rounds));
+        prop_assert_eq!(result.cpus[1].lock_acquires, u64::from(rounds));
+    }
+}
+
+/// Regression (found by the property search): a software flush puts the
+/// dirty line into a write-back that travels as a *CPU transaction*; a
+/// remote read racing that write-back must be ARTRY'd until it lands, or
+/// it reads stale memory. Sweep the race window cycle by cycle.
+#[test]
+fn remote_read_racing_a_flush_writeback_is_never_stale() {
+    for delay in 0..40u32 {
+        let shared = hmp::platform::MemLayout::default().shared_base;
+        let l1 = shared.add_lines(1);
+        let p0 = ProgramBuilder::new()
+            .write(l1, 0xFEED)
+            .delay(5)
+            .flush(l1)
+            .build();
+        let p1 = ProgramBuilder::new().delay(delay).read(l1).build();
+        let mut sys = pair_system(ProtocolKind::Mesi, ProtocolKind::Mei, vec![p0, p1]);
+        let result = sys.run(100_000);
+        assert_eq!(result.outcome, RunOutcome::Completed, "delay {delay}");
+        assert!(
+            result.violations.is_empty(),
+            "stale read at delay {delay}: {:?}",
+            result.violations
+        );
+        assert_eq!(sys.memory().read_word(l1), 0xFEED, "delay {delay}");
+    }
+}
+
+/// Paper §3's PF2 caveat, pinned: *unprotected* concurrent access to
+/// cacheable shared data can deadlock ("a similar deadlock can occur on
+/// non-lock variables") — which is exactly why the PF2 programming model
+/// requires critical sections. This is the minimal counterexample the
+/// coherence property search found.
+#[test]
+fn pf2_unlocked_concurrent_access_is_a_liveness_hazard() {
+    let (spec, lay) = presets::ppc_arm(ShareStrategy::Proposed, LockKind::Turn, false);
+    let x = lay.shared_base;
+    let ppc = ProgramBuilder::new()
+        .read(x)
+        .read(x.add_lines(1))
+        .write(x.add_lines(5), 1)
+        .write(x, 2)
+        .build();
+    let arm = ProgramBuilder::new()
+        .delay(14)
+        .read(x)
+        .read(x.add_lines(2).add_words(7))
+        .write(x.add_lines(5), 3)
+        .build();
+    let mut sys = presets::instantiate(&spec, ShareStrategy::Proposed, vec![ppc, arm]);
+    let result = sys.run(2_000_000);
+    assert_eq!(
+        result.outcome,
+        RunOutcome::Stalled,
+        "this interleaving deadlocks: ARM blocked on a line the PowerPC \
+         must drain, PowerPC retrying a line the ARM must ISR-drain"
+    );
+}
+
+/// Non-proptest sanity: three heterogeneous CPUs on one bus (the paper's
+/// "can be easily extended to platforms with more than two processors").
+#[test]
+fn three_processor_platform_stays_coherent() {
+    let (lay, map) = layout(3, ShareStrategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 3);
+    let spec = PlatformSpec::new(
+        vec![
+            CpuSpec::generic("mesi", ProtocolKind::Mesi),
+            CpuSpec::generic("moesi", ProtocolKind::Moesi),
+            CpuSpec::generic("msi", ProtocolKind::Msi),
+        ],
+        map,
+        lock,
+    );
+    let shared = lay.shared_base;
+    let mut programs = Vec::new();
+    for cpu in 0..3u32 {
+        let mut b = ProgramBuilder::new();
+        for round in 0..3u32 {
+            b = b.acquire(0);
+            for l in 0..4 {
+                let addr = shared.add_lines(l);
+                b = b.read(addr).write(addr, (cpu << 16) | (round << 8) | l);
+            }
+            b = b.release(0).delay(5);
+        }
+        programs.push(b.build());
+    }
+    let mut sys = System::new(&spec, programs);
+    assert_eq!(sys.system_protocol(), Some(ProtocolKind::Msi));
+    let result = sys.run(4_000_000);
+    assert!(result.is_clean_completion(), "{result}");
+    for c in &result.cpus {
+        assert_eq!(c.lock_acquires, 3);
+    }
+}
+
+/// The generated op vocabulary is exercised by the flattener too.
+#[test]
+fn build_helper_round_trips() {
+    let shared = hmp::platform::MemLayout::default().shared_base;
+    let ops = vec![
+        GenOp::Read { line: 0, word: 1 },
+        GenOp::Write { line: 2, word: 3 },
+        GenOp::Flush { line: 4 },
+        GenOp::Delay { cycles: 7 },
+    ];
+    let p = build(&ops, 1, shared);
+    let flat = p.flatten();
+    assert_eq!(flat.len(), 4);
+    assert!(matches!(flat[0], Op::Read(_)));
+    assert!(matches!(flat[1], Op::Write(_, v) if v >> 24 == 1));
+    assert!(matches!(flat[2], Op::FlushLine(_)));
+    assert_eq!(flat[3], Op::Delay(7));
+}

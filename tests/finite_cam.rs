@@ -1,0 +1,101 @@
+//! System-level tests of the finite TAG CAM: capacity interrupts keep the
+//! CAM a superset of the cache, so coherence survives a working set
+//! larger than the CAM.
+
+use hmp::cpu::{LockKind, ProgramBuilder};
+use hmp::platform::{presets, Strategy};
+
+#[test]
+fn finite_cam_capacity_interrupts_preserve_coherence() {
+    let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+    // A deliberately tiny CAM: 4 sets × 1 way = 4 tags, far below the
+    // ARM's 16 KiB cache.
+    spec.cpus[1].cam_geometry = Some((4, 1));
+    let x = lay.shared_base;
+
+    // The ARM writes 16 lines (4× the CAM capacity); every overflow
+    // forces a drain interrupt that pushes the line to memory. The
+    // PowerPC then reads all 16 lines and must see every value.
+    let mut arm = ProgramBuilder::new();
+    for l in 0..16 {
+        arm = arm.write(x.add_lines(l), 0x5000 + l);
+    }
+    let arm = arm.build();
+    let mut ppc = ProgramBuilder::new().delay(4000);
+    for l in 0..16 {
+        ppc = ppc.read(x.add_lines(l));
+    }
+    let ppc = ppc.build();
+
+    let mut sys = presets::instantiate(&spec, Strategy::Proposed, vec![ppc, arm]);
+    let result = sys.run(1_000_000);
+    assert!(result.is_clean_completion(), "{result}");
+    let cam = sys.snoop_logic(1).expect("ARM has a CAM");
+    assert!(
+        cam.capacity_evictions() >= 12,
+        "16 fills through 4 tags must overflow repeatedly, got {}",
+        cam.capacity_evictions()
+    );
+    assert!(
+        result.cpus[1].isr_entries >= 12,
+        "capacity interrupts drove the ISR: {result}"
+    );
+    for l in 0..16 {
+        let a = x.add_lines(l);
+        let v = sys
+            .cache(0)
+            .peek_word(a)
+            .unwrap_or_else(|| sys.memory().read_word(a));
+        assert_eq!(v, 0x5000 + l, "line {l}");
+    }
+}
+
+#[test]
+fn full_map_cam_never_takes_capacity_interrupts() {
+    let (spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+    let x = lay.shared_base;
+    let mut arm = ProgramBuilder::new();
+    for l in 0..16 {
+        arm = arm.write(x.add_lines(l), l);
+    }
+    let mut sys =
+        presets::instantiate(&spec, Strategy::Proposed, vec![ProgramBuilder::new().build(), arm.build()]);
+    let result = sys.run(1_000_000);
+    assert!(result.is_clean_completion(), "{result}");
+    assert_eq!(sys.snoop_logic(1).unwrap().capacity_evictions(), 0);
+    assert_eq!(result.cpus[1].isr_entries, 0, "nothing remote touched the lines");
+}
+
+#[test]
+fn finite_cam_costs_cycles_but_not_correctness() {
+    // Same workload with and without the capacity pressure: the finite
+    // CAM run is slower (forced drains + refetches would be needed by the
+    // PowerPC anyway, but the ARM pays interrupts), never incoherent.
+    let run_with = |geometry| {
+        let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+        spec.cpus[1].cam_geometry = geometry;
+        let x = lay.shared_base;
+        let mut arm = ProgramBuilder::new();
+        for round in 0..3u32 {
+            for l in 0..8 {
+                arm = arm
+                    .read(x.add_lines(l))
+                    .write(x.add_lines(l), (round << 8) | l);
+            }
+        }
+        let mut sys = presets::instantiate(
+            &spec,
+            Strategy::Proposed,
+            vec![ProgramBuilder::new().build(), arm.build()],
+        );
+        let result = sys.run(1_000_000);
+        assert!(result.is_clean_completion(), "{result}");
+        result.cycles_u64()
+    };
+    let unbounded = run_with(None);
+    let tiny = run_with(Some((2, 1)));
+    assert!(
+        tiny > unbounded,
+        "capacity interrupts must cost time: {tiny} vs {unbounded}"
+    );
+}

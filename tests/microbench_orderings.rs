@@ -1,0 +1,135 @@
+//! Shape assertions for the paper's evaluation figures.
+//!
+//! The reproduction criterion is *shape*, not absolute cycle counts: who
+//! wins, roughly by how much, and which way the trends run. These tests
+//! pin the orderings the paper reports so regressions in the model show
+//! up immediately. (Small parameters keep debug-mode runtime down; the
+//! figure binaries use the full sweeps.)
+
+use hmp::platform::Strategy;
+use hmp::workloads::{run, MicrobenchParams, RunSpec, Scenario};
+
+fn params(lines: u32, exec_time: u32) -> MicrobenchParams {
+    MicrobenchParams {
+        lines_per_iter: lines,
+        exec_time,
+        outer_iters: 6,
+        ..Default::default()
+    }
+}
+
+fn cycles(scenario: Scenario, strategy: Strategy, lines: u32, exec: u32, penalty: u64) -> u64 {
+    let result = run(&RunSpec::new(scenario, strategy, params(lines, exec))
+        .with_burst_penalty(penalty));
+    assert!(result.is_clean_completion(), "{scenario}/{strategy}: {result}");
+    result.cycles_u64()
+}
+
+#[test]
+fn fig5_wcs_proposed_beats_software_everywhere() {
+    // Paper: "better performance than the software solution by at least
+    // 2.51% for all WCS simulations."
+    for lines in [1u32, 8, 32] {
+        for exec in [1u32, 4] {
+            let sw = cycles(Scenario::Worst, Strategy::SoftwareDrain, lines, exec, 13);
+            let prop = cycles(Scenario::Worst, Strategy::Proposed, lines, exec, 13);
+            assert!(
+                prop < sw,
+                "WCS lines={lines} exec={exec}: proposed {prop} !< software {sw}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig5_wcs_proposed_beats_cache_disabled_strongly_at_exec4() {
+    // Paper: 57.66% improvement against cache-disabled at exec_time = 4.
+    let disabled = cycles(Scenario::Worst, Strategy::CacheDisabled, 4, 4, 13);
+    let proposed = cycles(Scenario::Worst, Strategy::Proposed, 4, 4, 13);
+    let improvement = (disabled - proposed) as f64 / disabled as f64;
+    assert!(
+        improvement > 0.5,
+        "expected a >50% improvement, got {:.1}%",
+        improvement * 100.0
+    );
+}
+
+#[test]
+fn fig6_bcs_speedup_grows_with_line_count() {
+    // Paper: "speedup increases as the number of accessed cache lines
+    // increases", reaching 38.22% at 32 lines.
+    let speedup = |lines| {
+        let sw = cycles(Scenario::Best, Strategy::SoftwareDrain, lines, 1, 13);
+        let prop = cycles(Scenario::Best, Strategy::Proposed, lines, 1, 13);
+        (sw - prop) as f64 / sw as f64
+    };
+    let s1 = speedup(1);
+    let s8 = speedup(8);
+    let s32 = speedup(32);
+    assert!(s1 < s8 && s8 < s32, "monotone growth: {s1:.3} {s8:.3} {s32:.3}");
+    assert!(
+        (0.25..0.55).contains(&s32),
+        "32-line BCS speedup should bracket the paper's 38.22%, got {:.1}%",
+        s32 * 100.0
+    );
+}
+
+#[test]
+fn fig7_tcs_sits_between_wcs_and_bcs() {
+    // The typical case conflicts ~10% of the time, so its proposed-vs-
+    // software gain lands between the worst and best cases.
+    let gain = |scenario| {
+        let sw = cycles(scenario, Strategy::SoftwareDrain, 8, 1, 13);
+        let prop = cycles(scenario, Strategy::Proposed, 8, 1, 13);
+        (sw as f64 - prop as f64) / sw as f64
+    };
+    let wcs = gain(Scenario::Worst);
+    let tcs = gain(Scenario::Typical);
+    let bcs = gain(Scenario::Best);
+    assert!(
+        wcs <= tcs && tcs <= bcs,
+        "expected WCS ≤ TCS ≤ BCS, got {wcs:.3} / {tcs:.3} / {bcs:.3}"
+    );
+}
+
+#[test]
+fn fig8_bcs_speedup_grows_with_miss_penalty() {
+    // Paper: "As the miss penalty increases, the performance difference
+    // also increases in favor of our approach", ~76% for BCS @ 32 lines
+    // at a 96-cycle penalty.
+    let speedup = |penalty| {
+        let sw = cycles(Scenario::Best, Strategy::SoftwareDrain, 32, 1, penalty);
+        let prop = cycles(Scenario::Best, Strategy::Proposed, 32, 1, penalty);
+        (sw - prop) as f64 / sw as f64
+    };
+    let at13 = speedup(13);
+    let at48 = speedup(48);
+    let at96 = speedup(96);
+    assert!(
+        at13 < at48 && at48 < at96,
+        "monotone in penalty: {at13:.3} {at48:.3} {at96:.3}"
+    );
+    assert!(
+        at96 > 0.55,
+        "high-penalty BCS speedup should approach the paper's ~76%, got {:.1}%",
+        at96 * 100.0
+    );
+}
+
+#[test]
+fn both_cached_strategies_beat_cache_disabled() {
+    for scenario in [Scenario::Worst, Scenario::Typical, Scenario::Best] {
+        let disabled = cycles(scenario, Strategy::CacheDisabled, 8, 1, 13);
+        let sw = cycles(scenario, Strategy::SoftwareDrain, 8, 1, 13);
+        let prop = cycles(scenario, Strategy::Proposed, 8, 1, 13);
+        assert!(sw < disabled, "{scenario}: software {sw} !< disabled {disabled}");
+        assert!(prop < disabled, "{scenario}: proposed {prop} !< disabled {disabled}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = cycles(Scenario::Typical, Strategy::Proposed, 8, 2, 13);
+    let b = cycles(Scenario::Typical, Strategy::Proposed, 8, 2, 13);
+    assert_eq!(a, b);
+}

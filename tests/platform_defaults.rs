@@ -1,0 +1,79 @@
+//! Asserts the paper's Table 4 simulation environment and Table 1
+//! platform classes are wired in as the defaults.
+
+use hmp::cache::ProtocolKind;
+use hmp::core::{CoherenceSupport, PlatformClass};
+use hmp::cpu::{LockKind, Program};
+use hmp::mem::LatencyModel;
+use hmp::platform::{presets, CpuSpec, Strategy, System};
+
+#[test]
+fn table4_memory_timing() {
+    let lat = LatencyModel::default();
+    assert_eq!(lat.single().as_u64(), 6, "single word: 6 cycles");
+    assert_eq!(lat.burst(1).as_u64(), 6, "1st word of a burst: 6 cycles");
+    assert_eq!(
+        lat.burst(8).as_u64(),
+        13,
+        "8-word burst: 6 + 7×1 = 13 cycles"
+    );
+}
+
+#[test]
+fn table4_clock_ratios() {
+    // PowerPC755 at 100 MHz, ARM920T at 50 MHz, ASB at 50 MHz.
+    assert_eq!(CpuSpec::powerpc755().clock_mult, 2);
+    assert_eq!(CpuSpec::arm920t().clock_mult, 1);
+}
+
+#[test]
+fn processor_protocols_match_the_paper() {
+    assert_eq!(
+        CpuSpec::powerpc755().coherence,
+        CoherenceSupport::Native(ProtocolKind::Mei),
+        "PowerPC755 uses the MEI protocol"
+    );
+    assert_eq!(
+        CpuSpec::arm920t().coherence,
+        CoherenceSupport::None,
+        "no cache coherence is supported in ARM920T"
+    );
+    assert_eq!(
+        CpuSpec::intel486().coherence,
+        CoherenceSupport::Native(ProtocolKind::Mesi),
+        "Intel486 supports a modified MESI protocol"
+    );
+}
+
+#[test]
+fn named_platform_classes() {
+    let (spec, _) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
+    let sys = System::new(&spec, vec![Program::empty(); 2]);
+    assert_eq!(sys.platform_class(), PlatformClass::Pf2);
+    assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+
+    let (spec, _) = presets::i486_ppc(Strategy::Proposed, LockKind::Turn);
+    let sys = System::new(&spec, vec![Program::empty(); 2]);
+    assert_eq!(sys.platform_class(), PlatformClass::Pf3);
+    assert_eq!(sys.system_protocol(), Some(ProtocolKind::Mei));
+
+    let (spec, _) = presets::pf1_dual(Strategy::Proposed, LockKind::Turn);
+    let sys = System::new(&spec, vec![Program::empty(); 2]);
+    assert_eq!(sys.platform_class(), PlatformClass::Pf1);
+    assert_eq!(sys.system_protocol(), None);
+}
+
+#[test]
+fn figure8_latency_sweep_points_construct() {
+    for total in [13u64, 24, 48, 96] {
+        let lat = LatencyModel::scaled_to_burst(total);
+        assert_eq!(lat.line_burst().as_u64(), total);
+    }
+}
+
+#[test]
+fn cache_geometries_match_the_parts() {
+    assert_eq!(CpuSpec::powerpc755().cache.capacity_bytes(), 32 * 1024);
+    assert_eq!(CpuSpec::arm920t().cache.capacity_bytes(), 16 * 1024);
+    assert_eq!(CpuSpec::intel486().cache.capacity_bytes(), 8 * 1024);
+}
