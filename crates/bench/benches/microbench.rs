@@ -1,16 +1,23 @@
-//! Criterion benches over the paper's workloads.
+//! Wall-clock micro-timings over the paper's workloads.
 //!
 //! One group per figure: `fig5_wcs`, `fig6_bcs`, `fig7_tcs` time the
 //! simulator running each strategy's workload (the printed figure
 //! binaries derive their ratios from exactly these runs);
 //! `fig8_miss_penalty` times the penalty sweep; `protocol_pairs` covers
 //! every §2 reduction pairing.
+//!
+//! This is a self-contained `harness = false` bench (the `criterion`
+//! crate is unavailable in the offline build environment): each case is
+//! warmed up once, then timed over a fixed number of iterations with
+//! `std::time::Instant`, reporting the per-iteration mean.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hmp_cache::ProtocolKind;
 use hmp_platform::Strategy;
 use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
 use std::hint::black_box;
+use std::time::Instant;
+
+const ITERS: u32 = 10;
 
 fn params() -> MicrobenchParams {
     MicrobenchParams {
@@ -22,69 +29,42 @@ fn params() -> MicrobenchParams {
     }
 }
 
-fn bench_scenario(c: &mut Criterion, scenario: Scenario, group_name: &str) {
-    let mut group = c.benchmark_group(group_name);
+fn time_case(group: &str, case: &str, spec: &RunSpec) {
+    // Warm-up run (first-touch allocations, page faults).
+    black_box(run(black_box(spec)).cycles_u64());
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(run(black_box(spec)).cycles_u64());
+    }
+    let total = start.elapsed();
+    println!(
+        "{group}/{case:<24} {:>10.1} µs/iter ({ITERS} iters)",
+        total.as_secs_f64() * 1e6 / f64::from(ITERS)
+    );
+}
+
+fn bench_scenario(scenario: Scenario, group: &str) {
     for strategy in Strategy::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy),
-            &strategy,
-            |b, &strategy| {
-                let spec = RunSpec::new(scenario, strategy, params());
-                b.iter(|| black_box(run(black_box(&spec))).cycles_u64());
-            },
-        );
+        let spec = RunSpec::new(scenario, strategy, params());
+        time_case(group, &strategy.to_string(), &spec);
     }
-    group.finish();
 }
 
-fn fig5_wcs(c: &mut Criterion) {
-    bench_scenario(c, Scenario::Worst, "fig5_wcs");
-}
+fn main() {
+    bench_scenario(Scenario::Worst, "fig5_wcs");
+    bench_scenario(Scenario::Best, "fig6_bcs");
+    bench_scenario(Scenario::Typical, "fig7_tcs");
 
-fn fig6_bcs(c: &mut Criterion) {
-    bench_scenario(c, Scenario::Best, "fig6_bcs");
-}
-
-fn fig7_tcs(c: &mut Criterion) {
-    bench_scenario(c, Scenario::Typical, "fig7_tcs");
-}
-
-fn fig8_miss_penalty(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_miss_penalty");
     for penalty in [13u64, 24, 48, 96] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(penalty),
-            &penalty,
-            |b, &penalty| {
-                let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
-                    .with_burst_penalty(penalty);
-                b.iter(|| black_box(run(black_box(&spec))).cycles_u64());
-            },
-        );
+        let spec =
+            RunSpec::new(Scenario::Worst, Strategy::Proposed, params()).with_burst_penalty(penalty);
+        time_case("fig8_miss_penalty", &penalty.to_string(), &spec);
     }
-    group.finish();
-}
 
-fn protocol_pairs(c: &mut Criterion) {
     use ProtocolKind::*;
-    let mut group = c.benchmark_group("protocol_pairs");
-    for (a, b_) in [(Mei, Mesi), (Msi, Mesi), (Mesi, Moesi), (Moesi, Moesi)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{a}+{b_}")),
-            &(a, b_),
-            |bench, &(a, b_)| {
-                let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
-                    .on(PlatformPick::Pair(a, b_));
-                bench.iter(|| black_box(run(black_box(&spec))).cycles_u64());
-            },
-        );
+    for (a, b) in [(Mei, Mesi), (Msi, Mesi), (Mesi, Moesi), (Moesi, Moesi)] {
+        let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+            .on(PlatformPick::Pair(a, b));
+        time_case("protocol_pairs", &format!("{a}+{b}"), &spec);
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig5_wcs, fig6_bcs, fig7_tcs, fig8_miss_penalty, protocol_pairs
-}
-criterion_main!(figures);

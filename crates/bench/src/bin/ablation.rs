@@ -13,6 +13,7 @@
 //! 5. **Scalability** — WCS execution time as the processor count grows
 //!    (the paper's "easily extended to more than two processors").
 
+use hmp_bench::sweep::{default_workers, par_map};
 use hmp_cache::ProtocolKind;
 use hmp_cpu::{IsrConfig, LockKind};
 use hmp_platform::{presets, Strategy, System, WrapperMode};
@@ -47,10 +48,20 @@ fn main() {
         "cpu0", "cpu1", "naive violations", "paper violations"
     );
     use ProtocolKind::*;
-    for (a, b) in [(Mei, Msi), (Mei, Mesi), (Mei, Moesi), (Msi, Mesi), (Msi, Moesi), (Mesi, Moesi)]
-    {
+    let pairs = [
+        (Mei, Msi),
+        (Mei, Mesi),
+        (Mei, Moesi),
+        (Msi, Mesi),
+        (Msi, Moesi),
+        (Mesi, Moesi),
+    ];
+    let rows = par_map(&pairs, default_workers(), |&(a, b)| {
         let (naive, _) = wcs_violations(a, b, WrapperMode::Transparent);
         let (paper, done) = wcs_violations(a, b, WrapperMode::Paper);
+        (naive, paper, done)
+    });
+    for (&(a, b), &(naive, paper, done)) in pairs.iter().zip(&rows) {
         println!(
             "{:<8} {:<8} {:>18} {:>18}{}",
             a.to_string(),
@@ -78,7 +89,8 @@ fn main() {
 
     println!("\n=== Ablation 3 — ISR cost sweep on PF2 (WCS, proposed) ===");
     println!("{:>22} {:>12}", "entry/exit cycles", "exec cycles");
-    for cost in [4u32, 8, 16, 32, 64] {
+    let costs = [4u32, 8, 16, 32, 64];
+    let cycles = par_map(&costs, default_workers(), |&cost| {
         let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Turn, false);
         spec.cpus[1].isr = IsrConfig {
             response_cycles: 4,
@@ -87,8 +99,10 @@ fn main() {
         };
         let programs = build_programs(Scenario::Worst, Strategy::Proposed, &params(), &lay);
         let mut sys = presets::instantiate(&spec, Strategy::Proposed, programs);
-        let r = sys.run(5_000_000);
-        println!("{:>22} {:>12}", format!("{cost}/{cost}"), r.cycles_u64());
+        sys.run(5_000_000).cycles_u64()
+    });
+    for (&cost, &c) in costs.iter().zip(&cycles) {
+        println!("{:>22} {c:>12}", format!("{cost}/{cost}"));
     }
 
     println!("\n=== Ablation 4 — TAG-CAM capacity sweep on PF2 (WCS, proposed) ===");
@@ -108,18 +122,21 @@ fn main() {
             .unwrap_or(0);
         (r.cycles_u64(), caps, r.cpus[1].isr_entries)
     };
-    for (sets, ways) in [(2u32, 1u32), (4, 2), (16, 4), (64, 8)] {
-        let (cycles, caps, isrs) = cam_run(Some((sets, ways)));
-        println!(
-            "{:>16} {:>12} {:>14} {:>12}",
-            format!("{sets}x{ways}"),
-            cycles,
-            caps,
-            isrs
-        );
+    let geometries = [
+        Some((2u32, 1u32)),
+        Some((4, 2)),
+        Some((16, 4)),
+        Some((64, 8)),
+        None,
+    ];
+    let cam_rows = par_map(&geometries, default_workers(), |&g| cam_run(g));
+    for (&geometry, &(cycles, caps, isrs)) in geometries.iter().zip(&cam_rows) {
+        let label = match geometry {
+            Some((sets, ways)) => format!("{sets}x{ways}"),
+            None => "full-map".into(),
+        };
+        println!("{label:>16} {cycles:>12} {caps:>14} {isrs:>12}");
     }
-    let (cycles, caps, isrs) = cam_run(None);
-    println!("{:>16} {cycles:>12} {caps:>14} {isrs:>12}", "full-map");
 
     println!("\n=== Ablation 5 — WCS scalability with processor count (proposed) ===");
     println!(
@@ -128,8 +145,7 @@ fn main() {
     );
     for n in 2..=4usize {
         let protocols = vec![hmp_cache::ProtocolKind::Mesi; n];
-        let (spec, lay) =
-            presets::generic_many(&protocols, Strategy::Proposed, LockKind::Turn);
+        let (spec, lay) = presets::generic_many(&protocols, Strategy::Proposed, LockKind::Turn);
         let programs = hmp_workloads::build_programs_for(
             Scenario::Worst,
             Strategy::Proposed,

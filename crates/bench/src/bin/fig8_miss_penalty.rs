@@ -7,86 +7,89 @@
 //! occasional non-monotonic points from replacements and interrupt
 //! overheads.
 
-use hmp_bench::{cycles_for, cycles_on};
+use hmp_bench::cycles_on;
+use hmp_bench::sweep::{default_workers, par_map};
 use hmp_platform::Strategy;
 use hmp_workloads::{PlatformPick, Scenario};
 
 const PENALTIES: [u64; 4] = [13, 24, 48, 96];
 const LINES: [u32; 2] = [1, 32];
 
-fn main() {
-    println!("=== Figure 8 — ratio vs software solution across miss penalties ===");
-    println!("(execution time of the proposed approach / software solution; lower is better)");
-    println!(
-        "\n{:>5} {:>6} {:>8} {:>12} {:>12} {:>8} {:>12}",
-        "scen", "lines", "penalty", "software", "proposed", "ratio", "speedup"
-    );
+/// One measured grid point: software vs proposed at a miss penalty.
+struct Cell {
+    scenario: Scenario,
+    lines: u32,
+    penalty: u64,
+    software: u64,
+    proposed: u64,
+}
+
+fn measure(platform: PlatformPick) -> Vec<Cell> {
+    let mut points = Vec::new();
     for scenario in [Scenario::Worst, Scenario::Typical, Scenario::Best] {
         for lines in LINES {
             for penalty in PENALTIES {
-                let software =
-                    cycles_for(scenario, Strategy::SoftwareDrain, lines, 1, penalty);
-                let proposed = cycles_for(scenario, Strategy::Proposed, lines, 1, penalty);
-                let ratio = proposed as f64 / software as f64;
-                println!(
-                    "{:>5} {:>6} {:>8} {:>12} {:>12} {:>8.3} {:>11.2}%",
-                    scenario.to_string(),
-                    lines,
-                    penalty,
-                    software,
-                    proposed,
-                    ratio,
-                    (1.0 - ratio) * 100.0
-                );
+                points.push((scenario, lines, penalty));
             }
         }
     }
-    let software = cycles_for(Scenario::Best, Strategy::SoftwareDrain, 32, 1, 96);
-    let proposed = cycles_for(Scenario::Best, Strategy::Proposed, 32, 1, 96);
+    par_map(&points, default_workers(), |&(scenario, lines, penalty)| {
+        Cell {
+            scenario,
+            lines,
+            penalty,
+            software: cycles_on(
+                platform,
+                scenario,
+                Strategy::SoftwareDrain,
+                lines,
+                1,
+                penalty,
+            ),
+            proposed: cycles_on(platform, scenario, Strategy::Proposed, lines, 1, penalty),
+        }
+    })
+}
+
+fn print_cells(cells: &[Cell]) {
+    println!(
+        "{:>5} {:>6} {:>8} {:>12} {:>12} {:>8} {:>12}",
+        "scen", "lines", "penalty", "software", "proposed", "ratio", "speedup"
+    );
+    for cell in cells {
+        let ratio = cell.proposed as f64 / cell.software as f64;
+        println!(
+            "{:>5} {:>6} {:>8} {:>12} {:>12} {:>8.3} {:>11.2}%",
+            cell.scenario.to_string(),
+            cell.lines,
+            cell.penalty,
+            cell.software,
+            cell.proposed,
+            ratio,
+            (1.0 - ratio) * 100.0
+        );
+    }
+}
+
+fn main() {
+    println!("=== Figure 8 — ratio vs software solution across miss penalties ===");
+    println!("(execution time of the proposed approach / software solution; lower is better)");
+    println!();
+    let pf2 = measure(PlatformPick::PpcArm);
+    print_cells(&pf2);
+
+    let headline = pf2
+        .iter()
+        .find(|c| c.scenario == Scenario::Best && c.lines == 32 && c.penalty == 96)
+        .expect("BCS @ 32 lines, 96-cycle penalty is in the grid");
     println!(
         "\nheadline (paper: ~76% speedup, BCS @ 32 lines, 96-cycle penalty): {:.2}%",
-        (software - proposed) as f64 / software as f64 * 100.0
+        (headline.software - headline.proposed) as f64 / headline.software as f64 * 100.0
     );
 
     // Paper §4: "These exceptions are expected to be removed in PF3 since
     // the interrupt service routine is not needed." Replay the sweep on
     // the Intel486 + PowerPC755 platform.
     println!("\n=== PF3 (Intel486 + PowerPC755): same sweep, no ISR ===");
-    println!(
-        "{:>5} {:>6} {:>8} {:>12} {:>12} {:>8} {:>12}",
-        "scen", "lines", "penalty", "software", "proposed", "ratio", "speedup"
-    );
-    for scenario in [Scenario::Worst, Scenario::Typical, Scenario::Best] {
-        for lines in LINES {
-            for penalty in PENALTIES {
-                let software = cycles_on(
-                    PlatformPick::I486Ppc,
-                    scenario,
-                    Strategy::SoftwareDrain,
-                    lines,
-                    1,
-                    penalty,
-                );
-                let proposed = cycles_on(
-                    PlatformPick::I486Ppc,
-                    scenario,
-                    Strategy::Proposed,
-                    lines,
-                    1,
-                    penalty,
-                );
-                let ratio = proposed as f64 / software as f64;
-                println!(
-                    "{:>5} {:>6} {:>8} {:>12} {:>12} {:>8.3} {:>11.2}%",
-                    scenario.to_string(),
-                    lines,
-                    penalty,
-                    software,
-                    proposed,
-                    ratio,
-                    (1.0 - ratio) * 100.0
-                );
-            }
-        }
-    }
+    print_cells(&measure(PlatformPick::I486Ppc));
 }

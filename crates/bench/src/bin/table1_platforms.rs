@@ -7,10 +7,7 @@ use hmp_core::{classify_platform, derive_policy, reduce, CoherenceSupport};
 
 fn main() {
     println!("=== Table 1 — heterogeneous platform classes ===");
-    println!(
-        "{:<28} {:<28} {:>6}",
-        "processor 1", "processor 2", "class"
-    );
+    println!("{:<28} {:<28} {:>6}", "processor 1", "processor 2", "class");
     let rows = [
         (CoherenceSupport::None, CoherenceSupport::None),
         (

@@ -36,10 +36,7 @@ fn run_table(p1: ProtocolKind, p2: ProtocolKind, mode: WrapperMode) {
     let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
     let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
     let mut spec = PlatformSpec::new(
-        vec![
-            CpuSpec::generic("P1", p1),
-            CpuSpec::generic("P2", p2),
-        ],
+        vec![CpuSpec::generic("P1", p1), CpuSpec::generic("P2", p2)],
         map,
         lock,
     );
@@ -56,13 +53,8 @@ fn run_table(p1: ProtocolKind, p2: ProtocolKind, mode: WrapperMode) {
     let mut sys = System::new(&spec, vec![prog1, prog2]);
     sys.poke_word(c, 0x11);
 
-    println!(
-        "\n--- P1 = {p1}, P2 = {p2}, wrappers: {mode} ---"
-    );
-    println!(
-        "{:<18} {:>12} {:>12}",
-        "operation", "C in P1", "C in P2"
-    );
+    println!("\n--- P1 = {p1}, P2 = {p2}, wrappers: {mode} ---");
+    println!("{:<18} {:>12} {:>12}", "operation", "C in P1", "C in P2");
     let mut next = 0;
     while next < SAMPLE_AT.len() {
         sys.step();
@@ -88,10 +80,18 @@ fn run_table(p1: ProtocolKind, p2: ProtocolKind, mode: WrapperMode) {
 
 fn main() {
     println!("=== Table 2 — integrating MESI with MEI ===");
-    run_table(ProtocolKind::Mesi, ProtocolKind::Mei, WrapperMode::Transparent);
+    run_table(
+        ProtocolKind::Mesi,
+        ProtocolKind::Mei,
+        WrapperMode::Transparent,
+    );
     run_table(ProtocolKind::Mesi, ProtocolKind::Mei, WrapperMode::Paper);
 
     println!("\n=== Table 3 — integrating MSI with MESI ===");
-    run_table(ProtocolKind::Msi, ProtocolKind::Mesi, WrapperMode::Transparent);
+    run_table(
+        ProtocolKind::Msi,
+        ProtocolKind::Mesi,
+        WrapperMode::Transparent,
+    );
     run_table(ProtocolKind::Msi, ProtocolKind::Mesi, WrapperMode::Paper);
 }

@@ -13,13 +13,19 @@
 //! | `fig8_miss_penalty` | Figure 8 — miss-penalty sweep |
 //! | `ablation` | extra: wrapper-knob and ISR-cost ablations |
 //!
-//! Criterion benches (`cargo bench -p hmp-bench`) time the simulator
-//! itself over the same workloads.
+//! `cargo bench -p hmp-bench` times the simulator itself over the same
+//! workloads (a plain `harness = false` bench, no external harness).
 //!
 //! This library holds the shared sweep/printing helpers the binaries use.
+//! Grid sweeps fan out across threads via [`sweep::par_map`] — every grid
+//! point is an independent deterministic run, so the parallel sweep
+//! produces byte-identical rows to the serial one (set
+//! `HMP_BENCH_WORKERS=1` to force serial execution).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod sweep;
 
 use hmp_platform::Strategy;
 use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
@@ -137,8 +143,11 @@ impl RatioRow {
     }
 }
 
-/// Prints a Figures 5–7 style table for one scenario.
+/// Prints a Figures 5–7 style table for one scenario. The grid is
+/// measured in parallel (see [`sweep`]); the printed rows are identical
+/// to a serial sweep.
 pub fn print_figure(scenario: Scenario, title: &str) {
+    let rows = sweep::sweep_parallel(&sweep::figure_grid(scenario), sweep::default_workers());
     println!("=== {title} ===");
     println!("(execution time relative to the cache-disabled baseline; lower is better)");
     for exec_time in MicrobenchParams::EXEC_SWEEP {
@@ -147,8 +156,7 @@ pub fn print_figure(scenario: Scenario, title: &str) {
             "{:>6} {:>12} {:>12} {:>10} {:>10} {:>12}",
             "lines", "software", "proposed", "sw ratio", "prop ratio", "speedup-vs-sw"
         );
-        for lines in MicrobenchParams::LINE_SWEEP {
-            let row = RatioRow::measure(scenario, lines, exec_time);
+        for row in rows.iter().filter(|r| r.exec_time == exec_time) {
             println!(
                 "{:>6} {:>12} {:>12} {:>10.3} {:>10.3} {:>11.2}%",
                 row.lines,

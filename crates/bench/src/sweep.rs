@@ -1,0 +1,192 @@
+//! Deterministic parallel sweep running.
+//!
+//! The figure binaries measure dozens of independent (scenario, strategy,
+//! lines, exec_time) grid points; each point is a full simulator run, so
+//! the sweeps dominate regeneration time. [`par_map`] fans the points
+//! across OS threads with a shared work cursor — pure `std`, no external
+//! thread pool — and slots every result back by its input index, so the
+//! output order (and, since each run is itself seeded and deterministic,
+//! every value in it) is identical to the serial sweep no matter how the
+//! scheduler interleaves the workers.
+
+use crate::RatioRow;
+use hmp_workloads::{MicrobenchParams, Scenario};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on up to `workers` threads, returning results in
+/// input order.
+///
+/// Work is distributed dynamically (a shared cursor, one item at a time),
+/// so long-running points do not serialize behind a static partition.
+/// Determinism comes from index-slotting the results, not from the
+/// schedule.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map<T, O, F>(items: &[T], workers: usize, f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                out[i] = Some(value);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("cursor covers every index"))
+        .collect()
+}
+
+/// Worker count for sweeps: the `HMP_BENCH_WORKERS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    match std::env::var("HMP_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// One grid point of a Figures 5–7 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The workload scenario.
+    pub scenario: Scenario,
+    /// Accessed cache lines per iteration (figure x-axis).
+    pub lines: u32,
+    /// The `exec_time` workload parameter.
+    pub exec_time: u32,
+}
+
+/// The full Figures 5–7 grid for one scenario, in print order
+/// (`exec_time` major, `lines` minor).
+pub fn figure_grid(scenario: Scenario) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for exec_time in MicrobenchParams::EXEC_SWEEP {
+        for lines in MicrobenchParams::LINE_SWEEP {
+            points.push(SweepPoint {
+                scenario,
+                lines,
+                exec_time,
+            });
+        }
+    }
+    points
+}
+
+/// Measures every point on the calling thread, in order.
+pub fn sweep_serial(points: &[SweepPoint]) -> Vec<RatioRow> {
+    points
+        .iter()
+        .map(|p| RatioRow::measure(p.scenario, p.lines, p.exec_time))
+        .collect()
+}
+
+/// Measures every point across `workers` threads; the returned rows are
+/// identical to [`sweep_serial`]'s, in the same order.
+pub fn sweep_parallel(points: &[SweepPoint], workers: usize) -> Vec<RatioRow> {
+    par_map(points, workers, |p| {
+        RatioRow::measure(p.scenario, p.lines, p.exec_time)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        // Uneven work so threads finish out of order.
+        let doubled = par_map(&items, 8, |&x| {
+            if x % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_shapes() {
+        let empty: [u32; 0] = [];
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[7], 16, |&x| x + 1), vec![8]);
+        assert_eq!(par_map(&[1, 2, 3], 0, |&x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn figure_grid_covers_the_sweep() {
+        let grid = figure_grid(Scenario::Worst);
+        assert_eq!(
+            grid.len(),
+            MicrobenchParams::EXEC_SWEEP.len() * MicrobenchParams::LINE_SWEEP.len()
+        );
+        assert!(grid.iter().all(|p| p.scenario == Scenario::Worst));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_rows() {
+        // A small grid keeps this fast; full grids are covered by the
+        // figure binaries themselves.
+        let points = [
+            SweepPoint {
+                scenario: Scenario::Best,
+                lines: 2,
+                exec_time: 1,
+            },
+            SweepPoint {
+                scenario: Scenario::Best,
+                lines: 4,
+                exec_time: 1,
+            },
+            SweepPoint {
+                scenario: Scenario::Typical,
+                lines: 2,
+                exec_time: 1,
+            },
+            SweepPoint {
+                scenario: Scenario::Worst,
+                lines: 2,
+                exec_time: 1,
+            },
+        ];
+        let serial = sweep_serial(&points);
+        let parallel = sweep_parallel(&points, 4);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -1,0 +1,69 @@
+//! Cycle-count invariance pins for the coherence-pipeline refactor.
+//!
+//! The PR 1 refactor (typed coherence pipeline + Observer instrumentation)
+//! must not move a single simulated cycle: these goldens were captured on
+//! the pre-refactor monolithic `System` loop and pin the `RunResult`
+//! totals for the paper's figure workloads at (lines = 32, exec_time = 1)
+//! under all three shared-data strategies.
+
+use hmp_bench::figure_params;
+use hmp_platform::Strategy;
+use hmp_workloads::{run, RunSpec, Scenario};
+
+/// (scenario, strategy, cycles, bus grants, bus retries, bus drains).
+const GOLDEN: &[(Scenario, Strategy, u64, u64, u64, u64)] = &[
+    // Captured on the pre-refactor monolithic `System` (PR 1 baseline).
+    (
+        Scenario::Worst,
+        Strategy::CacheDisabled,
+        112164,
+        15912,
+        0,
+        0,
+    ),
+    (Scenario::Worst, Strategy::SoftwareDrain, 32932, 3176, 0, 0),
+    (Scenario::Worst, Strategy::Proposed, 30852, 4488, 1824, 256),
+    (
+        Scenario::Typical,
+        Strategy::CacheDisabled,
+        112164,
+        15912,
+        0,
+        0,
+    ),
+    (
+        Scenario::Typical,
+        Strategy::SoftwareDrain,
+        32932,
+        3176,
+        0,
+        0,
+    ),
+    (Scenario::Typical, Strategy::Proposed, 20946, 2309, 256, 32),
+    (Scenario::Best, Strategy::CacheDisabled, 35017, 4112, 0, 0),
+    (Scenario::Best, Strategy::SoftwareDrain, 18121, 528, 0, 0),
+    (Scenario::Best, Strategy::Proposed, 10857, 48, 0, 0),
+];
+
+#[test]
+fn figure_workloads_cycle_totals_are_pinned() {
+    for &(scenario, strategy, cycles, grants, retries, drains) in GOLDEN {
+        let spec = RunSpec::new(scenario, strategy, figure_params(32, 1));
+        let r = run(&spec);
+        assert!(r.is_clean_completion(), "{scenario}/{strategy}: {r}");
+        // On drift, rerun with `--nocapture` to read off the new totals —
+        // but a drift here means the refactor moved cycles; fix that first.
+        println!(
+            "    (Scenario::{scenario:?}, Strategy::{strategy:?}, {}, {}, {}, {}),",
+            r.cycles_u64(),
+            r.bus.grants,
+            r.bus.retries,
+            r.bus.drains
+        );
+        assert_eq!(
+            (r.cycles_u64(), r.bus.grants, r.bus.retries, r.bus.drains),
+            (cycles, grants, retries, drains),
+            "{scenario}/{strategy} drifted from the pre-refactor golden"
+        );
+    }
+}

@@ -86,11 +86,7 @@ impl Arbiter {
     ///
     /// Panics if `requesting.len()` differs from the master count.
     pub fn grant(&mut self, requesting: &[bool]) -> Option<MasterId> {
-        assert_eq!(
-            requesting.len(),
-            self.masters,
-            "BREQ vector width mismatch"
-        );
+        assert_eq!(requesting.len(), self.masters, "BREQ vector width mismatch");
         match self.policy {
             ArbitrationPolicy::RoundRobin => {
                 for off in 1..=self.masters {

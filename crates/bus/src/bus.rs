@@ -2,6 +2,7 @@
 
 use crate::{Arbiter, ArbitrationPolicy, BusOp, MasterId};
 use hmp_mem::{Addr, LINE_WORDS};
+use hmp_sim::{Cycle, Observer, SimEvent};
 use std::collections::VecDeque;
 
 /// The bus pipeline state.
@@ -137,6 +138,9 @@ pub struct Bus {
     active: Option<Active>,
     stats: BusStats,
     retry_backoff: u64,
+    /// Reused arbitration request mask — rebuilding it per cycle would
+    /// allocate on the hot path.
+    req_mask: Vec<bool>,
 }
 
 impl Bus {
@@ -153,6 +157,7 @@ impl Bus {
             active: None,
             stats: BusStats::default(),
             retry_backoff: 0,
+            req_mask: vec![false; masters],
         }
     }
 
@@ -200,20 +205,14 @@ impl Bus {
     pub fn submit(&mut self, master: MasterId, op: BusOp, addr: Addr) {
         let port = &mut self.ports[master.index()];
         assert!(
-            port.fresh.is_none()
-                && port.retrying.as_ref().is_none_or(|&(_, _, d)| d),
+            port.fresh.is_none() && port.retrying.as_ref().is_none_or(|&(_, _, d)| d),
             "{master} already has an outstanding CPU transaction"
         );
         port.fresh = Some((op, addr));
     }
 
     /// Queues a snoop-push write-back on `master`'s port.
-    pub fn submit_drain(
-        &mut self,
-        master: MasterId,
-        data: [u32; LINE_WORDS as usize],
-        addr: Addr,
-    ) {
+    pub fn submit_drain(&mut self, master: MasterId, data: [u32; LINE_WORDS as usize], addr: Addr) {
         self.ports[master.index()]
             .drains
             .push_back((data, addr.line_base()));
@@ -240,9 +239,7 @@ impl Bus {
     /// until the write-back lands.
     pub fn drain_pending_to(&self, addr: Addr) -> bool {
         let line = addr.line_base();
-        let wb = |op: &BusOp, a: Addr| {
-            matches!(op, BusOp::WriteLine(_)) && a.line_base() == line
-        };
+        let wb = |op: &BusOp, a: Addr| matches!(op, BusOp::WriteLine(_)) && a.line_base() == line;
         self.ports.iter().any(|p| {
             p.drains.iter().any(|&(_, a)| a == line)
                 || p.retrying.as_ref().is_some_and(|(op, a, _)| wb(op, *a))
@@ -263,16 +260,17 @@ impl Bus {
     /// Runs arbitration if the bus is idle. On a grant, the returned
     /// transaction is in its address phase and **must** be resolved with
     /// [`Bus::resolve`] in the same cycle.
-    pub fn try_grant(&mut self) -> Option<GrantedTxn> {
+    ///
+    /// A grant is reported to `obs` as [`SimEvent::BusGrant`], timestamped
+    /// `now` — a typed event, so a null observer costs nothing.
+    pub fn try_grant(&mut self, now: Cycle, obs: &mut impl Observer) -> Option<GrantedTxn> {
         if self.phase != BusPhase::Idle {
             return None;
         }
-        let requesting: Vec<bool> = self
-            .ports
-            .iter()
-            .map(|p| p.backoff == 0 && p.wants_bus())
-            .collect();
-        let master = self.arbiter.grant(&requesting)?;
+        for (slot, p) in self.req_mask.iter_mut().zip(&self.ports) {
+            *slot = p.backoff == 0 && p.wants_bus();
+        }
+        let master = self.arbiter.grant(&self.req_mask)?;
         let port = &mut self.ports[master.index()];
         let txn = if let Some((op, addr, was_drain)) = port.retrying.take() {
             GrantedTxn {
@@ -307,6 +305,16 @@ impl Bus {
             supplied: None,
         });
         self.stats.grants += 1;
+        obs.on_event(
+            now,
+            SimEvent::BusGrant {
+                master: txn.master.index(),
+                op: txn.op.kind(),
+                addr: u64::from(txn.addr.as_u32()),
+                is_retry: txn.is_retry,
+                is_drain: txn.is_drain,
+            },
+        );
         Some(txn)
     }
 
@@ -416,6 +424,7 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmp_sim::NullObserver;
 
     fn proceed(cycles: u64) -> AddressOutcome {
         AddressOutcome::Proceed {
@@ -429,7 +438,9 @@ mod tests {
     fn grant_address_data_complete() {
         let mut bus = Bus::new(2);
         bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
-        let g = bus.try_grant().expect("grant");
+        let g = bus
+            .try_grant(Cycle::ZERO, &mut NullObserver)
+            .expect("grant");
         assert_eq!(g.master, MasterId(0));
         assert_eq!(g.op, BusOp::ReadLine);
         assert!(!g.is_retry && !g.is_drain);
@@ -449,7 +460,7 @@ mod tests {
     fn zero_cycle_op_completes_in_address_phase() {
         let mut bus = Bus::new(1);
         bus.submit(MasterId(0), BusOp::Upgrade, Addr::new(0x40));
-        bus.try_grant().unwrap();
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         let done = bus.resolve(proceed(0)).expect("immediate completion");
         assert_eq!(done.op, BusOp::Upgrade);
         assert_eq!(bus.phase(), BusPhase::Idle);
@@ -459,10 +470,12 @@ mod tests {
     fn retry_requeues_and_marks_retry() {
         let mut bus = Bus::new(2);
         bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
-        bus.try_grant().unwrap();
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(bus.resolve(AddressOutcome::Retry).is_none());
         assert!(bus.cpu_txn_outstanding(MasterId(0)));
-        let g = bus.try_grant().expect("retry granted");
+        let g = bus
+            .try_grant(Cycle::ZERO, &mut NullObserver)
+            .expect("retry granted");
         assert!(g.is_retry);
         assert_eq!(g.master, MasterId(0));
         assert_eq!(bus.stats().retries, 1);
@@ -474,22 +487,22 @@ mod tests {
         bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
         bus.submit_drain(MasterId(0), [7; 8], Addr::new(0x40));
         // Drain is sent before the fresh CPU transaction.
-        let g = bus.try_grant().unwrap();
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_drain);
         assert_eq!(g.addr, Addr::new(0x40));
         assert!(bus.resolve(AddressOutcome::Retry).is_none());
         // The retried drain still precedes the fresh transaction...
-        let g = bus.try_grant().unwrap();
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_drain && g.is_retry);
         bus.resolve(AddressOutcome::Retry);
         // ...and a retried CPU transaction would precede the drain — the
         // paper's deadlock ordering — which we exercise below.
         let mut bus2 = Bus::new(1);
         bus2.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
-        bus2.try_grant().unwrap();
+        bus2.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         bus2.resolve(AddressOutcome::Retry);
         bus2.submit_drain(MasterId(0), [1; 8], Addr::new(0x40));
-        let g = bus2.try_grant().unwrap();
+        let g = bus2.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_retry && !g.is_drain, "retry outranks the queued drain");
     }
 
@@ -498,11 +511,11 @@ mod tests {
         let mut bus = Bus::new(2);
         bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x0));
         bus.submit(MasterId(1), BusOp::ReadWord, Addr::new(0x4));
-        let g = bus.try_grant().unwrap();
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.master, MasterId(0));
         bus.resolve(proceed(1));
         bus.advance_data().unwrap();
-        let g = bus.try_grant().unwrap();
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.master, MasterId(1));
     }
 
@@ -511,9 +524,12 @@ mod tests {
         let mut bus = Bus::new(2);
         bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x0));
         bus.submit(MasterId(1), BusOp::ReadLine, Addr::new(0x40));
-        bus.try_grant().unwrap();
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         bus.resolve(proceed(5));
-        assert!(bus.try_grant().is_none(), "bus is streaming data");
+        assert!(
+            bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none(),
+            "bus is streaming data"
+        );
     }
 
     #[test]
@@ -530,7 +546,7 @@ mod tests {
     fn retried_drain_still_blocks_its_line() {
         let mut bus = Bus::new(1);
         bus.submit_drain(MasterId(0), [0; 8], Addr::new(0x40));
-        bus.try_grant().unwrap();
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         bus.resolve(AddressOutcome::Retry);
         assert!(bus.drain_pending_to(Addr::new(0x40)));
         assert_eq!(bus.queued_drains(), 1);
@@ -548,7 +564,7 @@ mod tests {
     fn completion_reports_shared_and_supplied() {
         let mut bus = Bus::new(1);
         bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
-        bus.try_grant().unwrap();
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         bus.resolve(AddressOutcome::Proceed {
             data_cycles: 2,
             shared: true,
@@ -564,7 +580,7 @@ mod tests {
     fn drain_completion_counted() {
         let mut bus = Bus::new(1);
         bus.submit_drain(MasterId(0), [3; 8], Addr::new(0x40));
-        let g = bus.try_grant().unwrap();
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.op, BusOp::WriteLine([3; 8]));
         bus.resolve(proceed(1));
         let done = bus.advance_data().unwrap();

@@ -65,6 +65,18 @@ impl BusOp {
         )
     }
 
+    /// The payload-free event kind for [`hmp_sim::SimEvent`] emission.
+    pub fn kind(&self) -> hmp_sim::BusOpKind {
+        match self {
+            BusOp::ReadLine => hmp_sim::BusOpKind::ReadLine,
+            BusOp::ReadLineExcl => hmp_sim::BusOpKind::ReadLineExcl,
+            BusOp::WriteLine(_) => hmp_sim::BusOpKind::WriteLine,
+            BusOp::ReadWord => hmp_sim::BusOpKind::ReadWord,
+            BusOp::WriteWord(_) => hmp_sim::BusOpKind::WriteWord,
+            BusOp::Upgrade => hmp_sim::BusOpKind::Upgrade,
+        }
+    }
+
     /// Short mnemonic for traces.
     pub fn mnemonic(&self) -> &'static str {
         match self {

@@ -7,6 +7,12 @@
 //! master ordering (retry → drains → fresh) holds, and the statistics
 //! balance.
 
+// QUARANTINED (PR 1): these property tests depend on the `proptest` crate,
+// which the offline build environment cannot fetch (empty cargo registry, no
+// network). Enable the `proptests` feature after restoring the `proptest`
+// dev-dependency to run them. Tracking: CHANGES.md (PR 1).
+#![cfg(feature = "proptests")]
+
 use hmp_bus::{AddressOutcome, ArbitrationPolicy, Bus, BusOp, BusPhase, MasterId};
 use hmp_mem::Addr;
 use proptest::prelude::*;
@@ -21,16 +27,26 @@ fn proceed(cycles: u64) -> AddressOutcome {
 
 #[derive(Debug, Clone)]
 enum Event {
-    Submit { master: usize, op: u8, line: u32 },
-    Drain { master: usize, line: u32 },
+    Submit {
+        master: usize,
+        op: u8,
+        line: u32,
+    },
+    Drain {
+        master: usize,
+        line: u32,
+    },
     /// Retry the next address phase (bounded by the driver).
     Retry,
 }
 
 fn event(masters: usize) -> impl Strategy<Value = Event> {
     prop_oneof![
-        (0..masters, 0..4u8, 0..8u32)
-            .prop_map(|(master, op, line)| Event::Submit { master, op, line }),
+        (0..masters, 0..4u8, 0..8u32).prop_map(|(master, op, line)| Event::Submit {
+            master,
+            op,
+            line
+        }),
         (0..masters, 0..8u32).prop_map(|(master, line)| Event::Drain { master, line }),
         Just(Event::Retry),
     ]

@@ -5,6 +5,7 @@ use crate::lru::LruOrder;
 use crate::protocol::{Protocol, ProtocolKind};
 use crate::state::LineState;
 use hmp_mem::{Addr, LINE_BYTES, LINE_WORDS};
+use hmp_sim::{Cycle, Observer, SimEvent, SnoopActionKind};
 
 /// Geometry of a data cache. Line size is fixed at the platform's 32
 /// bytes; sets and ways are configurable.
@@ -129,6 +130,8 @@ pub struct DataCache {
     config: CacheConfig,
     protocol: ProtocolKind,
     sets: Vec<CacheSet>,
+    /// Index of the owning processor, carried in emitted [`SimEvent`]s.
+    owner: usize,
 }
 
 impl DataCache {
@@ -160,7 +163,16 @@ impl DataCache {
             config,
             protocol,
             sets,
+            owner: 0,
         }
+    }
+
+    /// Tags the cache with its owning processor's index; the tag only
+    /// labels emitted [`SimEvent`]s.
+    #[must_use]
+    pub fn with_owner(mut self, owner: usize) -> Self {
+        self.owner = owner;
+        self
     }
 
     /// The cache geometry.
@@ -192,11 +204,10 @@ impl DataCache {
     fn find_way(&self, addr: Addr) -> Option<u32> {
         let tag = self.tag(addr);
         let set = &self.sets[self.set_index(addr)];
-        set.ways.iter().enumerate().find_map(|(i, l)| {
-            l.as_ref()
-                .filter(|l| l.tag == tag)
-                .map(|_| i as u32)
-        })
+        set.ways
+            .iter()
+            .enumerate()
+            .find_map(|(i, l)| l.as_ref().filter(|l| l.tag == tag).map(|_| i as u32))
     }
 
     /// Evicts to guarantee a free way in `addr`'s set; returns the victim
@@ -378,7 +389,13 @@ impl DataCache {
     /// state transition is applied immediately and the reply carries any
     /// data the platform must move (write-back or cache-to-cache supply).
     /// Lines whose next state is Invalid are removed.
-    pub fn snoop(&mut self, addr: Addr, op: SnoopOp) -> Option<SnoopReply> {
+    pub fn snoop(
+        &mut self,
+        addr: Addr,
+        op: SnoopOp,
+        at: Cycle,
+        obs: &mut impl Observer,
+    ) -> Option<SnoopReply> {
         let way = self.find_way(addr)?;
         let si = self.set_index(addr);
         let (old_state, wt, data) = {
@@ -392,12 +409,22 @@ impl DataCache {
         if t.next == LineState::Invalid {
             set.ways[way as usize] = None;
         } else {
-            set.ways[way as usize]
-                .as_mut()
-                .expect("found way")
-                .state = t.next;
+            set.ways[way as usize].as_mut().expect("found way").state = t.next;
         }
         let carries_data = !matches!(t.action, SnoopAction::None);
+        obs.on_event(
+            at,
+            SimEvent::SnoopHit {
+                owner: self.owner,
+                addr: u64::from(addr.as_u32()),
+                action: match t.action {
+                    SnoopAction::None => SnoopActionKind::StateOnly,
+                    SnoopAction::WritebackLine => SnoopActionKind::Writeback,
+                    SnoopAction::SupplyLine => SnoopActionKind::Supply,
+                },
+                asserts_shared: t.asserts_shared,
+            },
+        );
         Some(SnoopReply {
             old_state,
             new_state: t.next,
@@ -415,9 +442,7 @@ impl DataCache {
     pub fn flush_line(&mut self, addr: Addr) -> Option<(bool, [u32; LINE_WORDS as usize])> {
         let way = self.find_way(addr)?;
         let si = self.set_index(addr);
-        let line = self.sets[si].ways[way as usize]
-            .take()
-            .expect("found way");
+        let line = self.sets[si].ways[way as usize].take().expect("found way");
         Some((line.state.is_dirty(), line.data))
     }
 
@@ -430,9 +455,7 @@ impl DataCache {
     pub fn invalidate_line(&mut self, addr: Addr) {
         if let Some(way) = self.find_way(addr) {
             let si = self.set_index(addr);
-            let line = self.sets[si].ways[way as usize]
-                .take()
-                .expect("found way");
+            let line = self.sets[si].ways[way as usize].take().expect("found way");
             assert!(
                 !line.state.is_dirty(),
                 "invalidate_line would drop dirty data at {addr}"
@@ -492,6 +515,7 @@ impl DataCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmp_sim::NullObserver;
 
     fn cache(kind: ProtocolKind) -> DataCache {
         DataCache::new(CacheConfig { sets: 4, ways: 2 }, kind)
@@ -559,7 +583,9 @@ mod tests {
         c.fill(a, filled_line(1), Access::Read, true, false);
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::HitNeedsUpgrade);
         // A remote upgrade sneaks in first.
-        let reply = c.snoop(a, SnoopOp::Upgrade).expect("line present");
+        let reply = c
+            .snoop(a, SnoopOp::Upgrade, Cycle::ZERO, &mut NullObserver)
+            .expect("line present");
         assert_eq!(reply.new_state, LineState::Invalid);
         assert!(!c.complete_upgrade(a, 2), "line was lost");
         assert!(!c.contains(a));
@@ -587,7 +613,7 @@ mod tests {
     #[test]
     fn eviction_prefers_free_way_then_lru() {
         let mut c = cache(ProtocolKind::Mesi); // 4 sets × 2 ways
-        // Three different tags mapping to set 0 (stride = sets × 32 = 128).
+                                               // Three different tags mapping to set 0 (stride = sets × 32 = 128).
         let a = Addr::new(0x000);
         let b = Addr::new(0x080);
         let d = Addr::new(0x100);
@@ -633,7 +659,9 @@ mod tests {
         let a = Addr::new(0x40);
         c.fill(a, filled_line(0), Access::Write, false, false);
         c.commit_write(a, 7);
-        let r = c.snoop(a, SnoopOp::Read).expect("present");
+        let r = c
+            .snoop(a, SnoopOp::Read, Cycle::ZERO, &mut NullObserver)
+            .expect("present");
         assert_eq!(r.old_state, LineState::Modified);
         assert_eq!(r.new_state, LineState::Shared);
         assert_eq!(r.action, SnoopAction::WritebackLine);
@@ -647,16 +675,30 @@ mod tests {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
         c.fill(a, filled_line(1), Access::Read, false, false);
-        let r = c.snoop(a, SnoopOp::Write).expect("present");
+        let r = c
+            .snoop(a, SnoopOp::Write, Cycle::ZERO, &mut NullObserver)
+            .expect("present");
         assert_eq!(r.new_state, LineState::Invalid);
         assert!(!c.contains(a));
-        assert_eq!(c.snoop(a, SnoopOp::Write), None, "second snoop misses");
+        assert_eq!(
+            c.snoop(a, SnoopOp::Write, Cycle::ZERO, &mut NullObserver),
+            None,
+            "second snoop misses"
+        );
     }
 
     #[test]
     fn snoop_absent_line_is_none() {
         let mut c = cache(ProtocolKind::Msi);
-        assert_eq!(c.snoop(Addr::new(0x40), SnoopOp::Read), None);
+        assert_eq!(
+            c.snoop(
+                Addr::new(0x40),
+                SnoopOp::Read,
+                Cycle::ZERO,
+                &mut NullObserver
+            ),
+            None
+        );
     }
 
     #[test]

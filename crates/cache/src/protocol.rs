@@ -170,8 +170,14 @@ mod tests {
     #[test]
     fn state_sets_match_names() {
         use LineState::*;
-        assert_eq!(ProtocolKind::Mei.protocol().states(), &[Modified, Exclusive, Invalid]);
-        assert_eq!(ProtocolKind::Msi.protocol().states(), &[Modified, Shared, Invalid]);
+        assert_eq!(
+            ProtocolKind::Mei.protocol().states(),
+            &[Modified, Exclusive, Invalid]
+        );
+        assert_eq!(
+            ProtocolKind::Msi.protocol().states(),
+            &[Modified, Shared, Invalid]
+        );
         assert_eq!(
             ProtocolKind::Mesi.protocol().states(),
             &[Modified, Exclusive, Shared, Invalid]

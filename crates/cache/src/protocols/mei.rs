@@ -22,7 +22,11 @@ impl Protocol for Mei {
     }
 
     fn states(&self) -> &'static [LineState] {
-        &[LineState::Modified, LineState::Exclusive, LineState::Invalid]
+        &[
+            LineState::Modified,
+            LineState::Exclusive,
+            LineState::Invalid,
+        ]
     }
 
     fn fill_state(&self, access: Access, _shared_signal: bool) -> LineState {

@@ -65,7 +65,11 @@ impl fmt::Display for WrapperPolicy {
         write!(
             f,
             "read→write: {}, shared: {}",
-            if self.convert_read_to_write { "on" } else { "off" },
+            if self.convert_read_to_write {
+                "on"
+            } else {
+                "off"
+            },
             self.shared_signal
         )
     }
@@ -121,9 +125,7 @@ pub fn derive_policy(own: ProtocolKind, system: ProtocolKind) -> WrapperPolicy {
             shared_signal: SharedSignalPolicy::PassThrough,
         },
         (Moesi, Moesi) => WrapperPolicy::TRANSPARENT,
-        (sys, own) => panic!(
-            "invalid reduction pairing: system {sys} cannot host processor {own}"
-        ),
+        (sys, own) => panic!("invalid reduction pairing: system {sys} cannot host processor {own}"),
     }
 }
 

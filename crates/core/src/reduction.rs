@@ -148,8 +148,7 @@ mod tests {
                 let r = reduce(&[a, b]).unwrap();
                 for s in r.protocol().states() {
                     let ok = |p: ProtocolKind| {
-                        p.has_state(*s)
-                            || (p == Msi && *s == hmp_cache::LineState::Exclusive)
+                        p.has_state(*s) || (p == Msi && *s == hmp_cache::LineState::Exclusive)
                     };
                     assert!(ok(a) && ok(b), "{a}+{b} → {r} but {s} unsupported");
                 }

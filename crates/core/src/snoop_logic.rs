@@ -1,6 +1,7 @@
 //! TAG-CAM snoop logic for processors without coherence hardware.
 
 use hmp_mem::{Addr, LINE_BYTES};
+use hmp_sim::{Cycle, Observer, SimEvent};
 use std::collections::{HashSet, VecDeque};
 
 /// The external snooping assembly of paper §3 / Figure 3.
@@ -48,15 +49,17 @@ use std::collections::{HashSet, VecDeque};
 /// ```
 /// use hmp_core::SnoopLogic;
 /// use hmp_mem::Addr;
+/// use hmp_sim::{Cycle, NullObserver};
 ///
 /// let mut cam = SnoopLogic::new();
+/// let (at, mut obs) = (Cycle::ZERO, NullObserver);
 /// cam.observe_local_fill(Addr::new(0x100));
-/// assert!(cam.check_remote(Addr::new(0x11C))); // same line → ARTRY + nFIQ
+/// assert!(cam.check_remote(Addr::new(0x11C), at, &mut obs)); // same line → ARTRY + nFIQ
 /// assert!(cam.nfiq());
 /// let line = cam.next_pending().unwrap();
 /// cam.ack(line); // ISR drained/invalidated it
 /// assert!(!cam.nfiq());
-/// assert!(!cam.check_remote(Addr::new(0x100)));
+/// assert!(!cam.check_remote(Addr::new(0x100), at, &mut obs));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SnoopLogic {
@@ -65,6 +68,8 @@ pub struct SnoopLogic {
     remote_hits: u64,
     fills_observed: u64,
     capacity_evictions: u64,
+    /// Index of the owning processor, carried in emitted [`SimEvent`]s.
+    owner: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -89,7 +94,16 @@ impl SnoopLogic {
             remote_hits: 0,
             fills_observed: 0,
             capacity_evictions: 0,
+            owner: 0,
         }
+    }
+
+    /// Tags the CAM with its owning processor's index; the tag only
+    /// labels emitted [`SimEvent`]s.
+    #[must_use]
+    pub fn with_owner(mut self, owner: usize) -> Self {
+        self.owner = owner;
+        self
     }
 
     /// Creates a finite set-associative CAM of `sets × ways` tags.
@@ -98,19 +112,25 @@ impl SnoopLogic {
     ///
     /// Panics if `sets` is not a power of two or `ways` is zero.
     pub fn with_geometry(sets: u32, ways: u32) -> Self {
-        assert!(sets.is_power_of_two(), "CAM set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "CAM set count must be a power of two"
+        );
         assert!(ways > 0, "CAM needs at least one way");
         SnoopLogic {
             storage: Storage::Mirrored {
                 sets,
                 ways,
-                entries: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+                entries: (0..sets)
+                    .map(|_| Vec::with_capacity(ways as usize))
+                    .collect(),
                 overflow: HashSet::new(),
             },
             pending: VecDeque::new(),
             remote_hits: 0,
             fills_observed: 0,
             capacity_evictions: 0,
+            owner: 0,
         }
     }
 
@@ -160,7 +180,10 @@ impl SnoopLogic {
                 tags.remove(&line);
             }
             Storage::Mirrored {
-                sets, entries, overflow, ..
+                sets,
+                entries,
+                overflow,
+                ..
             } => {
                 entries[Self::set_of(*sets, line)].retain(|&t| t != line);
                 overflow.remove(&line);
@@ -172,11 +195,11 @@ impl SnoopLogic {
         match &self.storage {
             Storage::FullMap(tags) => tags.contains(&line),
             Storage::Mirrored {
-                sets, entries, overflow, ..
-            } => {
-                overflow.contains(&line)
-                    || entries[Self::set_of(*sets, line)].contains(&line)
-            }
+                sets,
+                entries,
+                overflow,
+                ..
+            } => overflow.contains(&line) || entries[Self::set_of(*sets, line)].contains(&line),
         }
     }
 
@@ -184,7 +207,7 @@ impl SnoopLogic {
     /// line is queued for the ISR (once) and the caller must ARTRY the
     /// remote transaction; `nFIQ` stays asserted until every pending line
     /// is [`ack`](SnoopLogic::ack)ed.
-    pub fn check_remote(&mut self, addr: Addr) -> bool {
+    pub fn check_remote(&mut self, addr: Addr, at: Cycle, obs: &mut impl Observer) -> bool {
         let line = addr.line_base().as_u32();
         if !self.holds(line) {
             return false;
@@ -193,6 +216,13 @@ impl SnoopLogic {
         if !self.pending.contains(&line) {
             self.pending.push_back(line);
         }
+        obs.on_event(
+            at,
+            SimEvent::CamHit {
+                owner: self.owner,
+                addr: u64::from(addr.as_u32()),
+            },
+        );
         true
     }
 
@@ -260,14 +290,15 @@ impl Default for SnoopLogic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hmp_sim::NullObserver;
 
     #[test]
     fn fill_then_remote_hit_raises_nfiq() {
         let mut cam = SnoopLogic::new();
-        assert!(!cam.check_remote(Addr::new(0x100)));
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
         cam.observe_local_fill(Addr::new(0x104));
         assert!(cam.contains(Addr::new(0x100)), "line-granular");
-        assert!(cam.check_remote(Addr::new(0x118)));
+        assert!(cam.check_remote(Addr::new(0x118), Cycle::ZERO, &mut NullObserver));
         assert!(cam.nfiq());
         assert_eq!(cam.next_pending(), Some(Addr::new(0x100)));
         assert_eq!(cam.remote_hits(), 1);
@@ -277,12 +308,15 @@ mod tests {
     fn repeated_remote_hits_queue_once() {
         let mut cam = SnoopLogic::new();
         cam.observe_local_fill(Addr::new(0x100));
-        assert!(cam.check_remote(Addr::new(0x100)));
-        assert!(cam.check_remote(Addr::new(0x100)), "retries keep hitting");
+        assert!(cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
+        assert!(
+            cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver),
+            "retries keep hitting"
+        );
         assert_eq!(cam.remote_hits(), 2);
         cam.ack(Addr::new(0x100));
         assert!(!cam.nfiq());
-        assert!(!cam.check_remote(Addr::new(0x100)));
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
     }
 
     #[test]
@@ -291,7 +325,7 @@ mod tests {
         cam.observe_local_fill(Addr::new(0x100));
         cam.observe_local_writeback(Addr::new(0x100));
         assert!(cam.is_empty());
-        assert!(!cam.check_remote(Addr::new(0x100)));
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
     }
 
     #[test]
@@ -300,8 +334,8 @@ mod tests {
         cam.observe_local_fill(Addr::new(0x100));
         cam.observe_local_fill(Addr::new(0x200));
         assert_eq!(cam.len(), 2);
-        assert!(cam.check_remote(Addr::new(0x200)));
-        assert!(cam.check_remote(Addr::new(0x100)));
+        assert!(cam.check_remote(Addr::new(0x200), Cycle::ZERO, &mut NullObserver));
+        assert!(cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
         assert_eq!(cam.next_pending(), Some(Addr::new(0x200)));
         cam.ack(Addr::new(0x200));
         assert_eq!(cam.next_pending(), Some(Addr::new(0x100)));
@@ -317,10 +351,10 @@ mod tests {
         cam.observe_local_fill(Addr::new(0x100));
         // The cache silently (cleanly) evicted 0x100 — the CAM cannot see
         // that. A remote access still hits (spurious interrupt)…
-        assert!(cam.check_remote(Addr::new(0x100)));
+        assert!(cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
         // …and the ISR, finding nothing in the cache, just acks.
         cam.ack(Addr::new(0x100));
-        assert!(!cam.check_remote(Addr::new(0x100)));
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
     }
 
     #[test]
@@ -341,7 +375,7 @@ mod tests {
         cam.observe_local_fill(Addr::new(0x040)); // set 0
         assert_eq!(cam.len(), 3);
         assert!(!cam.nfiq(), "within capacity: no interrupt");
-        assert!(cam.check_remote(Addr::new(0x020)));
+        assert!(cam.check_remote(Addr::new(0x020), Cycle::ZERO, &mut NullObserver));
         cam.ack(Addr::new(0x020));
         assert_eq!(cam.len(), 2);
     }
@@ -355,7 +389,10 @@ mod tests {
         assert_eq!(cam.next_pending(), Some(Addr::new(0x000)));
         assert_eq!(cam.capacity_evictions(), 1);
         // The overflowed tag still guards the line until the ISR acks…
-        assert!(cam.check_remote(Addr::new(0x000)), "still conservative");
+        assert!(
+            cam.check_remote(Addr::new(0x000), Cycle::ZERO, &mut NullObserver),
+            "still conservative"
+        );
         cam.ack(Addr::new(0x000));
         assert!(!cam.contains(Addr::new(0x000)));
         assert!(cam.contains(Addr::new(0x040)));

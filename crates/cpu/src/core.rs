@@ -4,7 +4,7 @@ use crate::locks::{LockClient, LockLayout, LockStep};
 use crate::program::Cursor;
 use crate::{Op, Program};
 use hmp_mem::Addr;
-use hmp_sim::ClockDomain;
+use hmp_sim::{ClockDomain, Cycle, Observer, SimEvent};
 
 /// Core cycles a spin loop burns between two polls of the same location
 /// (the compare/branch instructions around the load). Without this gap a
@@ -256,7 +256,10 @@ impl Cpu {
     }
 
     /// Runs one core cycle.
-    pub fn tick(&mut self) -> CpuAction {
+    ///
+    /// `at` is the current bus-clock time, used only to timestamp the
+    /// [`SimEvent`]s this CPU emits to `obs` (ISR entry).
+    pub fn tick(&mut self, at: Cycle, obs: &mut impl Observer) -> CpuAction {
         self.core_cycles += 1;
         if let Some(isr) = &mut self.isr {
             self.counters.isr_cycles += 1;
@@ -289,14 +292,23 @@ impl Cpu {
         // Interrupt entry happens between instructions: never while a
         // memory operation is outstanding.
         if let Some(line) = self.nfiq_line {
-            if matches!(self.exec, Exec::Ready | Exec::Computing { .. } | Exec::Halted) {
+            if matches!(
+                self.exec,
+                Exec::Ready | Exec::Computing { .. } | Exec::Halted
+            ) {
                 let saved = std::mem::replace(&mut self.exec, Exec::Ready);
                 self.counters.isr_entries += 1;
+                obs.on_event(
+                    at,
+                    SimEvent::IsrEnter {
+                        cpu: self.id,
+                        line: u64::from(line.as_u32()),
+                    },
+                );
                 self.isr = Some(IsrContext {
                     line,
                     phase: IsrPhase::Entry {
-                        remaining: self.config.isr.response_cycles
-                            + self.config.isr.entry_cycles,
+                        remaining: self.config.isr.response_cycles + self.config.isr.entry_cycles,
                     },
                     saved,
                 });
@@ -483,6 +495,7 @@ impl Cpu {
 mod tests {
     use super::*;
     use crate::{LockKind, ProgramBuilder};
+    use hmp_sim::NullObserver;
 
     fn config() -> CpuConfig {
         CpuConfig {
@@ -509,21 +522,25 @@ mod tests {
     #[test]
     fn executes_reads_and_writes_in_order() {
         let mut cpu = Cpu::new(0, config(), prog_read_write());
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!("expected issue");
         };
         assert_eq!(req.kind, ReqKind::Read);
         assert_eq!(req.addr, Addr::new(0x100));
         assert!(!req.from_isr);
         assert_eq!(cpu.state(), CpuState::AwaitMem);
-        assert_eq!(cpu.tick(), CpuAction::Idle, "blocked");
+        assert_eq!(
+            cpu.tick(Cycle::ZERO, &mut NullObserver),
+            CpuAction::Idle,
+            "blocked"
+        );
         cpu.complete_mem(MemResult::Value(1));
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!("expected issue");
         };
         assert_eq!(req.kind, ReqKind::Write(7));
         cpu.complete_mem(MemResult::Done);
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
         assert!(cpu.is_halted());
         assert_eq!(cpu.counters().reads, 1);
         assert_eq!(cpu.counters().writes, 1);
@@ -534,13 +551,13 @@ mod tests {
     fn delay_computes_for_n_cycles() {
         let p = ProgramBuilder::new().delay(3).build();
         let mut cpu = Cpu::new(0, config(), p);
-        assert_eq!(cpu.tick(), CpuAction::Idle); // fetch, start computing
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle); // fetch, start computing
         assert_eq!(cpu.state(), CpuState::Computing);
-        assert_eq!(cpu.tick(), CpuAction::Idle);
-        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         assert_eq!(cpu.state(), CpuState::Computing); // hmm: 3 decrements?
-        assert_eq!(cpu.tick(), CpuAction::Idle);
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
         assert_eq!(cpu.core_cycles(), 5);
     }
 
@@ -548,22 +565,26 @@ mod tests {
     fn turn_lock_acquire_spins_until_turn() {
         let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().acquire(0).build());
         // Party 0, turn word reads 1 → spin; then 0 → acquired.
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         assert_eq!(req.kind, ReqKind::Read);
         assert_eq!(req.addr, Addr::new(0x8000));
         cpu.complete_mem(MemResult::Value(1)); // not my turn
-        // A spin iteration burns the loop's compare/branch cycles first.
+                                               // A spin iteration burns the loop's compare/branch cycles first.
         for _ in 0..3 {
-            assert_eq!(cpu.tick(), CpuAction::Idle, "spin gap");
+            assert_eq!(
+                cpu.tick(Cycle::ZERO, &mut NullObserver),
+                CpuAction::Idle,
+                "spin gap"
+            );
         }
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         assert_eq!(req.addr, Addr::new(0x8000));
         cpu.complete_mem(MemResult::Value(0)); // my turn
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
         assert_eq!(cpu.counters().lock_acquires, 1);
         assert_eq!(cpu.counters().lock_mem_ops, 2);
     }
@@ -571,13 +592,13 @@ mod tests {
     #[test]
     fn lock_release_writes_next_turn() {
         let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().release(0).build());
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         assert_eq!(req.kind, ReqKind::Write(1), "pass turn to party 1");
         cpu.complete_mem(MemResult::Done);
         assert_eq!(cpu.counters().lock_releases, 1);
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
     }
 
     #[test]
@@ -587,18 +608,18 @@ mod tests {
             .invalidate(Addr::new(0x240))
             .build();
         let mut cpu = Cpu::new(0, config(), p);
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         assert_eq!(req.kind, ReqKind::Flush);
         cpu.complete_maintenance();
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         assert_eq!(req.kind, ReqKind::Invalidate);
         cpu.complete_maintenance();
         assert_eq!(cpu.counters().maintenance, 2);
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
     }
 
     #[test]
@@ -606,21 +627,21 @@ mod tests {
         let cfg = config();
         let mut cpu = Cpu::new(1, cfg, prog_read_write());
         // Block on the first read…
-        let CpuAction::Issue(_) = cpu.tick() else {
+        let CpuAction::Issue(_) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         cpu.set_nfiq_line(Some(Addr::new(0x300)));
         // …interrupt cannot be taken while blocked.
-        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         assert!(!cpu.in_isr());
         cpu.complete_mem(MemResult::Value(0));
         // Now Ready → the next tick vectors into the ISR.
-        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         assert!(cpu.in_isr());
         // response(4) + entry(12) = 16 countdown cycles after vectoring.
         let mut flush_req = None;
         for _ in 0..16 {
-            if let CpuAction::Issue(r) = cpu.tick() {
+            if let CpuAction::Issue(r) = cpu.tick(Cycle::ZERO, &mut NullObserver) {
                 flush_req = Some(r);
                 break;
             }
@@ -633,10 +654,10 @@ mod tests {
         cpu.set_nfiq_line(None);
         cpu.complete_maintenance();
         for _ in 0..8 {
-            assert_eq!(cpu.tick(), CpuAction::Idle);
+            assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         }
         assert!(!cpu.in_isr());
-        let CpuAction::Issue(req) = cpu.tick() else {
+        let CpuAction::Issue(req) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!("program resumes")
         };
         assert_eq!(req.kind, ReqKind::Write(7));
@@ -649,15 +670,15 @@ mod tests {
         // BCS: the ARM may finish its program while its cache still holds
         // shared lines the PowerPC needs drained.
         let mut cpu = Cpu::new(0, config(), Program::empty());
-        assert_eq!(cpu.tick(), CpuAction::Halted);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Halted);
         assert!(cpu.is_halted());
         cpu.set_nfiq_line(Some(Addr::new(0x500)));
-        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         assert!(cpu.in_isr());
         assert!(!cpu.is_halted(), "ISR keeps the CPU busy");
         let mut got = None;
         for _ in 0..20 {
-            if let CpuAction::Issue(r) = cpu.tick() {
+            if let CpuAction::Issue(r) = cpu.tick(Cycle::ZERO, &mut NullObserver) {
                 got = Some(r);
                 break;
             }
@@ -666,7 +687,7 @@ mod tests {
         cpu.set_nfiq_line(None);
         cpu.complete_maintenance();
         for _ in 0..8 {
-            cpu.tick();
+            cpu.tick(Cycle::ZERO, &mut NullObserver);
         }
         assert!(cpu.is_halted(), "returns to halted state after ISR");
     }
@@ -674,16 +695,16 @@ mod tests {
     #[test]
     fn interrupt_does_not_clobber_lock_spin() {
         let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().acquire(0).build());
-        let CpuAction::Issue(_) = cpu.tick() else {
+        let CpuAction::Issue(_) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
             panic!()
         };
         cpu.complete_mem(MemResult::Value(1)); // spin: next step pending
         cpu.set_nfiq_line(Some(Addr::new(0x700)));
-        assert_eq!(cpu.tick(), CpuAction::Idle);
+        assert_eq!(cpu.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
         assert!(cpu.in_isr());
         // Run the ISR to completion.
         loop {
-            match cpu.tick() {
+            match cpu.tick(Cycle::ZERO, &mut NullObserver) {
                 CpuAction::Issue(r) if r.from_isr => {
                     cpu.set_nfiq_line(None);
                     cpu.complete_maintenance();
@@ -696,7 +717,7 @@ mod tests {
         // cycles the interrupt pre-empted).
         let mut resumed = None;
         for _ in 0..5 {
-            if let CpuAction::Issue(r) = cpu.tick() {
+            if let CpuAction::Issue(r) = cpu.tick(Cycle::ZERO, &mut NullObserver) {
                 resumed = Some(r);
                 break;
             }

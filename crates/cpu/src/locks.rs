@@ -126,14 +126,9 @@ pub(crate) enum LockStep {
 /// memory operations.
 #[derive(Debug, Clone)]
 pub(crate) enum LockClient {
-    TurnAcquire {
-        addr: Addr,
-        me: u32,
-    },
+    TurnAcquire { addr: Addr, me: u32 },
     TurnRelease,
-    HwAcquire {
-        addr: Addr,
-    },
+    HwAcquire { addr: Addr },
     HwRelease,
     BakeryAcquire(BakeryAcquire),
     BakeryRelease,
@@ -314,8 +309,7 @@ impl BakeryAcquire {
             }
             BakeryState::WaitNumber => {
                 let j = self.scan_j;
-                let precedes =
-                    value != 0 && (value, j) < (self.my_number, self.me);
+                let precedes = value != 0 && (value, j) < (self.my_number, self.me);
                 if precedes {
                     // j holds a smaller ticket; spin on its number.
                     LockStep::Read(self.layout.bakery_number(self.lock, j))
@@ -396,7 +390,7 @@ mod tests {
     fn turn_lock_alternates() {
         let lay = layout(LockKind::Turn);
         let mut mem = FakeMem::default(); // turn = 0 initially
-        // Party 0 acquires instantly.
+                                          // Party 0 acquires instantly.
         let (mut c, s) = LockClient::acquire(lay, 0, 0);
         run_to_done(&mut mem, &mut c, s);
         // Party 1 spins: with turn = 0 its first read does not succeed.
@@ -507,10 +501,7 @@ mod tests {
             scan_max: 0,
             scan_j: 0,
         };
-        assert_eq!(
-            b1.on_read_value(1),
-            LockStep::Read(lay.bakery_number(0, 0))
-        );
+        assert_eq!(b1.on_read_value(1), LockStep::Read(lay.bakery_number(0, 0)));
     }
 
     #[test]

@@ -321,9 +321,7 @@ mod tests {
     #[test]
     fn deep_nesting() {
         let p = ProgramBuilder::new()
-            .repeat(2, |b| {
-                b.repeat(2, |b| b.repeat(2, |b| b.read(a(0))))
-            })
+            .repeat(2, |b| b.repeat(2, |b| b.repeat(2, |b| b.read(a(0)))))
             .build();
         assert_eq!(p.op_count(), 8);
         let mut cur = Cursor::new(p);

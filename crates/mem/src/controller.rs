@@ -213,8 +213,7 @@ mod tests {
 
     #[test]
     fn controller_moves_data() {
-        let mut ctrl =
-            MemoryController::new(Memory::new(1024), LatencyModel::default());
+        let mut ctrl = MemoryController::new(Memory::new(1024), LatencyModel::default());
         let line = [9u32; 8];
         ctrl.write_line(Addr::new(0x20), &line);
         assert_eq!(ctrl.read_line(Addr::new(0x2C)), line);
@@ -227,8 +226,7 @@ mod tests {
 
     #[test]
     fn latency_swap() {
-        let mut ctrl =
-            MemoryController::new(Memory::new(64), LatencyModel::default());
+        let mut ctrl = MemoryController::new(Memory::new(64), LatencyModel::default());
         assert_eq!(ctrl.line_fill_latency().as_u64(), 13);
         ctrl.set_latency(LatencyModel::scaled_to_burst(48));
         assert_eq!(ctrl.line_fill_latency().as_u64(), 48);

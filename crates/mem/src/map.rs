@@ -156,19 +156,18 @@ impl MemoryMap {
     /// space, overlaps an existing region, or is a cacheable region that is
     /// not cache-line aligned.
     pub fn add(&mut self, region: Region) -> Result<(), MapError> {
-        if region.size == 0
-            || region.base.as_u32().checked_add(region.size).is_none()
-        {
+        if region.size == 0 || region.base.as_u32().checked_add(region.size).is_none() {
             return Err(MapError::BadExtent(region));
         }
         if region.attr.is_cacheable()
-            && (!region.base.as_u32().is_multiple_of(LINE_BYTES) || !region.size.is_multiple_of(LINE_BYTES))
+            && (!region.base.as_u32().is_multiple_of(LINE_BYTES)
+                || !region.size.is_multiple_of(LINE_BYTES))
         {
             return Err(MapError::Misaligned(region));
         }
         for &existing in &self.regions {
-            let disjoint = region.end() <= existing.base.as_u32()
-                || existing.end() <= region.base.as_u32();
+            let disjoint =
+                region.end() <= existing.base.as_u32() || existing.end() <= region.base.as_u32();
             if !disjoint {
                 return Err(MapError::Overlap {
                     new: region,

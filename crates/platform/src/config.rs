@@ -222,8 +222,12 @@ pub fn layout(
     } else {
         MemAttr::Uncached
     };
-    map.add(Region::new(lay.shared_base, MemLayout::SHARED_BYTES, shared_attr))
-        .expect("shared window is disjoint");
+    map.add(Region::new(
+        lay.shared_base,
+        MemLayout::SHARED_BYTES,
+        shared_attr,
+    ))
+    .expect("shared window is disjoint");
     let lock_attr = if cacheable_locks {
         MemAttr::CachedWriteBack
     } else if lock_kind == LockKind::HardwareRegister {

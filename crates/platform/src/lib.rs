@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod checker;
+pub mod coherence;
 mod config;
 pub mod presets;
 mod report;
@@ -36,6 +37,7 @@ mod result;
 mod system;
 
 pub use checker::{CoherenceChecker, Violation};
+pub use coherence::{AddressPhase, CompletionAction, LineData, Pending, PendingKind, SnoopVerdict};
 pub use config::{layout, CpuSpec, MemLayout, PlatformSpec, Strategy, WrapperMode};
 pub use report::{CpuReport, Report};
 pub use result::{RunOutcome, RunResult};

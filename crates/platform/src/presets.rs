@@ -25,10 +25,7 @@ pub fn ppc_arm(
 /// (MEI) — platform class PF3, no snoop logic or ISR needed. The paper
 /// expects it to outperform the PF2 platform "due to the absence of an
 /// interrupt service routine".
-pub fn i486_ppc(
-    strategy: Strategy,
-    lock_kind: LockKind,
-) -> (PlatformSpec, MemLayout) {
+pub fn i486_ppc(strategy: Strategy, lock_kind: LockKind) -> (PlatformSpec, MemLayout) {
     let (lay, map) = layout(2, strategy, lock_kind, false);
     let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
     let spec = PlatformSpec::new(vec![CpuSpec::intel486(), CpuSpec::powerpc755()], map, lock);

@@ -1,50 +1,25 @@
 //! The assembled platform and its cycle loop.
 
-use crate::{
-    CoherenceChecker, PlatformSpec, RunOutcome, RunResult, WrapperMode,
-};
-use hmp_bus::{
-    AddressOutcome, Bus, BusDevice, BusOp, BusPhase, CompletedTxn, GrantedTxn, LockRegister,
-    MasterId,
-};
-use hmp_cache::{Access, DataCache, ProtocolKind, ReadProbe, SnoopAction, WriteProbe};
+use crate::coherence::Pending;
+use crate::{CoherenceChecker, PlatformSpec, RunOutcome, RunResult, WrapperMode};
+use hmp_bus::{Bus, BusDevice, BusPhase, LockRegister};
+use hmp_cache::{DataCache, ProtocolKind};
 use hmp_core::{
-    classify_platform, reduce, CoherenceSupport, PlatformClass, SnoopLogic, Wrapper,
-    WrapperPolicy,
+    classify_platform, reduce, CoherenceSupport, PlatformClass, SnoopLogic, Wrapper, WrapperPolicy,
 };
-use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, MemRequest, MemResult, Program, ReqKind};
-use hmp_mem::{Addr, MemAttr, Memory, MemoryController, MemoryMap};
-use hmp_sim::{ClockDomain, Cycle, Stats, TraceBuffer, Watchdog, WatchdogVerdict};
+use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
+use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
+use hmp_sim::{
+    ClockDomain, CounterBank, Cycle, NullObserver, Observer, Stats, TraceObserver, Watchdog,
+    WatchdogVerdict,
+};
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PendingKind {
-    /// Single-word bus operation (uncached, device, write-through store,
-    /// no-allocate store).
-    Word { attr: MemAttr },
-    /// Line fill in flight.
-    Fill {
-        access: Access,
-        value: Option<u32>,
-        wt: bool,
-    },
-    /// Upgrade broadcast in flight.
-    Upgrade { value: u32 },
-    /// Flush write-back in flight.
-    FlushWb,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    req: MemRequest,
-    kind: PendingKind,
-}
-
-struct Node {
-    cpu: Cpu,
-    cache: DataCache,
-    wrapper: Option<Wrapper>,
-    cam: Option<SnoopLogic>,
-    pending: Option<Pending>,
+pub(crate) struct Node {
+    pub(crate) cpu: Cpu,
+    pub(crate) cache: DataCache,
+    pub(crate) wrapper: Option<Wrapper>,
+    pub(crate) cam: Option<SnoopLogic>,
+    pub(crate) pending: Option<Pending>,
 }
 
 /// The running platform: CPUs, wrappers, snoop logic, bus, memory,
@@ -53,24 +28,33 @@ struct Node {
 /// Construct with [`System::new`] (or a preset from [`crate::presets`]),
 /// then either [`System::run`] to completion or [`System::step`] one bus
 /// cycle at a time for fine-grained tests.
-pub struct System {
-    nodes: Vec<Node>,
-    bus: Bus,
-    mem: MemoryController,
-    map: MemoryMap,
-    devices: Vec<Box<dyn BusDevice>>,
-    checker: Option<CoherenceChecker>,
+///
+/// The type parameter is the [`Observer`] every component emits typed
+/// [`hmp_sim::SimEvent`]s into. The default [`NullObserver`] compiles the
+/// whole instrumentation path to nothing; [`System::traced`] swaps in a
+/// [`TraceObserver`] that records events unrendered. The coherence
+/// decision logic itself — snoop verdicts, address-phase folding,
+/// completion actions — lives in [`crate::coherence`]; this type owns the
+/// state and the clock.
+pub struct System<O: Observer = NullObserver> {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) bus: Bus,
+    pub(crate) mem: MemoryController,
+    pub(crate) map: MemoryMap,
+    pub(crate) devices: Vec<Box<dyn BusDevice>>,
+    pub(crate) checker: Option<CoherenceChecker>,
     watchdog: Watchdog,
-    trace: TraceBuffer,
-    stats: Stats,
-    now: Cycle,
+    pub(crate) counters: CounterBank,
+    pub(crate) obs: O,
+    pub(crate) now: Cycle,
     class: PlatformClass,
     system_protocol: Option<ProtocolKind>,
-    snoop_logic_enabled: bool,
+    pub(crate) snoop_logic_enabled: bool,
 }
 
 impl System {
-    /// Builds a platform from its spec, loading one program per CPU.
+    /// Builds an uninstrumented platform from its spec, loading one
+    /// program per CPU.
     ///
     /// A [`LockRegister`] device is attached automatically when the spec's
     /// lock kind is [`LockKind::HardwareRegister`].
@@ -80,16 +64,33 @@ impl System {
     /// Panics if the program count does not match the CPU count, or if the
     /// spec mixes protocols the reduction lattice rejects.
     pub fn new(spec: &PlatformSpec, programs: Vec<Program>) -> Self {
-        assert_eq!(
-            programs.len(),
-            spec.cpus.len(),
-            "one program per processor"
-        );
-        let support: Vec<CoherenceSupport> =
-            spec.cpus.iter().map(|c| c.coherence).collect();
+        System::with_observer(spec, programs, NullObserver)
+    }
+}
+
+impl System<TraceObserver> {
+    /// Builds a platform that records typed events into a
+    /// [`TraceObserver`] ring (capacity `spec.trace_capacity`, or 4096
+    /// when the spec leaves it zero). Events render only when the
+    /// observer is displayed.
+    pub fn traced(spec: &PlatformSpec, programs: Vec<Program>) -> Self {
+        let capacity = if spec.trace_capacity == 0 {
+            4096
+        } else {
+            spec.trace_capacity
+        };
+        System::with_observer(spec, programs, TraceObserver::new(capacity))
+    }
+}
+
+impl<O: Observer> System<O> {
+    /// Builds a platform emitting events into `obs`. See [`System::new`]
+    /// for the panics.
+    pub fn with_observer(spec: &PlatformSpec, programs: Vec<Program>, obs: O) -> Self {
+        assert_eq!(programs.len(), spec.cpus.len(), "one program per processor");
+        let support: Vec<CoherenceSupport> = spec.cpus.iter().map(|c| c.coherence).collect();
         let class = classify_platform(&support);
-        let native: Vec<ProtocolKind> =
-            support.iter().filter_map(|s| s.protocol()).collect();
+        let native: Vec<ProtocolKind> = support.iter().filter_map(|s| s.protocol()).collect();
         let system_protocol = if native.is_empty() {
             None
         } else {
@@ -136,9 +137,9 @@ impl System {
             );
             nodes.push(Node {
                 cpu,
-                cache: DataCache::new(cs.cache, cache_protocol),
+                cache: DataCache::new(cs.cache, cache_protocol).with_owner(i),
                 wrapper,
-                cam,
+                cam: cam.map(|c| c.with_owner(i)),
                 pending: None,
             });
         }
@@ -151,6 +152,7 @@ impl System {
         let mut bus = Bus::new(nodes.len());
         bus.set_arbitration(spec.arbitration);
         bus.set_retry_backoff(spec.retry_backoff);
+        let counters = CounterBank::new(nodes.len());
         System {
             bus,
             nodes,
@@ -161,8 +163,8 @@ impl System {
                 .check_coherence
                 .then(|| CoherenceChecker::new(spec.memory_bytes, 64)),
             watchdog: Watchdog::new(Cycle::new(spec.watchdog_window)),
-            trace: TraceBuffer::new(spec.trace_capacity),
-            stats: Stats::new(),
+            counters,
+            obs,
             now: Cycle::ZERO,
             class,
             system_protocol,
@@ -178,7 +180,7 @@ impl System {
     }
 
     /// Attaches an extra bus device; its index must match the
-    /// [`MemAttr::Device`] ids in the memory map.
+    /// [`hmp_mem::MemAttr::Device`] ids in the memory map.
     pub fn add_device(&mut self, device: Box<dyn BusDevice>) -> u32 {
         self.devices.push(device);
         (self.devices.len() - 1) as u32
@@ -233,14 +235,26 @@ impl System {
         }
     }
 
-    /// Platform counters accumulated so far.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Platform counters accumulated so far, rendered to the legacy
+    /// string-keyed registry.
+    pub fn stats(&self) -> Stats {
+        self.counters.to_stats()
     }
 
-    /// The trace ring.
-    pub fn trace(&self) -> &TraceBuffer {
-        &self.trace
+    /// The raw enum-indexed counter bank.
+    pub fn counters(&self) -> &CounterBank {
+        &self.counters
+    }
+
+    /// The event observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Mutable access to the event observer (e.g. to clear a trace ring
+    /// between phases of a test).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
     }
 
     /// The coherence checker, if enabled.
@@ -286,7 +300,7 @@ impl System {
             cycles: self.now,
             bus: self.bus.stats(),
             cpus: self.nodes.iter().map(|n| n.cpu.counters()).collect(),
-            stats: self.stats.clone(),
+            stats: self.counters.to_stats(),
             violations: self
                 .checker
                 .as_ref()
@@ -303,25 +317,8 @@ impl System {
         self.bus.begin_cycle();
         match self.bus.phase() {
             BusPhase::Idle => {
-                if let Some(txn) = self.bus.try_grant() {
-                    if self.trace.is_enabled() {
-                        self.trace.record(
-                            self.now,
-                            "bus",
-                            format!(
-                                "grant {} {} {}{}",
-                                txn.master,
-                                txn.op,
-                                txn.addr,
-                                if txn.is_retry { " (retry)" } else { "" }
-                            ),
-                        );
-                    }
+                if let Some(txn) = self.bus.try_grant(self.now, &mut self.obs) {
                     let outcome = self.snoop_and_decide(&txn);
-                    if matches!(outcome, AddressOutcome::Retry) && self.trace.is_enabled() {
-                        self.trace
-                            .record(self.now, "bus", format!("ARTRY {} {}", txn.master, txn.addr));
-                    }
                     if let Some(done) = self.bus.resolve(outcome) {
                         self.complete_txn(done);
                     }
@@ -336,184 +333,6 @@ impl System {
         }
     }
 
-    fn snoop_and_decide(&mut self, txn: &GrantedTxn) -> AddressOutcome {
-        let addr = txn.addr;
-        // Write-buffer interlocks (CPU transactions only; drains *are* the
-        // buffers being emptied).
-        if !txn.is_drain && self.bus.drain_pending_to(addr) {
-            self.stats.incr("bus.retry.wb_buffer");
-            return AddressOutcome::Retry;
-        }
-
-        let mut shared = false;
-        let mut supplied = None;
-        let mut retry = false;
-        let mut drains: Vec<(usize, [u32; 8])> = Vec::new();
-        for j in 0..self.nodes.len() {
-            if j == txn.master.index() {
-                continue;
-            }
-            let node = &mut self.nodes[j];
-            if let Some(wrapper) = &mut node.wrapper {
-                let sop = wrapper.translate_snoop(&txn.op);
-                if let Some(reply) = node.cache.snoop(addr, sop) {
-                    self.stats.incr(&format!("cpu{j}.snoop_hit"));
-                    if reply.asserts_shared {
-                        shared = true;
-                    }
-                    match reply.action {
-                        SnoopAction::None => {}
-                        SnoopAction::WritebackLine => {
-                            drains.push((j, reply.data.expect("writeback carries data")));
-                            retry = true;
-                            self.stats.incr(&format!("cpu{j}.snoop_drain"));
-                            self.stats.incr("bus.retry.snoop_drain");
-                        }
-                        SnoopAction::SupplyLine => {
-                            supplied = Some(reply.data.expect("supply carries data"));
-                            self.stats.incr(&format!("cpu{j}.cache_to_cache"));
-                        }
-                    }
-                }
-            } else if self.snoop_logic_enabled {
-                if let Some(cam) = &mut node.cam {
-                    if cam.check_remote(addr) {
-                        retry = true;
-                        self.stats.incr("bus.retry.cam");
-                        self.stats.incr(&format!("cpu{j}.cam_hit"));
-                    }
-                }
-            }
-        }
-        for (j, data) in drains {
-            self.bus.submit_drain(MasterId(j), data, addr);
-        }
-        if retry {
-            return AddressOutcome::Retry;
-        }
-
-        let data_cycles = match txn.op {
-            BusOp::ReadLine | BusOp::ReadLineExcl | BusOp::WriteLine(_) => {
-                if supplied.is_some() {
-                    // Cache-to-cache transfers stream a word per bus cycle.
-                    u64::from(hmp_mem::LINE_WORDS)
-                } else {
-                    self.mem.line_fill_latency().as_u64()
-                }
-            }
-            BusOp::ReadWord | BusOp::WriteWord(_) => self.mem.word_latency().as_u64(),
-            BusOp::Upgrade => 0,
-        };
-        AddressOutcome::Proceed {
-            data_cycles,
-            shared,
-            supplied,
-        }
-    }
-
-    fn complete_txn(&mut self, done: CompletedTxn) {
-        let m = done.master.index();
-        if done.is_drain {
-            let BusOp::WriteLine(data) = done.op else {
-                unreachable!("drains are line writes");
-            };
-            self.mem.write_line(done.addr, &data);
-            if let Some(cam) = &mut self.nodes[m].cam {
-                cam.observe_local_writeback(done.addr);
-            }
-            return;
-        }
-
-        let pending = self.nodes[m]
-            .pending
-            .take()
-            .expect("completed CPU transaction has a pending record");
-        match (done.op, pending.kind) {
-            (BusOp::ReadWord, PendingKind::Word { attr }) => {
-                let value = match attr {
-                    MemAttr::Device(id) => self.devices[id as usize].read_word(done.addr),
-                    _ => {
-                        let v = self.mem.read_word(done.addr);
-                        if let Some(c) = &mut self.checker {
-                            c.on_read(self.now, m, done.addr, v);
-                        }
-                        v
-                    }
-                };
-                self.stats.incr(&format!("cpu{m}.uncached_read"));
-                self.nodes[m].cpu.complete_mem(MemResult::Value(value));
-            }
-            (BusOp::WriteWord(v), PendingKind::Word { attr }) => {
-                match attr {
-                    MemAttr::Device(id) => self.devices[id as usize].write_word(done.addr, v),
-                    _ => {
-                        self.mem.write_word(done.addr, v);
-                        if let Some(c) = &mut self.checker {
-                            c.on_write(done.addr, v);
-                        }
-                    }
-                }
-                self.stats.incr(&format!("cpu{m}.uncached_write"));
-                self.nodes[m].cpu.complete_mem(MemResult::Done);
-            }
-            (BusOp::ReadLine | BusOp::ReadLineExcl, PendingKind::Fill { access, value, wt }) => {
-                let line = done.addr.line_base();
-                let data = done.supplied.unwrap_or_else(|| self.mem.read_line(line));
-                let gated_shared = match &mut self.nodes[m].wrapper {
-                    Some(w) => w.gate_shared(done.shared),
-                    None => false,
-                };
-                self.nodes[m].cache.fill(line, data, access, gated_shared, wt);
-                if let Some(cam) = &mut self.nodes[m].cam {
-                    cam.observe_local_fill(line);
-                }
-                match access {
-                    Access::Read => {
-                        let v = data[done.addr.word_offset_in_line() as usize];
-                        if let Some(c) = &mut self.checker {
-                            c.on_read(self.now, m, done.addr, v);
-                        }
-                        self.nodes[m].cpu.complete_mem(MemResult::Value(v));
-                    }
-                    Access::Write => {
-                        let v = value.expect("write fills carry the store value");
-                        self.nodes[m].cache.commit_write(done.addr, v);
-                        if let Some(c) = &mut self.checker {
-                            c.on_write(done.addr, v);
-                        }
-                        self.nodes[m].cpu.complete_mem(MemResult::Done);
-                    }
-                }
-            }
-            (BusOp::Upgrade, PendingKind::Upgrade { value }) => {
-                if self.nodes[m].cache.complete_upgrade(done.addr, value) {
-                    if let Some(c) = &mut self.checker {
-                        c.on_write(done.addr, value);
-                    }
-                    self.nodes[m].cpu.complete_mem(MemResult::Done);
-                } else {
-                    // The line was snoop-invalidated while the upgrade
-                    // waited: restart the store as a write miss.
-                    self.stats.incr(&format!("cpu{m}.upgrade_lost"));
-                    self.dispatch_write_miss(m, pending.req, value, false);
-                }
-            }
-            (BusOp::WriteLine(data), PendingKind::FlushWb) => {
-                self.mem.write_line(done.addr, &data);
-                if let Some(cam) = &mut self.nodes[m].cam {
-                    cam.observe_local_writeback(done.addr);
-                    if pending.req.from_isr {
-                        cam.ack(done.addr);
-                        self.stats.incr(&format!("cpu{m}.isr_drain_dirty"));
-                    }
-                }
-                self.stats.incr(&format!("cpu{m}.flush_dirty"));
-                self.nodes[m].cpu.complete_maintenance();
-            }
-            (op, kind) => unreachable!("mismatched completion: {op} vs {kind:?}"),
-        }
-    }
-
     // ------------------------------------------------------------------
     // CPU side
     // ------------------------------------------------------------------
@@ -521,197 +340,23 @@ impl System {
     fn step_cpus(&mut self) {
         for i in 0..self.nodes.len() {
             let nfiq = if self.snoop_logic_enabled {
-                self.nodes[i]
-                    .cam
-                    .as_ref()
-                    .and_then(|c| c.next_pending())
+                self.nodes[i].cam.as_ref().and_then(|c| c.next_pending())
             } else {
                 None
             };
             self.nodes[i].cpu.set_nfiq_line(nfiq);
-            let mult = self.nodes[i]
-                .cpu
-                .config()
-                .clock
-                .core_cycles_per_bus_cycle();
+            let mult = self.nodes[i].cpu.config().clock.core_cycles_per_bus_cycle();
             for _ in 0..mult {
-                match self.nodes[i].cpu.tick() {
+                match self.nodes[i].cpu.tick(self.now, &mut self.obs) {
                     CpuAction::Idle | CpuAction::Halted => {}
                     CpuAction::Issue(req) => self.handle_request(i, req),
                 }
             }
         }
     }
-
-    fn evict_victim(&mut self, i: usize, victim: Option<hmp_cache::EvictedLine>) {
-        if let Some(v) = victim {
-            if v.dirty {
-                self.bus.submit_drain(MasterId(i), v.data, v.addr);
-                self.stats.incr(&format!("cpu{i}.victim_writeback"));
-            } else {
-                self.stats.incr(&format!("cpu{i}.victim_clean"));
-                // A clean eviction is invisible on the bus, so a TAG CAM
-                // keeps a stale (conservative) entry — see SnoopLogic docs.
-            }
-        }
-    }
-
-    fn dispatch_write_miss(&mut self, i: usize, req: MemRequest, value: u32, wt: bool) {
-        let probe = self.nodes[i].cache.probe_write(req.addr, value, wt);
-        match probe {
-            WriteProbe::Miss { victim } => {
-                self.evict_victim(i, victim);
-                self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
-                self.nodes[i].pending = Some(Pending {
-                    req,
-                    kind: PendingKind::Fill {
-                        access: Access::Write,
-                        value: Some(value),
-                        wt,
-                    },
-                });
-            }
-            other => unreachable!("restarted write miss cannot {other:?}"),
-        }
-    }
-
-    fn handle_request(&mut self, i: usize, req: MemRequest) {
-        let attr = self.map.classify(req.addr);
-        match req.kind {
-            ReqKind::Read => match attr {
-                MemAttr::CachedWriteBack | MemAttr::CachedWriteThrough => {
-                    let wt = attr == MemAttr::CachedWriteThrough;
-                    match self.nodes[i].cache.probe_read(req.addr, wt) {
-                        ReadProbe::Hit(v) => {
-                            self.stats.incr(&format!("cpu{i}.read_hit"));
-                            if let Some(c) = &mut self.checker {
-                                c.on_read(self.now, i, req.addr, v);
-                            }
-                            self.nodes[i].cpu.complete_mem(MemResult::Value(v));
-                        }
-                        ReadProbe::Miss { victim } => {
-                            self.stats.incr(&format!("cpu{i}.read_miss"));
-                            self.evict_victim(i, victim);
-                            self.bus.submit(MasterId(i), BusOp::ReadLine, req.addr);
-                            self.nodes[i].pending = Some(Pending {
-                                req,
-                                kind: PendingKind::Fill {
-                                    access: Access::Read,
-                                    value: None,
-                                    wt,
-                                },
-                            });
-                        }
-                    }
-                }
-                MemAttr::Uncached | MemAttr::Device(_) => {
-                    self.bus.submit(MasterId(i), BusOp::ReadWord, req.addr);
-                    self.nodes[i].pending = Some(Pending {
-                        req,
-                        kind: PendingKind::Word { attr },
-                    });
-                }
-            },
-            ReqKind::Write(value) => match attr {
-                MemAttr::CachedWriteBack | MemAttr::CachedWriteThrough => {
-                    let wt = attr == MemAttr::CachedWriteThrough;
-                    match self.nodes[i].cache.probe_write(req.addr, value, wt) {
-                        WriteProbe::Hit => {
-                            self.stats.incr(&format!("cpu{i}.write_hit"));
-                            if let Some(c) = &mut self.checker {
-                                c.on_write(req.addr, value);
-                            }
-                            self.nodes[i].cpu.complete_mem(MemResult::Done);
-                        }
-                        WriteProbe::HitNeedsUpgrade => {
-                            self.stats.incr(&format!("cpu{i}.write_upgrade"));
-                            self.bus.submit(MasterId(i), BusOp::Upgrade, req.addr);
-                            self.nodes[i].pending = Some(Pending {
-                                req,
-                                kind: PendingKind::Upgrade { value },
-                            });
-                        }
-                        WriteProbe::HitWriteThrough => {
-                            // Locally stored; the word must also reach
-                            // memory. Golden commit happens at bus
-                            // completion — remote access is interlocked on
-                            // the pending word write until then.
-                            self.stats.incr(&format!("cpu{i}.write_through"));
-                            self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
-                            self.nodes[i].pending = Some(Pending {
-                                req,
-                                kind: PendingKind::Word { attr },
-                            });
-                        }
-                        WriteProbe::Miss { victim } => {
-                            self.stats.incr(&format!("cpu{i}.write_miss"));
-                            self.evict_victim(i, victim);
-                            self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
-                            self.nodes[i].pending = Some(Pending {
-                                req,
-                                kind: PendingKind::Fill {
-                                    access: Access::Write,
-                                    value: Some(value),
-                                    wt,
-                                },
-                            });
-                        }
-                        WriteProbe::MissNoAllocate => {
-                            self.stats.incr(&format!("cpu{i}.write_no_allocate"));
-                            self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
-                            self.nodes[i].pending = Some(Pending {
-                                req,
-                                kind: PendingKind::Word { attr },
-                            });
-                        }
-                    }
-                }
-                MemAttr::Uncached | MemAttr::Device(_) => {
-                    self.bus.submit(MasterId(i), BusOp::WriteWord(value), req.addr);
-                    self.nodes[i].pending = Some(Pending {
-                        req,
-                        kind: PendingKind::Word { attr },
-                    });
-                }
-            },
-            ReqKind::Flush => {
-                match self.nodes[i].cache.flush_line(req.addr) {
-                    Some((true, data)) => {
-                        self.bus
-                            .submit(MasterId(i), BusOp::WriteLine(data), req.addr.line_base());
-                        self.nodes[i].pending = Some(Pending {
-                            req,
-                            kind: PendingKind::FlushWb,
-                        });
-                    }
-                    Some((false, _)) | None => {
-                        // Clean or absent: no bus work.
-                        self.stats.incr(&format!("cpu{i}.flush_clean"));
-                        if req.from_isr {
-                            if let Some(cam) = &mut self.nodes[i].cam {
-                                cam.ack(req.addr);
-                            }
-                            self.stats.incr(&format!("cpu{i}.isr_drain_clean"));
-                        }
-                        self.nodes[i].cpu.complete_maintenance();
-                    }
-                }
-            }
-            ReqKind::Invalidate => {
-                self.nodes[i].cache.invalidate_line(req.addr);
-                self.stats.incr(&format!("cpu{i}.invalidate"));
-                if req.from_isr {
-                    if let Some(cam) = &mut self.nodes[i].cam {
-                        cam.ack(req.addr);
-                    }
-                }
-                self.nodes[i].cpu.complete_maintenance();
-            }
-        }
-    }
 }
 
-impl core::fmt::Debug for System {
+impl<O: Observer> core::fmt::Debug for System<O> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("System")
             .field("cpus", &self.nodes.len())
@@ -866,7 +511,10 @@ mod tests {
         let mut sys = System::new(&spec, vec![p0, p1]);
         let result = sys.run(100_000);
         assert!(result.is_clean_completion(), "{result}");
-        assert_eq!(result.cpus[0].lock_acquires + result.cpus[1].lock_acquires, 4);
+        assert_eq!(
+            result.cpus[0].lock_acquires + result.cpus[1].lock_acquires,
+            4
+        );
     }
 
     #[test]
@@ -928,11 +576,7 @@ mod tests {
     fn pf2_cam_interrupt_drains_arm_line() {
         let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
         let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
-        let spec = PlatformSpec::new(
-            vec![CpuSpec::powerpc755(), CpuSpec::arm920t()],
-            map,
-            lock,
-        );
+        let spec = PlatformSpec::new(vec![CpuSpec::powerpc755(), CpuSpec::arm920t()], map, lock);
         let a = lay.shared_base;
         // ARM dirties the line, then idles; PowerPC reads it later.
         let arm = ProgramBuilder::new().write(a, 123).build();
@@ -952,11 +596,8 @@ mod tests {
         // A tiny cache forces evictions: 2 sets × 1 way.
         let (lay, map) = layout(1, Strategy::Proposed, LockKind::Turn, false);
         let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 1);
-        let mut spec = PlatformSpec::new(
-            vec![CpuSpec::generic("P0", ProtocolKind::Mesi)],
-            map,
-            lock,
-        );
+        let mut spec =
+            PlatformSpec::new(vec![CpuSpec::generic("P0", ProtocolKind::Mesi)], map, lock);
         spec.cpus[0].cache = hmp_cache::CacheConfig { sets: 2, ways: 1 };
         let a = lay.shared_base;
         let b = a.add_lines(2); // same set, different tag

@@ -1,0 +1,147 @@
+//! Table-driven tests of the coherence pipeline's typed verdicts.
+//!
+//! Each row pins one cell of the paper's snoop-reaction matrix: given a
+//! processor's protocol, the reduced system protocol its wrapper was
+//! derived for, the remote line's state, and the observed bus operation,
+//! [`snoop_node`] must return exactly one [`SnoopVerdict`].
+
+use hmp_bus::BusOp;
+use hmp_cache::{Access, CacheConfig, DataCache, ProtocolKind};
+use hmp_core::{SnoopLogic, Wrapper};
+use hmp_mem::Addr;
+use hmp_platform::coherence::{snoop_node, SnoopVerdict};
+use hmp_platform::LineData;
+use hmp_sim::{Cycle, NullObserver};
+
+const LINE: u32 = 0x100;
+const DATA: LineData = [0xA5A5_0000; 8];
+
+/// How the remote cache holds the line before the snoop.
+#[derive(Debug, Clone, Copy)]
+enum Held {
+    Absent,
+    /// Filled by a read that sampled SHARED asserted.
+    Shared,
+    /// Filled by a read with SHARED deasserted.
+    Exclusive,
+    /// Filled with write intent (dirty).
+    Modified,
+}
+
+fn cache_with(protocol: ProtocolKind, held: Held) -> DataCache {
+    let mut cache = DataCache::new(CacheConfig { sets: 4, ways: 1 }, protocol);
+    let addr = Addr::new(LINE);
+    match held {
+        Held::Absent => {}
+        Held::Shared => cache.fill(addr, DATA, Access::Read, true, false),
+        Held::Exclusive => cache.fill(addr, DATA, Access::Read, false, false),
+        Held::Modified => cache.fill(addr, DATA, Access::Write, false, false),
+    }
+    cache
+}
+
+fn verdict_of(own: ProtocolKind, system: ProtocolKind, held: Held, op: BusOp) -> SnoopVerdict {
+    let mut wrapper = Wrapper::for_system(own, system);
+    let mut cache = cache_with(own, held);
+    snoop_node(
+        Some(&mut wrapper),
+        &mut cache,
+        None,
+        true,
+        &op,
+        Addr::new(LINE),
+        Cycle::ZERO,
+        &mut NullObserver,
+    )
+}
+
+#[test]
+fn snoop_verdict_table() {
+    use ProtocolKind::{Mei, Mesi, Moesi};
+    let hit = |shared| SnoopVerdict::Hit { shared };
+    let drain = SnoopVerdict::Drain { data: DATA };
+    let supply = |shared| SnoopVerdict::Supply { data: DATA, shared };
+
+    #[rustfmt::skip]
+    let table: &[(&str, ProtocolKind, ProtocolKind, Held, BusOp, SnoopVerdict)] = &[
+        // Homogeneous MESI: the §2 textbook reactions.
+        ("mesi absent read",      Mesi, Mesi, Held::Absent,    BusOp::ReadLine,      SnoopVerdict::Miss),
+        ("mesi shared read",      Mesi, Mesi, Held::Shared,    BusOp::ReadLine,      hit(true)),
+        ("mesi excl read",        Mesi, Mesi, Held::Exclusive, BusOp::ReadLine,      hit(true)),
+        ("mesi dirty read",       Mesi, Mesi, Held::Modified,  BusOp::ReadLine,      drain),
+        ("mesi dirty rwitm",      Mesi, Mesi, Held::Modified,  BusOp::ReadLineExcl,  drain),
+        ("mesi shared upgrade",   Mesi, Mesi, Held::Shared,    BusOp::Upgrade,       hit(false)),
+        ("mesi excl word write",  Mesi, Mesi, Held::Exclusive, BusOp::WriteWord(1),  hit(false)),
+        // MOESI supplies dirty lines cache-to-cache instead of draining.
+        ("moesi dirty read",      Moesi, Moesi, Held::Modified, BusOp::ReadLine,     supply(true)),
+        ("moesi dirty write",     Moesi, Moesi, Held::Modified, BusOp::WriteLine(DATA), drain),
+        ("moesi shared read",     Moesi, Moesi, Held::Shared,   BusOp::ReadLine,     hit(true)),
+        // MEI holds no shared state: every snoop gives the line up.
+        ("mei excl read",         Mei, Mei, Held::Exclusive,   BusOp::ReadLine,      hit(false)),
+        ("mei dirty read",        Mei, Mei, Held::Modified,    BusOp::ReadLine,      drain),
+        ("mei dirty word read",   Mei, Mei, Held::Modified,    BusOp::ReadWord,      drain),
+        // Heterogeneous: a MESI processor wrapped for a MEI system has its
+        // snooped reads converted to writes (paper §2.2, the Intel486 INV
+        // pin) — a clean copy is silently invalidated instead of shared.
+        ("mesi-in-mei shared read", Mesi, Mei, Held::Shared,   BusOp::ReadLine,      hit(false)),
+        ("mesi-in-mei excl read",   Mesi, Mei, Held::Exclusive, BusOp::ReadLine,     hit(false)),
+        ("mesi-in-mei dirty read",  Mesi, Mei, Held::Modified, BusOp::ReadLine,      drain),
+        // MOESI wrapped for a MESI system must not supply cache-to-cache.
+        ("moesi-in-mesi dirty read", Moesi, Mesi, Held::Modified, BusOp::ReadLine,   drain),
+    ];
+
+    for &(name, own, system, held, op, want) in table {
+        let got = verdict_of(own, system, held, op);
+        assert_eq!(got, want, "case {name:?}: {own}+{system} {held:?} {op}");
+    }
+}
+
+#[test]
+fn wrapped_read_conversion_removes_the_remote_copy() {
+    // The conversion's observable effect, beyond the verdict: the line is
+    // gone afterwards, so the MEI system never sees an untracked sharer.
+    let mut wrapper = Wrapper::for_system(ProtocolKind::Mesi, ProtocolKind::Mei);
+    let mut cache = cache_with(ProtocolKind::Mesi, Held::Shared);
+    let addr = Addr::new(LINE);
+    assert!(cache.contains(addr));
+    let v = snoop_node(
+        Some(&mut wrapper),
+        &mut cache,
+        None,
+        true,
+        &BusOp::ReadLine,
+        addr,
+        Cycle::ZERO,
+        &mut NullObserver,
+    );
+    assert_eq!(v, SnoopVerdict::Hit { shared: false });
+    assert!(!cache.contains(addr), "converted read invalidates the copy");
+    assert_eq!(wrapper.reads_converted(), 1);
+}
+
+#[test]
+fn cam_node_verdicts_follow_the_enable_gate() {
+    let addr = Addr::new(LINE);
+    for (enabled, holds, want) in [
+        (true, true, SnoopVerdict::CamConflict),
+        (true, false, SnoopVerdict::Miss),
+        (false, true, SnoopVerdict::Miss),
+    ] {
+        let mut cache = cache_with(ProtocolKind::Mei, Held::Absent);
+        let mut cam = SnoopLogic::new();
+        if holds {
+            cam.observe_local_fill(addr);
+        }
+        let v = snoop_node(
+            None,
+            &mut cache,
+            Some(&mut cam),
+            enabled,
+            &BusOp::ReadLine,
+            addr,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        assert_eq!(v, want, "enabled={enabled} holds={holds}");
+    }
+}

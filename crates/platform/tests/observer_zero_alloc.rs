@@ -1,0 +1,97 @@
+//! Proves the null-observer hot path is allocation-free.
+//!
+//! The pre-refactor `System` built a `format!("cpu{i}.read_hit")` string
+//! for every counter increment and collected a fresh request mask on
+//! every idle bus cycle — so even with tracing disabled, each simulated
+//! cycle allocated. The typed `SimEvent`/`Observer` path with
+//! enum-indexed counters must do neither: with a `NullObserver`, a
+//! steady-state cycle performs zero heap allocations.
+//!
+//! Measured with a counting `#[global_allocator]`; this file holds a
+//! single test so no concurrent test can perturb the counter.
+
+use hmp_cache::ProtocolKind;
+use hmp_cpu::{LockKind, LockLayout, ProgramBuilder};
+use hmp_platform::{layout, CpuSpec, PlatformSpec, Strategy, System};
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to the std system allocator; the counter is
+// a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_stepping_with_null_observer_does_not_allocate() {
+    let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+    let mut spec = PlatformSpec::new(
+        vec![
+            CpuSpec::generic("P0", ProtocolKind::Mesi),
+            CpuSpec::generic("P1", ProtocolKind::Mesi),
+        ],
+        map,
+        lock,
+    );
+    // The checker is irrelevant here and would only add noise sources.
+    spec.check_coherence = false;
+
+    // P0 hammers one cached line: a single fill, then thousands of local
+    // read hits — each of which used to format! a stats key.
+    let a = lay.shared_base;
+    let p0 = {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..4_000 {
+            b = b.read(a);
+        }
+        b.build()
+    };
+    let mut sys = System::new(&spec, vec![p0, hmp_cpu::Program::empty()]);
+
+    // Warm up past the miss, the line fill, and any one-time lazy
+    // initialization inside the simulator.
+    for _ in 0..200 {
+        sys.step();
+    }
+    assert!(
+        sys.counters().get(0, hmp_sim::CpuCounter::ReadHit) > 0,
+        "warm-up must reach the read-hit steady state"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sys.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state stepping with NullObserver must not allocate"
+    );
+
+    // The cycles stepped were real work, not a halted machine.
+    assert!(
+        sys.counters().get(0, hmp_sim::CpuCounter::ReadHit) >= 1_000,
+        "the measured window must have executed read hits"
+    );
+}

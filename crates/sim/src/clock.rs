@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn cycle_saturating_since() {
-        assert_eq!(
-            Cycle::new(3).saturating_since(Cycle::new(10)),
-            Cycle::ZERO
-        );
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(10)), Cycle::ZERO);
         assert_eq!(
             Cycle::new(10).saturating_since(Cycle::new(3)),
             Cycle::new(7)

@@ -10,8 +10,15 @@
 //!   randomized decision in the simulator (typical-case workload block
 //!   picks, interrupt-response jitter). No global or wall-clock entropy is
 //!   ever used, so every run is bit-reproducible.
-//! * [`Stats`] — a string-keyed counter registry for instrumentation.
-//! * [`TraceBuffer`] — a bounded ring of timestamped trace events.
+//! * [`SimEvent`] / [`Observer`] — typed hot-path instrumentation: the bus,
+//!   caches, snoop logic and CPUs emit `Copy` events; [`NullObserver`]
+//!   compiles to a no-op and [`TraceObserver`] stores events unrendered.
+//! * [`CounterBank`] — enum-indexed activity counters ([`CpuCounter`],
+//!   [`RetryCause`]) that render to the legacy string-keyed [`Stats`]
+//!   registry only when a run finishes.
+//! * [`Stats`] — a string-keyed counter registry for reports.
+//! * [`TraceBuffer`] — a bounded ring of pre-rendered trace strings
+//!   (legacy; the hot path emits [`SimEvent`]s instead).
 //! * [`Watchdog`] — forward-progress detection, used to turn the paper's
 //!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
 //!   instead of a hang.
@@ -35,12 +42,19 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod counters;
+mod event;
 mod rng;
 mod stats;
 mod trace;
 mod watchdog;
 
 pub use clock::{ClockDomain, CoreCycle, Cycle};
+pub use counters::{CounterBank, CpuCounter};
+pub use event::{
+    BusOpKind, NullObserver, Observer, RetryCause, SimEvent, SnoopActionKind, TraceObserver,
+    TracedEvent,
+};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 pub use trace::{TraceBuffer, TraceEvent};

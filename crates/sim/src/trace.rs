@@ -22,7 +22,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>8}] {:<10} {}", self.at.as_u64(), self.source, self.what)
+        write!(
+            f,
+            "[{:>8}] {:<10} {}",
+            self.at.as_u64(),
+            self.source,
+            self.what
+        )
     }
 }
 

@@ -194,7 +194,12 @@ mod tests {
 
     #[test]
     fn wcs_op_counts() {
-        let p = build_programs(Scenario::Worst, Strategy::Proposed, &params(4, 2, 3), &lay());
+        let p = build_programs(
+            Scenario::Worst,
+            Strategy::Proposed,
+            &params(4, 2, 3),
+            &lay(),
+        );
         assert_eq!(p.len(), 2);
         // Per iteration: acquire + 2×4×(read+write) + release + delay = 19.
         assert_eq!(p[0].op_count(), 3 * (1 + 2 * 4 * 2 + 1 + 1));
@@ -203,7 +208,12 @@ mod tests {
 
     #[test]
     fn software_strategy_adds_drains() {
-        let base = build_programs(Scenario::Worst, Strategy::Proposed, &params(4, 1, 2), &lay());
+        let base = build_programs(
+            Scenario::Worst,
+            Strategy::Proposed,
+            &params(4, 1, 2),
+            &lay(),
+        );
         let sw = build_programs(
             Scenario::Worst,
             Strategy::SoftwareDrain,
@@ -235,7 +245,12 @@ mod tests {
 
     #[test]
     fn wcs_both_tasks_same_lines_distinct_values() {
-        let p = build_programs(Scenario::Worst, Strategy::Proposed, &params(2, 1, 1), &lay());
+        let p = build_programs(
+            Scenario::Worst,
+            Strategy::Proposed,
+            &params(2, 1, 1),
+            &lay(),
+        );
         let addr_of = |prog: &hmp_cpu::Program| -> Vec<u32> {
             prog.flatten()
                 .iter()
@@ -274,8 +289,7 @@ mod tests {
         );
         assert_eq!(a[0], b[0], "same seed, same program");
         // All touched addresses must fall inside the 10-block pool.
-        let pool_end =
-            lay().shared_base.as_u32() + MicrobenchParams::TCS_BLOCKS * BLOCK_BYTES;
+        let pool_end = lay().shared_base.as_u32() + MicrobenchParams::TCS_BLOCKS * BLOCK_BYTES;
         for op in a[0].flatten() {
             if let Op::Read(addr) = op {
                 assert!(addr.as_u32() >= lay().shared_base.as_u32());
@@ -287,9 +301,7 @@ mod tests {
             .flatten()
             .iter()
             .filter_map(|op| match op {
-                Op::Read(addr) => {
-                    Some((addr.as_u32() - lay().shared_base.as_u32()) / BLOCK_BYTES)
-                }
+                Op::Read(addr) => Some((addr.as_u32() - lay().shared_base.as_u32()) / BLOCK_BYTES),
                 _ => None,
             })
             .collect();

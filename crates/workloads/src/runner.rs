@@ -74,9 +74,7 @@ impl RunSpec {
 pub fn prepare(spec: &RunSpec) -> System {
     let lock_kind = scenario_lock_kind(spec.scenario);
     let (mut pspec, lay) = match spec.platform {
-        PlatformPick::PpcArm => {
-            presets::ppc_arm(spec.strategy, lock_kind, spec.cacheable_locks)
-        }
+        PlatformPick::PpcArm => presets::ppc_arm(spec.strategy, lock_kind, spec.cacheable_locks),
         PlatformPick::I486Ppc => presets::i486_ppc(spec.strategy, lock_kind),
         PlatformPick::Pf1Dual => presets::pf1_dual(spec.strategy, lock_kind),
         PlatformPick::Pair(a, b) => presets::protocol_pair(a, b, spec.strategy, lock_kind),
@@ -166,15 +164,17 @@ mod tests {
 
     #[test]
     fn i486_platform_runs_wcs() {
-        let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
-            .on(PlatformPick::I486Ppc));
+        let r =
+            run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+                .on(PlatformPick::I486Ppc));
         assert!(r.is_clean_completion(), "{r}");
     }
 
     #[test]
     fn pf1_platform_runs_wcs() {
-        let r = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
-            .on(PlatformPick::Pf1Dual));
+        let r =
+            run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+                .on(PlatformPick::Pf1Dual));
         assert!(r.is_clean_completion(), "{r}");
     }
 
@@ -191,9 +191,8 @@ mod tests {
     #[test]
     fn burst_penalty_slows_execution() {
         let fast = run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small()));
-        let slow = run(
-            &RunSpec::new(Scenario::Worst, Strategy::Proposed, small()).with_burst_penalty(96),
-        );
+        let slow =
+            run(&RunSpec::new(Scenario::Worst, Strategy::Proposed, small()).with_burst_penalty(96));
         assert!(slow.cycles_u64() > fast.cycles_u64());
     }
 }

@@ -29,8 +29,7 @@ use hmp::workloads::{run, MicrobenchParams, RunSpec, Scenario};
 /// fills — the knob that decides whether its lock access is in flight at
 /// the fatal moment.
 fn deadlock_run(cacheable_locks: bool, arm_delay: u32) -> RunOutcome {
-    let (mut spec, lay) =
-        presets::ppc_arm(Strategy::Proposed, LockKind::Bakery, cacheable_locks);
+    let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Bakery, cacheable_locks);
     spec.watchdog_window = 10_000;
     // The paper's platform (Figure 2): fixed-priority AMBA arbitration with
     // BOFF back-off after ARTRY. Round-robin arbitration happens to dodge
@@ -71,7 +70,10 @@ fn main() {
         }
     }
     println!("{stalls}/500 interleavings deadlock (first at ARM delay {first_stall:?})");
-    assert!(stalls > 0, "the Figure 4 hardware deadlock must be reachable");
+    assert!(
+        stalls > 0,
+        "the Figure 4 hardware deadlock must be reachable"
+    );
 
     println!("\n--- solution 1: software lock (Bakery) in uncached memory ---");
     for arm_delay in (0..500).step_by(5) {

@@ -86,7 +86,10 @@ fn main() {
         .unwrap_or_else(|| sys.memory().read_word(last));
     assert_eq!(observed, expect);
 
-    println!("media→net pipeline: {} frames of {} lines", FRAMES, FRAME_LINES);
+    println!(
+        "media→net pipeline: {} frames of {} lines",
+        FRAMES, FRAME_LINES
+    );
     println!("outcome:   {}", result.outcome);
     println!("cycles:    {}", result.cycles_u64());
     println!(

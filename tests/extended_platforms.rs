@@ -6,9 +6,7 @@ use hmp::cache::{LineState, ProtocolKind};
 use hmp::core::PlatformClass;
 use hmp::cpu::{LockKind, LockLayout, ProgramBuilder};
 use hmp::mem::{MemAttr, Region};
-use hmp::platform::{
-    layout, presets, CpuSpec, MemLayout, PlatformSpec, Strategy, System,
-};
+use hmp::platform::{layout, presets, CpuSpec, MemLayout, PlatformSpec, Strategy, System};
 
 /// Intel486 + PowerPC755 with the shared window marked *write-through*:
 /// the 486's lines follow the SI protocol, every store goes straight to
@@ -32,8 +30,12 @@ fn intel486_write_through_shared_window() {
         MemAttr::CachedWriteThrough,
     ))
     .unwrap();
-    map.add(Region::new(lay.lock_base, MemLayout::LOCK_BYTES, MemAttr::Uncached))
-        .unwrap();
+    map.add(Region::new(
+        lay.lock_base,
+        MemLayout::LOCK_BYTES,
+        MemAttr::Uncached,
+    ))
+    .unwrap();
     let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
     let spec = PlatformSpec::new(vec![CpuSpec::intel486(), CpuSpec::powerpc755()], map, lock);
 
@@ -45,7 +47,11 @@ fn intel486_write_through_shared_window() {
         .write(x, 0x486)
         .read(x)
         .build();
-    let ppc = ProgramBuilder::new().delay(200).read(x).write(x, 0x755).build();
+    let ppc = ProgramBuilder::new()
+        .delay(200)
+        .read(x)
+        .write(x, 0x755)
+        .build();
     let mut sys = System::new(&spec, vec![i486, ppc]);
     let result = sys.run(100_000);
     assert!(result.is_clean_completion(), "{result}");
@@ -62,8 +68,12 @@ fn intel486_write_through_shared_window() {
 /// the checker stays happy throughout.
 #[test]
 fn moesi_cache_to_cache_supply() {
-    let (spec, lay) =
-        presets::protocol_pair(ProtocolKind::Moesi, ProtocolKind::Moesi, Strategy::Proposed, LockKind::Turn);
+    let (spec, lay) = presets::protocol_pair(
+        ProtocolKind::Moesi,
+        ProtocolKind::Moesi,
+        Strategy::Proposed,
+        LockKind::Turn,
+    );
     let x = lay.shared_base;
     let p0 = ProgramBuilder::new().write(x, 0xCAFE).delay(200).build();
     let p1 = ProgramBuilder::new().delay(100).read(x).build();
@@ -88,8 +98,12 @@ fn moesi_cache_to_cache_supply() {
 /// The Owned line must still reach memory when it is finally evicted.
 #[test]
 fn owned_line_eviction_writes_back() {
-    let (mut spec, lay) =
-        presets::protocol_pair(ProtocolKind::Moesi, ProtocolKind::Moesi, Strategy::Proposed, LockKind::Turn);
+    let (mut spec, lay) = presets::protocol_pair(
+        ProtocolKind::Moesi,
+        ProtocolKind::Moesi,
+        Strategy::Proposed,
+        LockKind::Turn,
+    );
     spec.cpus[0].cache = hmp::cache::CacheConfig { sets: 2, ways: 1 };
     let x = lay.shared_base;
     let conflict = x.add_lines(2); // same set as x in a 2-set cache
@@ -227,9 +241,7 @@ fn four_processor_exclusivity_at_rest() {
     assert!(result.is_clean_completion(), "{result}");
     for l in 0..4 {
         let addr = shared.add_lines(l);
-        let holders = (0..4)
-            .filter(|&i| sys.cache(i).contains(addr))
-            .count();
+        let holders = (0..4).filter(|&i| sys.cache(i).contains(addr)).count();
         assert!(holders <= 1, "line {l} shared on a MEI bus");
     }
 }

@@ -58,12 +58,18 @@ fn full_map_cam_never_takes_capacity_interrupts() {
     for l in 0..16 {
         arm = arm.write(x.add_lines(l), l);
     }
-    let mut sys =
-        presets::instantiate(&spec, Strategy::Proposed, vec![ProgramBuilder::new().build(), arm.build()]);
+    let mut sys = presets::instantiate(
+        &spec,
+        Strategy::Proposed,
+        vec![ProgramBuilder::new().build(), arm.build()],
+    );
     let result = sys.run(1_000_000);
     assert!(result.is_clean_completion(), "{result}");
     assert_eq!(sys.snoop_logic(1).unwrap().capacity_evictions(), 0);
-    assert_eq!(result.cpus[1].isr_entries, 0, "nothing remote touched the lines");
+    assert_eq!(
+        result.cpus[1].isr_entries, 0,
+        "nothing remote touched the lines"
+    );
 }
 
 #[test]

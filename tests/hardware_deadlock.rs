@@ -69,8 +69,7 @@ fn round_robin_arbitration_dodges_this_instance() {
     // cannot form; this documents that the deadlock is a property of the
     // priority bus the paper assumes, not of the simulator.
     for d in (0..200).step_by(7) {
-        let (mut spec, lay) =
-            presets::ppc_arm(Strategy::Proposed, LockKind::Bakery, true);
+        let (mut spec, lay) = presets::ppc_arm(Strategy::Proposed, LockKind::Bakery, true);
         spec.watchdog_window = 10_000;
         spec.arbitration = ArbitrationPolicy::RoundRobin;
         let x = lay.shared_base;

@@ -19,9 +19,12 @@ fn params(lines: u32, exec_time: u32) -> MicrobenchParams {
 }
 
 fn cycles(scenario: Scenario, strategy: Strategy, lines: u32, exec: u32, penalty: u64) -> u64 {
-    let result = run(&RunSpec::new(scenario, strategy, params(lines, exec))
-        .with_burst_penalty(penalty));
-    assert!(result.is_clean_completion(), "{scenario}/{strategy}: {result}");
+    let result =
+        run(&RunSpec::new(scenario, strategy, params(lines, exec)).with_burst_penalty(penalty));
+    assert!(
+        result.is_clean_completion(),
+        "{scenario}/{strategy}: {result}"
+    );
     result.cycles_u64()
 }
 
@@ -66,7 +69,10 @@ fn fig6_bcs_speedup_grows_with_line_count() {
     let s1 = speedup(1);
     let s8 = speedup(8);
     let s32 = speedup(32);
-    assert!(s1 < s8 && s8 < s32, "monotone growth: {s1:.3} {s8:.3} {s32:.3}");
+    assert!(
+        s1 < s8 && s8 < s32,
+        "monotone growth: {s1:.3} {s8:.3} {s32:.3}"
+    );
     assert!(
         (0.25..0.55).contains(&s32),
         "32-line BCS speedup should bracket the paper's 38.22%, got {:.1}%",
@@ -122,8 +128,14 @@ fn both_cached_strategies_beat_cache_disabled() {
         let disabled = cycles(scenario, Strategy::CacheDisabled, 8, 1, 13);
         let sw = cycles(scenario, Strategy::SoftwareDrain, 8, 1, 13);
         let prop = cycles(scenario, Strategy::Proposed, 8, 1, 13);
-        assert!(sw < disabled, "{scenario}: software {sw} !< disabled {disabled}");
-        assert!(prop < disabled, "{scenario}: proposed {prop} !< disabled {disabled}");
+        assert!(
+            sw < disabled,
+            "{scenario}: software {sw} !< disabled {disabled}"
+        );
+        assert!(
+            prop < disabled,
+            "{scenario}: proposed {prop} !< disabled {disabled}"
+        );
     }
 }
 

@@ -59,14 +59,14 @@ fn write_through_miss_does_not_allocate() {
         MemAttr::CachedWriteThrough,
     ))
     .unwrap();
-    map.add(Region::new(lay.lock_base, MemLayout::LOCK_BYTES, MemAttr::Uncached))
-        .unwrap();
+    map.add(Region::new(
+        lay.lock_base,
+        MemLayout::LOCK_BYTES,
+        MemAttr::Uncached,
+    ))
+    .unwrap();
     let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 1);
-    let spec = PlatformSpec::new(
-        vec![CpuSpec::generic("wt", ProtocolKind::Mesi)],
-        map,
-        lock,
-    );
+    let spec = PlatformSpec::new(vec![CpuSpec::generic("wt", ProtocolKind::Mesi)], map, lock);
     let x = lay.shared_base;
     let p = ProgramBuilder::new().write(x, 0x77).build();
     let mut sys = System::new(&spec, vec![p]);
@@ -102,10 +102,15 @@ impl BusDevice for Mailbox {
 fn custom_device_round_trip() {
     let lay = MemLayout::default();
     let mut map = MemoryMap::new();
-    map.add(Region::new(lay.lock_base, MemLayout::LOCK_BYTES, MemAttr::Uncached))
-        .unwrap();
+    map.add(Region::new(
+        lay.lock_base,
+        MemLayout::LOCK_BYTES,
+        MemAttr::Uncached,
+    ))
+    .unwrap();
     let dev_base = Addr::new(0x0030_0000);
-    map.add(Region::new(dev_base, 0x100, MemAttr::Device(0))).unwrap();
+    map.add(Region::new(dev_base, 0x100, MemAttr::Device(0)))
+        .unwrap();
     let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 1);
     let spec = PlatformSpec::new(
         vec![CpuSpec::generic("host", ProtocolKind::Mesi)],
@@ -142,8 +147,11 @@ fn msi_upgrade_without_contention() {
     );
     let x = lay.shared_base;
     let p0 = ProgramBuilder::new().read(x).write(x, 5).build();
-    let mut sys =
-        presets::instantiate(&spec, Strategy::Proposed, vec![p0, ProgramBuilder::new().build()]);
+    let mut sys = presets::instantiate(
+        &spec,
+        Strategy::Proposed,
+        vec![p0, ProgramBuilder::new().build()],
+    );
     let result = sys.run(10_000);
     assert!(result.is_clean_completion(), "{result}");
     // MSI read-fills Shared, so the store needs an upgrade broadcast even

@@ -7,8 +7,8 @@
 
 use hmp::cache::{LineState, ProtocolKind};
 use hmp::cpu::{LockKind, LockLayout, ProgramBuilder};
-use hmp::platform::{layout, CpuSpec, PlatformSpec, RunOutcome, Strategy, System, WrapperMode};
 use hmp::mem::Addr;
+use hmp::platform::{layout, CpuSpec, PlatformSpec, RunOutcome, Strategy, System, WrapperMode};
 
 struct Trace {
     /// (P1 state, P2 state) sampled after steps a–d.
@@ -38,9 +38,8 @@ fn run_sequence(p1: ProtocolKind, p2: ProtocolKind, mode: WrapperMode) -> Trace 
     let mut sys = System::new(&spec, vec![prog1, prog2]);
     sys.poke_word(c, 0x11);
 
-    let state = |sys: &System, cpu: usize| {
-        sys.cache(cpu).line_state(c).unwrap_or(LineState::Invalid)
-    };
+    let state =
+        |sys: &System, cpu: usize| sys.cache(cpu).line_state(c).unwrap_or(LineState::Invalid);
     let mut states = Vec::new();
     for sample_at in [100u64, 300, 500, 800] {
         while sys.now().as_u64() < sample_at {
@@ -60,12 +59,21 @@ fn run_sequence(p1: ProtocolKind, p2: ProtocolKind, mode: WrapperMode) -> Trace 
 #[test]
 fn table2_naive_mei_mesi_reads_stale() {
     use LineState::*;
-    let t = run_sequence(ProtocolKind::Mesi, ProtocolKind::Mei, WrapperMode::Transparent);
+    let t = run_sequence(
+        ProtocolKind::Mesi,
+        ProtocolKind::Mei,
+        WrapperMode::Transparent,
+    );
     // The table's exact state walk:
     //   a: P1 E / P2 I;  b: P1 S / P2 E;  c: P1 S (stale) / P2 M;  d: same.
     assert_eq!(
         t.states,
-        vec![(Exclusive, Invalid), (Shared, Exclusive), (Shared, Modified), (Shared, Modified)]
+        vec![
+            (Exclusive, Invalid),
+            (Shared, Exclusive),
+            (Shared, Modified),
+            (Shared, Modified)
+        ]
     );
     assert!(t.violations > 0, "transaction d must read stale data");
     assert_eq!(
@@ -83,7 +91,12 @@ fn table2_wrapped_mei_mesi_is_coherent() {
     //   a: P1 E / P2 I;  b: P1 I / P2 E;  c: P1 I / P2 M;  d: P1 E / P2 I.
     assert_eq!(
         t.states,
-        vec![(Exclusive, Invalid), (Invalid, Exclusive), (Invalid, Modified), (Exclusive, Invalid)]
+        vec![
+            (Exclusive, Invalid),
+            (Invalid, Exclusive),
+            (Invalid, Modified),
+            (Exclusive, Invalid)
+        ]
     );
     assert_eq!(t.violations, 0);
     assert_eq!(t.final_p1_value, Some(0xAB), "P1 sees P2's write");
@@ -92,12 +105,21 @@ fn table2_wrapped_mei_mesi_is_coherent() {
 #[test]
 fn table3_naive_msi_mesi_reads_stale() {
     use LineState::*;
-    let t = run_sequence(ProtocolKind::Msi, ProtocolKind::Mesi, WrapperMode::Transparent);
+    let t = run_sequence(
+        ProtocolKind::Msi,
+        ProtocolKind::Mesi,
+        WrapperMode::Transparent,
+    );
     // Table 3: P1 (MSI) cannot assert the shared signal, so P2 (MESI)
     // fills E at step b and writes silently at step c.
     assert_eq!(
         t.states,
-        vec![(Shared, Invalid), (Shared, Exclusive), (Shared, Modified), (Shared, Modified)]
+        vec![
+            (Shared, Invalid),
+            (Shared, Exclusive),
+            (Shared, Modified),
+            (Shared, Modified)
+        ]
     );
     assert!(t.violations > 0);
     assert_eq!(t.final_p1_value, Some(0x11));
@@ -110,7 +132,11 @@ fn table3_wrapped_msi_mesi_is_coherent() {
     // The wrapper forces the shared signal: P2 fills S at step b, pays an
     // upgrade at step c (invalidating P1), and P1 re-fetches at step d.
     assert_eq!(t.states[0], (Shared, Invalid));
-    assert_eq!(t.states[1], (Shared, Shared), "E state removed (paper §2.2)");
+    assert_eq!(
+        t.states[1],
+        (Shared, Shared),
+        "E state removed (paper §2.2)"
+    );
     assert_eq!(t.states[2], (Invalid, Modified), "upgrade invalidated P1");
     assert_eq!(t.violations, 0);
     assert_eq!(t.final_p1_value, Some(0xAB));
@@ -119,7 +145,13 @@ fn table3_wrapped_msi_mesi_is_coherent() {
 #[test]
 fn every_mismatched_pair_is_fixed_by_wrappers() {
     use ProtocolKind::*;
-    for (a, b) in [(Mesi, Mei), (Msi, Mesi), (Msi, Moesi), (Mesi, Moesi), (Moesi, Mei)] {
+    for (a, b) in [
+        (Mesi, Mei),
+        (Msi, Mesi),
+        (Msi, Moesi),
+        (Mesi, Moesi),
+        (Moesi, Mei),
+    ] {
         let naive = run_sequence(a, b, WrapperMode::Transparent);
         let wrapped = run_sequence(a, b, WrapperMode::Paper);
         assert_eq!(wrapped.violations, 0, "{a}+{b} wrapped must be coherent");
