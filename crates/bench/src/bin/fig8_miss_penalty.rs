@@ -8,9 +8,11 @@
 //! overheads.
 
 use hmp_bench::cycles_on;
+use hmp_bench::json::maybe_write_bench_json;
 use hmp_bench::sweep::{default_workers, par_map};
 use hmp_platform::Strategy;
 use hmp_workloads::{PlatformPick, Scenario};
+use std::fmt::Write as _;
 
 const PENALTIES: [u64; 4] = [13, 24, 48, 96];
 const LINES: [u32; 2] = [1, 32];
@@ -71,6 +73,29 @@ fn print_cells(cells: &[Cell]) {
     }
 }
 
+fn cells_json(platform: &str, cells: &[Cell], out: &mut String) {
+    let _ = write!(out, r#""{platform}":["#);
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"scenario":"{:?}","lines":{},"penalty":{},"software":{},"#,
+                r#""proposed":{},"ratio":{:.6}}}"#
+            ),
+            c.scenario,
+            c.lines,
+            c.penalty,
+            c.software,
+            c.proposed,
+            c.proposed as f64 / c.software as f64,
+        );
+    }
+    out.push(']');
+}
+
 fn main() {
     println!("=== Figure 8 — ratio vs software solution across miss penalties ===");
     println!("(execution time of the proposed approach / software solution; lower is better)");
@@ -91,5 +116,15 @@ fn main() {
     // the interrupt service routine is not needed." Replay the sweep on
     // the Intel486 + PowerPC755 platform.
     println!("\n=== PF3 (Intel486 + PowerPC755): same sweep, no ISR ===");
-    print_cells(&measure(PlatformPick::I486Ppc));
+    let pf3 = measure(PlatformPick::I486Ppc);
+    print_cells(&pf3);
+
+    let mut json = String::from(r#"{"figure":"fig8_miss_penalty","baseline":"software","#);
+    cells_json("pf2_ppc_arm", &pf2, &mut json);
+    json.push(',');
+    cells_json("pf3_i486_ppc", &pf3, &mut json);
+    json.push('}');
+    if let Some(path) = maybe_write_bench_json("fig8_miss_penalty", &json) {
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -1,0 +1,134 @@
+//! Machine-readable `BENCH_*.json` emission for the figure binaries.
+//!
+//! The figure binaries print human-readable tables; CI and downstream
+//! tooling want the same numbers without scraping stdout. Setting the
+//! `HMP_BENCH_JSON` environment variable to an output directory (or `1`
+//! for the current directory) makes each binary also write a
+//! `BENCH_<figure>.json` file next to its table. The JSON is hand-rolled
+//! (the workspace builds against an offline registry, so no serde) and
+//! checked against [`hmp_sim::export::validate_json`] in tests.
+
+use crate::RatioRow;
+use hmp_workloads::Scenario;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The `BENCH_*.json` stem for a Figures 5–7 scenario.
+pub fn figure_slug(scenario: Scenario) -> &'static str {
+    match scenario {
+        Scenario::Worst => "fig5_wcs",
+        Scenario::Best => "fig6_bcs",
+        Scenario::Typical => "fig7_tcs",
+    }
+}
+
+/// Renders one Figures 5–7 sweep as a JSON document.
+pub fn figure_rows_json(figure: &str, scenario: Scenario, rows: &[RatioRow]) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        r#""figure":"{figure}","scenario":"{scenario:?}","baseline":"cache_disabled","rows":["#
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"lines":{},"exec_time":{},"disabled":{},"software":{},"proposed":{},"#,
+                r#""software_ratio":{:.6},"proposed_ratio":{:.6}}}"#
+            ),
+            r.lines,
+            r.exec_time,
+            r.disabled,
+            r.software,
+            r.proposed,
+            r.software_ratio(),
+            r.proposed_ratio(),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Where `BENCH_*.json` files go: the `HMP_BENCH_JSON` directory, `.` for
+/// `1`/`true`, `None` when unset/empty/`0` (the default — no files).
+pub fn bench_json_dir() -> Option<PathBuf> {
+    match std::env::var("HMP_BENCH_JSON") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" || v == "true" => Some(PathBuf::from(".")),
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => None,
+    }
+}
+
+/// Writes `BENCH_<figure>.json` into the [`bench_json_dir`], creating the
+/// directory if needed. Returns the written path, or `None` when emission
+/// is disabled.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written — a figure run asked
+/// to produce an artefact must not silently drop it.
+pub fn maybe_write_bench_json(figure: &str, json: &str) -> Option<PathBuf> {
+    let dir = bench_json_dir()?;
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("HMP_BENCH_JSON dir {}: {e}", dir.display()));
+    let path = dir.join(format!("BENCH_{figure}.json"));
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_sim::export::validate_json;
+
+    fn rows() -> Vec<RatioRow> {
+        vec![
+            RatioRow {
+                lines: 1,
+                exec_time: 1,
+                disabled: 1000,
+                software: 800,
+                proposed: 600,
+            },
+            RatioRow {
+                lines: 32,
+                exec_time: 4,
+                disabled: 9000,
+                software: 7000,
+                proposed: 4500,
+            },
+        ]
+    }
+
+    #[test]
+    fn figure_rows_json_is_valid_and_complete() {
+        let json = figure_rows_json("fig5_wcs", Scenario::Worst, &rows());
+        validate_json(&json).expect("figure JSON must parse");
+        assert!(json.contains(r#""figure":"fig5_wcs""#), "{json}");
+        assert!(json.contains(r#""scenario":"Worst""#), "{json}");
+        assert!(json.contains(r#""lines":32"#), "{json}");
+        assert!(json.contains(r#""proposed":4500"#), "{json}");
+        assert!(json.contains(r#""proposed_ratio":0.5"#), "{json}");
+    }
+
+    #[test]
+    fn empty_sweep_is_still_valid_json() {
+        let json = figure_rows_json("fig6_bcs", Scenario::Best, &[]);
+        validate_json(&json).expect("empty sweep must still parse");
+        assert!(json.ends_with("\"rows\":[]}"), "{json}");
+    }
+
+    #[test]
+    fn every_scenario_has_a_distinct_slug() {
+        let slugs = [
+            figure_slug(Scenario::Worst),
+            figure_slug(Scenario::Best),
+            figure_slug(Scenario::Typical),
+        ];
+        assert_eq!(slugs, ["fig5_wcs", "fig6_bcs", "fig7_tcs"]);
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod sweep;
 
 use hmp_platform::Strategy;
@@ -145,9 +146,16 @@ impl RatioRow {
 
 /// Prints a Figures 5–7 style table for one scenario. The grid is
 /// measured in parallel (see [`sweep`]); the printed rows are identical
-/// to a serial sweep.
+/// to a serial sweep. With `HMP_BENCH_JSON` set (see [`json`]), the same
+/// rows are also written as a machine-readable `BENCH_<figure>.json`.
 pub fn print_figure(scenario: Scenario, title: &str) {
     let rows = sweep::sweep_parallel(&sweep::figure_grid(scenario), sweep::default_workers());
+    let slug = json::figure_slug(scenario);
+    if let Some(path) =
+        json::maybe_write_bench_json(slug, &json::figure_rows_json(slug, scenario, &rows))
+    {
+        eprintln!("wrote {}", path.display());
+    }
     println!("=== {title} ===");
     println!("(execution time relative to the cache-disabled baseline; lower is better)");
     for exec_time in MicrobenchParams::EXEC_SWEEP {

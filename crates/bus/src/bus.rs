@@ -196,26 +196,59 @@ impl Bus {
         self.stats
     }
 
-    /// Submits a master's (single) CPU transaction.
+    /// Submits a master's (single) CPU transaction, reported to `obs` as
+    /// [`SimEvent::BusRequest`] (the open of its lifecycle span).
     ///
     /// # Panics
     ///
     /// Panics if the master already has an outstanding CPU transaction —
     /// the modelled cores are blocking and never pipeline bus requests.
-    pub fn submit(&mut self, master: MasterId, op: BusOp, addr: Addr) {
+    pub fn submit(
+        &mut self,
+        master: MasterId,
+        op: BusOp,
+        addr: Addr,
+        now: Cycle,
+        obs: &mut impl Observer,
+    ) {
         let port = &mut self.ports[master.index()];
         assert!(
             port.fresh.is_none() && port.retrying.as_ref().is_none_or(|&(_, _, d)| d),
             "{master} already has an outstanding CPU transaction"
         );
         port.fresh = Some((op, addr));
+        obs.on_event(
+            now,
+            SimEvent::BusRequest {
+                master: master.index(),
+                op: op.kind(),
+                addr: u64::from(addr.as_u32()),
+                is_drain: false,
+            },
+        );
     }
 
-    /// Queues a snoop-push write-back on `master`'s port.
-    pub fn submit_drain(&mut self, master: MasterId, data: [u32; LINE_WORDS as usize], addr: Addr) {
-        self.ports[master.index()]
-            .drains
-            .push_back((data, addr.line_base()));
+    /// Queues a snoop-push write-back on `master`'s port, reported to
+    /// `obs` as a drain [`SimEvent::BusRequest`].
+    pub fn submit_drain(
+        &mut self,
+        master: MasterId,
+        data: [u32; LINE_WORDS as usize],
+        addr: Addr,
+        now: Cycle,
+        obs: &mut impl Observer,
+    ) {
+        let line = addr.line_base();
+        self.ports[master.index()].drains.push_back((data, line));
+        obs.on_event(
+            now,
+            SimEvent::BusRequest {
+                master: master.index(),
+                op: hmp_sim::BusOpKind::WriteLine,
+                addr: u64::from(line.as_u32()),
+                is_drain: true,
+            },
+        );
     }
 
     /// `true` if the master has a CPU transaction in flight (fresh, retrying
@@ -318,15 +351,33 @@ impl Bus {
         Some(txn)
     }
 
+    fn emit_complete(now: Cycle, obs: &mut impl Observer, done: &CompletedTxn) {
+        obs.on_event(
+            now,
+            SimEvent::BusComplete {
+                master: done.master.index(),
+                op: done.op.kind(),
+                addr: u64::from(done.addr.as_u32()),
+                is_drain: done.is_drain,
+            },
+        );
+    }
+
     /// Applies the snoop verdict to the transaction in its address phase.
     ///
     /// Returns the completed transaction immediately when the data phase is
-    /// empty (upgrade broadcasts).
+    /// empty (upgrade broadcasts); completions are reported to `obs` as
+    /// [`SimEvent::BusComplete`] (the close of the lifecycle span).
     ///
     /// # Panics
     ///
     /// Panics if no transaction is in its address phase.
-    pub fn resolve(&mut self, outcome: AddressOutcome) -> Option<CompletedTxn> {
+    pub fn resolve(
+        &mut self,
+        outcome: AddressOutcome,
+        now: Cycle,
+        obs: &mut impl Observer,
+    ) -> Option<CompletedTxn> {
         assert_eq!(
             self.phase,
             BusPhase::Address,
@@ -365,14 +416,16 @@ impl Bus {
                     if active.txn.is_drain {
                         self.stats.drains += 1;
                     }
-                    Some(CompletedTxn {
+                    let done = CompletedTxn {
                         master: active.txn.master,
                         op: active.txn.op,
                         addr: active.txn.addr,
                         is_drain: active.txn.is_drain,
                         shared,
                         supplied,
-                    })
+                    };
+                    Self::emit_complete(now, obs, &done);
+                    Some(done)
                 } else {
                     self.phase = BusPhase::Data {
                         remaining: data_cycles,
@@ -389,12 +442,13 @@ impl Bus {
     }
 
     /// Advances an in-flight data phase by one cycle, yielding the
-    /// completed transaction when it finishes.
+    /// completed transaction when it finishes (reported to `obs` as
+    /// [`SimEvent::BusComplete`]).
     ///
     /// # Panics
     ///
     /// Panics if no data phase is in flight.
-    pub fn advance_data(&mut self) -> Option<CompletedTxn> {
+    pub fn advance_data(&mut self, now: Cycle, obs: &mut impl Observer) -> Option<CompletedTxn> {
         let BusPhase::Data { remaining } = self.phase else {
             panic!("advance_data() outside the data phase");
         };
@@ -410,14 +464,16 @@ impl Bus {
         if active.txn.is_drain {
             self.stats.drains += 1;
         }
-        Some(CompletedTxn {
+        let done = CompletedTxn {
             master: active.txn.master,
             op: active.txn.op,
             addr: active.txn.addr,
             is_drain: active.txn.is_drain,
             shared: active.shared,
             supplied: active.supplied,
-        })
+        };
+        Self::emit_complete(now, obs, &done);
+        Some(done)
     }
 }
 
@@ -437,7 +493,13 @@ mod tests {
     #[test]
     fn grant_address_data_complete() {
         let mut bus = Bus::new(2);
-        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         let g = bus
             .try_grant(Cycle::ZERO, &mut NullObserver)
             .expect("grant");
@@ -445,10 +507,14 @@ mod tests {
         assert_eq!(g.op, BusOp::ReadLine);
         assert!(!g.is_retry && !g.is_drain);
         assert_eq!(bus.phase(), BusPhase::Address);
-        assert!(bus.resolve(proceed(3)).is_none());
-        assert!(bus.advance_data().is_none());
-        assert!(bus.advance_data().is_none());
-        let done = bus.advance_data().expect("complete");
+        assert!(bus
+            .resolve(proceed(3), Cycle::ZERO, &mut NullObserver)
+            .is_none());
+        assert!(bus.advance_data(Cycle::ZERO, &mut NullObserver).is_none());
+        assert!(bus.advance_data(Cycle::ZERO, &mut NullObserver).is_none());
+        let done = bus
+            .advance_data(Cycle::ZERO, &mut NullObserver)
+            .expect("complete");
         assert_eq!(done.master, MasterId(0));
         assert_eq!(bus.phase(), BusPhase::Idle);
         let s = bus.stats();
@@ -459,9 +525,17 @@ mod tests {
     #[test]
     fn zero_cycle_op_completes_in_address_phase() {
         let mut bus = Bus::new(1);
-        bus.submit(MasterId(0), BusOp::Upgrade, Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::Upgrade,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        let done = bus.resolve(proceed(0)).expect("immediate completion");
+        let done = bus
+            .resolve(proceed(0), Cycle::ZERO, &mut NullObserver)
+            .expect("immediate completion");
         assert_eq!(done.op, BusOp::Upgrade);
         assert_eq!(bus.phase(), BusPhase::Idle);
     }
@@ -469,9 +543,17 @@ mod tests {
     #[test]
     fn retry_requeues_and_marks_retry() {
         let mut bus = Bus::new(2);
-        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        assert!(bus.resolve(AddressOutcome::Retry).is_none());
+        assert!(bus
+            .resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver)
+            .is_none());
         assert!(bus.cpu_txn_outstanding(MasterId(0)));
         let g = bus
             .try_grant(Cycle::ZERO, &mut NullObserver)
@@ -484,24 +566,50 @@ mod tests {
     #[test]
     fn drain_beats_fresh_but_loses_to_retry() {
         let mut bus = Bus::new(1);
-        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
-        bus.submit_drain(MasterId(0), [7; 8], Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x80),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.submit_drain(
+            MasterId(0),
+            [7; 8],
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         // Drain is sent before the fresh CPU transaction.
         let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_drain);
         assert_eq!(g.addr, Addr::new(0x40));
-        assert!(bus.resolve(AddressOutcome::Retry).is_none());
+        assert!(bus
+            .resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver)
+            .is_none());
         // The retried drain still precedes the fresh transaction...
         let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_drain && g.is_retry);
-        bus.resolve(AddressOutcome::Retry);
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
         // ...and a retried CPU transaction would precede the drain — the
         // paper's deadlock ordering — which we exercise below.
         let mut bus2 = Bus::new(1);
-        bus2.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x80));
+        bus2.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x80),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus2.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        bus2.resolve(AddressOutcome::Retry);
-        bus2.submit_drain(MasterId(0), [1; 8], Addr::new(0x40));
+        bus2.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        bus2.submit_drain(
+            MasterId(0),
+            [1; 8],
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         let g = bus2.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(g.is_retry && !g.is_drain, "retry outranks the queued drain");
     }
@@ -509,12 +617,24 @@ mod tests {
     #[test]
     fn round_robin_between_masters() {
         let mut bus = Bus::new(2);
-        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x0));
-        bus.submit(MasterId(1), BusOp::ReadWord, Addr::new(0x4));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadWord,
+            Addr::new(0x0),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadWord,
+            Addr::new(0x4),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.master, MasterId(0));
-        bus.resolve(proceed(1));
-        bus.advance_data().unwrap();
+        bus.resolve(proceed(1), Cycle::ZERO, &mut NullObserver);
+        bus.advance_data(Cycle::ZERO, &mut NullObserver).unwrap();
         let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.master, MasterId(1));
     }
@@ -522,10 +642,22 @@ mod tests {
     #[test]
     fn no_grant_while_busy() {
         let mut bus = Bus::new(2);
-        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x0));
-        bus.submit(MasterId(1), BusOp::ReadLine, Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x0),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        bus.resolve(proceed(5));
+        bus.resolve(proceed(5), Cycle::ZERO, &mut NullObserver);
         assert!(
             bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none(),
             "bus is streaming data"
@@ -535,7 +667,13 @@ mod tests {
     #[test]
     fn drain_pending_to_checks_buffers() {
         let mut bus = Bus::new(2);
-        bus.submit_drain(MasterId(1), [0; 8], Addr::new(0x44));
+        bus.submit_drain(
+            MasterId(1),
+            [0; 8],
+            Addr::new(0x44),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert!(bus.drain_pending_to(Addr::new(0x40)));
         assert!(bus.drain_pending_to(Addr::new(0x5C)));
         assert!(!bus.drain_pending_to(Addr::new(0x60)));
@@ -545,9 +683,15 @@ mod tests {
     #[test]
     fn retried_drain_still_blocks_its_line() {
         let mut bus = Bus::new(1);
-        bus.submit_drain(MasterId(0), [0; 8], Addr::new(0x40));
+        bus.submit_drain(
+            MasterId(0),
+            [0; 8],
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        bus.resolve(AddressOutcome::Retry);
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
         assert!(bus.drain_pending_to(Addr::new(0x40)));
         assert_eq!(bus.queued_drains(), 1);
     }
@@ -556,22 +700,44 @@ mod tests {
     #[should_panic(expected = "outstanding CPU transaction")]
     fn double_submit_panics() {
         let mut bus = Bus::new(1);
-        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x0));
-        bus.submit(MasterId(0), BusOp::ReadWord, Addr::new(0x4));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadWord,
+            Addr::new(0x0),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadWord,
+            Addr::new(0x4),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
     }
 
     #[test]
     fn completion_reports_shared_and_supplied() {
         let mut bus = Bus::new(1);
-        bus.submit(MasterId(0), BusOp::ReadLine, Addr::new(0x40));
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
-        bus.resolve(AddressOutcome::Proceed {
-            data_cycles: 2,
-            shared: true,
-            supplied: Some([9; 8]),
-        });
-        bus.advance_data();
-        let done = bus.advance_data().unwrap();
+        bus.resolve(
+            AddressOutcome::Proceed {
+                data_cycles: 2,
+                shared: true,
+                supplied: Some([9; 8]),
+            },
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.advance_data(Cycle::ZERO, &mut NullObserver);
+        let done = bus.advance_data(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(done.shared);
         assert_eq!(done.supplied, Some([9; 8]));
     }
@@ -579,11 +745,17 @@ mod tests {
     #[test]
     fn drain_completion_counted() {
         let mut bus = Bus::new(1);
-        bus.submit_drain(MasterId(0), [3; 8], Addr::new(0x40));
+        bus.submit_drain(
+            MasterId(0),
+            [3; 8],
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
         assert_eq!(g.op, BusOp::WriteLine([3; 8]));
-        bus.resolve(proceed(1));
-        let done = bus.advance_data().unwrap();
+        bus.resolve(proceed(1), Cycle::ZERO, &mut NullObserver);
+        let done = bus.advance_data(Cycle::ZERO, &mut NullObserver).unwrap();
         assert!(done.is_drain);
         assert_eq!(bus.stats().drains, 1);
         assert_eq!(bus.queued_drains(), 0);
@@ -593,12 +765,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the address phase")]
     fn resolve_when_idle_panics() {
-        Bus::new(1).resolve(AddressOutcome::Retry);
+        Bus::new(1).resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
     }
 
     #[test]
     #[should_panic(expected = "outside the data phase")]
     fn advance_when_idle_panics() {
-        Bus::new(1).advance_data();
+        Bus::new(1).advance_data(Cycle::ZERO, &mut NullObserver);
     }
 }

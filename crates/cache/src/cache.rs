@@ -117,11 +117,12 @@ struct CacheSet {
 /// ```
 /// use hmp_cache::{Access, CacheConfig, DataCache, ProtocolKind, ReadProbe, LineState};
 /// use hmp_mem::Addr;
+/// use hmp_sim::{Cycle, NullObserver};
 ///
 /// let mut c = DataCache::new(CacheConfig::default(), ProtocolKind::Mesi);
 /// let a = Addr::new(0x100);
 /// assert!(matches!(c.probe_read(a, false), ReadProbe::Miss { victim: None }));
-/// c.fill(a, [7; 8], Access::Read, false, false);
+/// c.fill(a, [7; 8], Access::Read, false, false, Cycle::ZERO, &mut NullObserver);
 /// assert_eq!(c.line_state(a), Some(LineState::Exclusive));
 /// assert!(matches!(c.probe_read(a, false), ReadProbe::Hit(7)));
 /// ```
@@ -290,12 +291,14 @@ impl DataCache {
 
     /// Installs a line after the bus fetched it. `access` and
     /// `shared_signal` determine the fill state through the line's
-    /// protocol; `write_through` selects SI line policy.
+    /// protocol; `write_through` selects SI line policy. The install is
+    /// reported to `obs` as [`SimEvent::CacheFill`].
     ///
     /// # Panics
     ///
     /// Panics if the line is already present or no way is free (the probe
     /// that reported the miss guarantees a free way).
+    #[allow(clippy::too_many_arguments)]
     pub fn fill(
         &mut self,
         addr: Addr,
@@ -303,6 +306,8 @@ impl DataCache {
         access: Access,
         shared_signal: bool,
         write_through: bool,
+        at: Cycle,
+        obs: &mut impl Observer,
     ) {
         assert!(
             self.find_way(addr).is_none(),
@@ -326,6 +331,14 @@ impl DataCache {
             write_through,
         });
         set.lru.touch(way);
+        obs.on_event(
+            at,
+            SimEvent::CacheFill {
+                owner: self.owner,
+                addr: u64::from(addr.line_base().as_u32()),
+                shared: shared_signal,
+            },
+        );
     }
 
     /// Writes the word of a line that was just filled with write intent.
@@ -530,7 +543,15 @@ mod tests {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
         assert_eq!(c.probe_read(a, false), ReadProbe::Miss { victim: None });
-        c.fill(a, filled_line(5), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(5),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.line_state(a), Some(LineState::Exclusive));
         assert_eq!(c.probe_read(a.add_words(3), false), ReadProbe::Hit(5));
         assert_eq!(c.valid_lines(), 1);
@@ -544,7 +565,15 @@ mod tests {
             c.probe_write(a, 9, false),
             WriteProbe::Miss { victim: None }
         );
-        c.fill(a, filled_line(0), Access::Write, false, false);
+        c.fill(
+            a,
+            filled_line(0),
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.commit_write(a, 9);
         assert_eq!(c.line_state(a), Some(LineState::Modified));
         assert_eq!(c.peek_word(a), Some(9));
@@ -556,7 +585,15 @@ mod tests {
     fn write_hit_on_exclusive_is_silent() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::Hit);
         assert_eq!(c.line_state(a), Some(LineState::Modified));
         assert_eq!(c.peek_word(a), Some(2));
@@ -566,7 +603,15 @@ mod tests {
     fn write_hit_on_shared_needs_upgrade() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, true, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            true,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.line_state(a), Some(LineState::Shared));
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::HitNeedsUpgrade);
         // Value must NOT be committed before the upgrade completes.
@@ -580,7 +625,15 @@ mod tests {
     fn complete_upgrade_after_snoop_invalidate_fails() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, true, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            true,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::HitNeedsUpgrade);
         // A remote upgrade sneaks in first.
         let reply = c
@@ -596,7 +649,15 @@ mod tests {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0xC0);
         // Read-allocate a write-through line: SI protocol → Shared.
-        c.fill(a, filled_line(3), Access::Read, false, true);
+        c.fill(
+            a,
+            filled_line(3),
+            Access::Read,
+            false,
+            true,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.line_state(a), Some(LineState::Shared));
         // Write hits store locally and demand a bus word-write.
         assert_eq!(c.probe_write(a, 4, true), WriteProbe::HitWriteThrough);
@@ -617,9 +678,25 @@ mod tests {
         let a = Addr::new(0x000);
         let b = Addr::new(0x080);
         let d = Addr::new(0x100);
-        c.fill(a, filled_line(1), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.probe_read(b, false), ReadProbe::Miss { victim: None });
-        c.fill(b, filled_line(2), Access::Read, false, false);
+        c.fill(
+            b,
+            filled_line(2),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         // Touch `a` so `b` becomes LRU.
         assert!(matches!(c.probe_read(a, false), ReadProbe::Hit(_)));
         let ReadProbe::Miss { victim } = c.probe_read(d, false) else {
@@ -630,7 +707,15 @@ mod tests {
         assert!(!victim.dirty);
         assert_eq!(victim.data, filled_line(2));
         assert!(!c.contains(b));
-        c.fill(d, filled_line(3), Access::Read, false, false);
+        c.fill(
+            d,
+            filled_line(3),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert!(c.contains(a) && c.contains(d));
     }
 
@@ -640,9 +725,25 @@ mod tests {
         let a = Addr::new(0x000);
         let b = Addr::new(0x080);
         let d = Addr::new(0x100);
-        c.fill(a, filled_line(1), Access::Write, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.commit_write(a, 42);
-        c.fill(b, filled_line(2), Access::Read, false, false);
+        c.fill(
+            b,
+            filled_line(2),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         // `a` is LRU? No: LRU is `a` touched first then `b` — victim is `a`.
         let WriteProbe::Miss { victim } = c.probe_write(d, 9, false) else {
             panic!("expected write miss");
@@ -657,7 +758,15 @@ mod tests {
     fn snoop_read_on_modified_mesi() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(0), Access::Write, false, false);
+        c.fill(
+            a,
+            filled_line(0),
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.commit_write(a, 7);
         let r = c
             .snoop(a, SnoopOp::Read, Cycle::ZERO, &mut NullObserver)
@@ -674,7 +783,15 @@ mod tests {
     fn snoop_write_removes_line() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         let r = c
             .snoop(a, SnoopOp::Write, Cycle::ZERO, &mut NullObserver)
             .expect("present");
@@ -705,7 +822,15 @@ mod tests {
     fn flush_line_returns_dirty_data() {
         let mut c = cache(ProtocolKind::Mei);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(0), Access::Write, false, false);
+        c.fill(
+            a,
+            filled_line(0),
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.commit_write(a, 5);
         let (dirty, data) = c.flush_line(a).expect("present");
         assert!(dirty);
@@ -718,7 +843,15 @@ mod tests {
     fn invalidate_clean_line() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.invalidate_line(a);
         assert!(!c.contains(a));
         c.invalidate_line(a); // absent → no-op
@@ -729,7 +862,15 @@ mod tests {
     fn invalidate_dirty_line_panics() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Write, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         c.invalidate_line(a);
     }
 
@@ -738,8 +879,24 @@ mod tests {
     fn double_fill_panics() {
         let mut c = cache(ProtocolKind::Mesi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, false, false);
-        c.fill(a, filled_line(2), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        c.fill(
+            a,
+            filled_line(2),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
     }
 
     #[test]
@@ -764,6 +921,8 @@ mod tests {
                 Access::Read,
                 false,
                 false,
+                Cycle::ZERO,
+                &mut NullObserver,
             );
         }
         let mut lines: Vec<u32> = c.iter_lines().map(|(a, _)| a.as_u32()).collect();
@@ -777,7 +936,15 @@ mod tests {
     fn msi_read_fill_is_shared_and_write_needs_upgrade() {
         let mut c = cache(ProtocolKind::Msi);
         let a = Addr::new(0x40);
-        c.fill(a, filled_line(1), Access::Read, false, false);
+        c.fill(
+            a,
+            filled_line(1),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
         assert_eq!(c.line_state(a), Some(LineState::Shared));
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::HitNeedsUpgrade);
     }

@@ -258,7 +258,7 @@ impl Cpu {
     /// Runs one core cycle.
     ///
     /// `at` is the current bus-clock time, used only to timestamp the
-    /// [`SimEvent`]s this CPU emits to `obs` (ISR entry).
+    /// [`SimEvent`]s this CPU emits to `obs` (ISR entry and exit).
     pub fn tick(&mut self, at: Cycle, obs: &mut impl Observer) -> CpuAction {
         self.core_cycles += 1;
         if let Some(isr) = &mut self.isr {
@@ -281,6 +281,13 @@ impl Cpu {
                     *remaining -= 1;
                     if *remaining == 0 {
                         let ctx = self.isr.take().expect("in ISR");
+                        obs.on_event(
+                            at,
+                            SimEvent::IsrExit {
+                                cpu: self.id,
+                                line: u64::from(ctx.line.as_u32()),
+                            },
+                        );
                         self.exec = ctx.saved;
                         self.committed += 1; // the ISR itself is progress
                     }

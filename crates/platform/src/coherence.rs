@@ -134,6 +134,16 @@ impl AddressPhase {
         AddressPhase::default()
     }
 
+    /// Clears the fold for reuse, keeping the drain list's capacity — the
+    /// cycle loop folds one address phase per grant, and reusing the
+    /// buffer keeps the steady state allocation-free.
+    pub fn reset(&mut self) {
+        self.shared = false;
+        self.supplied = None;
+        self.retry = None;
+        self.drains.clear();
+    }
+
     /// Absorbs `node`'s verdict, bumping the matching activity counters.
     pub fn absorb(&mut self, node: usize, verdict: SnoopVerdict, counters: &mut CounterBank) {
         match verdict {
@@ -322,7 +332,8 @@ impl<O: Observer> System<O> {
             return AddressOutcome::Retry;
         }
 
-        let mut phase = AddressPhase::new();
+        let mut phase = std::mem::take(&mut self.phase_scratch);
+        phase.reset();
         for j in 0..self.nodes.len() {
             if j == txn.master.index() {
                 continue;
@@ -341,17 +352,37 @@ impl<O: Observer> System<O> {
             phase.absorb(j, verdict, &mut self.counters);
         }
         for &(j, data) in phase.drains() {
-            self.bus.submit_drain(MasterId(j), data, addr);
+            self.bus
+                .submit_drain(MasterId(j), data, addr, self.now, &mut self.obs);
         }
-        if let Some(cause) = phase.retry_cause() {
+        let outcome = if let Some(cause) = phase.retry_cause() {
             self.emit_retry(txn, cause);
-            return AddressOutcome::Retry;
-        }
-        phase.outcome(
-            &txn.op,
-            self.mem.word_latency().as_u64(),
-            self.mem.line_fill_latency().as_u64(),
-        )
+            AddressOutcome::Retry
+        } else {
+            phase.outcome(
+                &txn.op,
+                self.mem.word_latency().as_u64(),
+                self.mem.line_fill_latency().as_u64(),
+            )
+        };
+        self.phase_scratch = phase;
+        outcome
+    }
+
+    /// Classifies `addr`'s holder set against the structural line
+    /// invariants (no-op when the spec left checking disabled).
+    pub(crate) fn check_line_invariants(&mut self, addr: Addr) {
+        let Some(inv) = &mut self.invariants else {
+            return;
+        };
+        inv.check_line(
+            self.now,
+            addr,
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| n.cache.line_state(addr).map(|s| (i, s))),
+        );
     }
 
     fn emit_retry(&mut self, txn: &GrantedTxn, cause: RetryCause) {
@@ -378,6 +409,7 @@ impl<O: Observer> System<O> {
             if let Some(cam) = &mut self.nodes[m].cam {
                 cam.observe_local_writeback(done.addr);
             }
+            self.check_line_invariants(done.addr);
             return;
         }
 
@@ -420,9 +452,15 @@ impl<O: Observer> System<O> {
                     Some(w) => w.gate_shared(done.shared),
                     None => false,
                 };
-                self.nodes[m]
-                    .cache
-                    .fill(line, data, access, gated_shared, wt);
+                self.nodes[m].cache.fill(
+                    line,
+                    data,
+                    access,
+                    gated_shared,
+                    wt,
+                    self.now,
+                    &mut self.obs,
+                );
                 if let Some(cam) = &mut self.nodes[m].cam {
                     cam.observe_local_fill(line);
                 }
@@ -470,12 +508,14 @@ impl<O: Observer> System<O> {
                 self.nodes[m].cpu.complete_maintenance();
             }
         }
+        self.check_line_invariants(done.addr);
     }
 
     fn evict_victim(&mut self, i: usize, victim: Option<hmp_cache::EvictedLine>) {
         if let Some(v) = victim {
             if v.dirty {
-                self.bus.submit_drain(MasterId(i), v.data, v.addr);
+                self.bus
+                    .submit_drain(MasterId(i), v.data, v.addr, self.now, &mut self.obs);
                 self.counters.bump(i, CpuCounter::VictimWriteback);
             } else {
                 self.counters.bump(i, CpuCounter::VictimClean);
@@ -490,7 +530,13 @@ impl<O: Observer> System<O> {
         match probe {
             WriteProbe::Miss { victim } => {
                 self.evict_victim(i, victim);
-                self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
+                self.bus.submit(
+                    MasterId(i),
+                    BusOp::ReadLineExcl,
+                    req.addr,
+                    self.now,
+                    &mut self.obs,
+                );
                 self.nodes[i].pending = Some(Pending {
                     req,
                     kind: PendingKind::Fill {
@@ -524,7 +570,13 @@ impl<O: Observer> System<O> {
                         ReadProbe::Miss { victim } => {
                             self.counters.bump(i, CpuCounter::ReadMiss);
                             self.evict_victim(i, victim);
-                            self.bus.submit(MasterId(i), BusOp::ReadLine, req.addr);
+                            self.bus.submit(
+                                MasterId(i),
+                                BusOp::ReadLine,
+                                req.addr,
+                                self.now,
+                                &mut self.obs,
+                            );
                             self.nodes[i].pending = Some(Pending {
                                 req,
                                 kind: PendingKind::Fill {
@@ -537,7 +589,13 @@ impl<O: Observer> System<O> {
                     }
                 }
                 MemAttr::Uncached | MemAttr::Device(_) => {
-                    self.bus.submit(MasterId(i), BusOp::ReadWord, req.addr);
+                    self.bus.submit(
+                        MasterId(i),
+                        BusOp::ReadWord,
+                        req.addr,
+                        self.now,
+                        &mut self.obs,
+                    );
                     self.nodes[i].pending = Some(Pending {
                         req,
                         kind: PendingKind::Word { attr },
@@ -554,10 +612,20 @@ impl<O: Observer> System<O> {
                                 c.on_write(req.addr, value);
                             }
                             self.nodes[i].cpu.complete_mem(MemResult::Done);
+                            // A MEI-style silent E→M upgrade is invisible
+                            // on the bus — this is the one holder-set
+                            // change no bus completion covers.
+                            self.check_line_invariants(req.addr);
                         }
                         WriteProbe::HitNeedsUpgrade => {
                             self.counters.bump(i, CpuCounter::WriteUpgrade);
-                            self.bus.submit(MasterId(i), BusOp::Upgrade, req.addr);
+                            self.bus.submit(
+                                MasterId(i),
+                                BusOp::Upgrade,
+                                req.addr,
+                                self.now,
+                                &mut self.obs,
+                            );
                             self.nodes[i].pending = Some(Pending {
                                 req,
                                 kind: PendingKind::Upgrade { value },
@@ -569,8 +637,13 @@ impl<O: Observer> System<O> {
                             // completion — remote access is interlocked on
                             // the pending word write until then.
                             self.counters.bump(i, CpuCounter::WriteThrough);
-                            self.bus
-                                .submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                            self.bus.submit(
+                                MasterId(i),
+                                BusOp::WriteWord(value),
+                                req.addr,
+                                self.now,
+                                &mut self.obs,
+                            );
                             self.nodes[i].pending = Some(Pending {
                                 req,
                                 kind: PendingKind::Word { attr },
@@ -579,7 +652,13 @@ impl<O: Observer> System<O> {
                         WriteProbe::Miss { victim } => {
                             self.counters.bump(i, CpuCounter::WriteMiss);
                             self.evict_victim(i, victim);
-                            self.bus.submit(MasterId(i), BusOp::ReadLineExcl, req.addr);
+                            self.bus.submit(
+                                MasterId(i),
+                                BusOp::ReadLineExcl,
+                                req.addr,
+                                self.now,
+                                &mut self.obs,
+                            );
                             self.nodes[i].pending = Some(Pending {
                                 req,
                                 kind: PendingKind::Fill {
@@ -591,8 +670,13 @@ impl<O: Observer> System<O> {
                         }
                         WriteProbe::MissNoAllocate => {
                             self.counters.bump(i, CpuCounter::WriteNoAllocate);
-                            self.bus
-                                .submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                            self.bus.submit(
+                                MasterId(i),
+                                BusOp::WriteWord(value),
+                                req.addr,
+                                self.now,
+                                &mut self.obs,
+                            );
                             self.nodes[i].pending = Some(Pending {
                                 req,
                                 kind: PendingKind::Word { attr },
@@ -601,8 +685,13 @@ impl<O: Observer> System<O> {
                     }
                 }
                 MemAttr::Uncached | MemAttr::Device(_) => {
-                    self.bus
-                        .submit(MasterId(i), BusOp::WriteWord(value), req.addr);
+                    self.bus.submit(
+                        MasterId(i),
+                        BusOp::WriteWord(value),
+                        req.addr,
+                        self.now,
+                        &mut self.obs,
+                    );
                     self.nodes[i].pending = Some(Pending {
                         req,
                         kind: PendingKind::Word { attr },
@@ -612,8 +701,13 @@ impl<O: Observer> System<O> {
             ReqKind::Flush => {
                 match self.nodes[i].cache.flush_line(req.addr) {
                     Some((true, data)) => {
-                        self.bus
-                            .submit(MasterId(i), BusOp::WriteLine(data), req.addr.line_base());
+                        self.bus.submit(
+                            MasterId(i),
+                            BusOp::WriteLine(data),
+                            req.addr.line_base(),
+                            self.now,
+                            &mut self.obs,
+                        );
                         self.nodes[i].pending = Some(Pending {
                             req,
                             kind: PendingKind::FlushWb,

@@ -266,6 +266,14 @@ pub struct PlatformSpec {
     pub watchdog_window: u64,
     /// Trace ring capacity (0 disables tracing).
     pub trace_capacity: usize,
+    /// Completed-span ring capacity for the metrics layer; 0 disables
+    /// span/histogram collection entirely (the zero-cost default).
+    pub span_capacity: usize,
+    /// Enforce the structural line invariants (single writer, no writer
+    /// with sharers, single owner) live, failing the run fast on the
+    /// first break. Off by default: the Transparent wrapper mode exists
+    /// precisely to let those invariants break observably.
+    pub check_invariants: bool,
 }
 
 impl PlatformSpec {
@@ -283,6 +291,8 @@ impl PlatformSpec {
             retry_backoff: 0,
             watchdog_window: 50_000,
             trace_capacity: 0,
+            span_capacity: 0,
+            check_invariants: false,
         }
     }
 }

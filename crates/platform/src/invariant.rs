@@ -1,0 +1,284 @@
+//! Live coherence-invariant checking.
+//!
+//! The golden-memory [`crate::CoherenceChecker`] detects incoherence only
+//! when a stale value is *read* — possibly millions of cycles after the
+//! protocol interaction that caused it. The [`InvariantObserver`] fails
+//! fast instead: after every state-changing step it classifies the set of
+//! caches holding a line against the structural invariants every snooping
+//! protocol in the MOESI family must maintain:
+//!
+//! * **single writer** — at most one cache may hold a line with ownership
+//!   guarantees ([`hmp_cache::LineState::Modified`] or
+//!   [`hmp_cache::LineState::Exclusive`]);
+//! * **no writer with sharers** — while such a copy exists, no other cache
+//!   may hold the line valid at all;
+//! * **single owner** — at most one cache may be the designated supplier
+//!   ([`hmp_cache::LineState::Owned`]).
+//!
+//! The checker is streaming and allocation-free until an invariant
+//! actually breaks: holders are collected into a fixed scratch buffer, and
+//! only a violation materialises an owned [`InvariantViolation`] carrying
+//! the offending holder set for the report.
+
+use core::fmt;
+use hmp_cache::LineState;
+use hmp_mem::Addr;
+use hmp_sim::Cycle;
+
+/// Bus masters the fixed holder scratch can classify without allocating.
+const MAX_HOLDERS: usize = 16;
+
+/// Which structural invariant broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Two or more caches hold the line with ownership guarantees
+    /// (Modified/Exclusive) at once.
+    MultipleWriters,
+    /// One cache holds the line Modified/Exclusive while another still
+    /// holds a valid copy — the Table 2 stale-sharer situation.
+    WriterWithSharers,
+    /// Two or more caches claim supplier responsibility (Owned).
+    MultipleOwners,
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantKind::MultipleWriters => write!(f, "multiple writers"),
+            InvariantKind::WriterWithSharers => write!(f, "writer with live sharers"),
+            InvariantKind::MultipleOwners => write!(f, "multiple owners"),
+        }
+    }
+}
+
+/// A broken line invariant, with the holder set that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Bus cycle of the state change that exposed the violation.
+    pub at: Cycle,
+    /// The offending line's base address.
+    pub addr: Addr,
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Every cache holding the line valid, as `(master, state)`.
+    pub holders: Vec<(usize, LineState)>,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} at {}: ",
+            self.at.as_u64(),
+            self.kind,
+            self.addr
+        )?;
+        for (i, (cpu, state)) in self.holders.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "cpu{cpu}={state:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classifies one line's holder set against the invariants.
+///
+/// Returns the first broken invariant in severity order, or `None` for a
+/// legal configuration. Invalid entries are ignored, so callers may pass
+/// unfiltered per-master probes.
+pub fn classify(holders: &[(usize, LineState)]) -> Option<InvariantKind> {
+    let mut writers = 0usize;
+    let mut owners = 0usize;
+    let mut valid = 0usize;
+    for &(_, state) in holders {
+        match state {
+            LineState::Invalid => {}
+            LineState::Modified | LineState::Exclusive => {
+                writers += 1;
+                valid += 1;
+            }
+            LineState::Owned => {
+                owners += 1;
+                valid += 1;
+            }
+            LineState::Shared => valid += 1,
+        }
+    }
+    if writers >= 2 {
+        Some(InvariantKind::MultipleWriters)
+    } else if writers == 1 && valid >= 2 {
+        Some(InvariantKind::WriterWithSharers)
+    } else if owners >= 2 {
+        Some(InvariantKind::MultipleOwners)
+    } else {
+        None
+    }
+}
+
+/// Streams line-holder sets through [`classify`], latching the first
+/// violation.
+///
+/// The scratch buffer is fixed at construction; checking allocates nothing
+/// until a violation is found, at which point the holder set is copied
+/// into the owned [`InvariantViolation`] once.
+#[derive(Debug, Clone)]
+pub struct InvariantObserver {
+    scratch: [(usize, LineState); MAX_HOLDERS],
+    violation: Option<InvariantViolation>,
+    lines_checked: u64,
+}
+
+impl InvariantObserver {
+    /// A fresh checker with no latched violation.
+    pub fn new() -> Self {
+        InvariantObserver {
+            scratch: [(0, LineState::Invalid); MAX_HOLDERS],
+            violation: None,
+            lines_checked: 0,
+        }
+    }
+
+    /// The first violation seen, if any. Once latched, later checks are
+    /// skipped so the report points at the original break.
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Number of line-holder sets classified so far.
+    pub fn lines_checked(&self) -> u64 {
+        self.lines_checked
+    }
+
+    /// Checks one line's holder set (masters beyond the scratch capacity
+    /// are ignored; real platforms have 2–4).
+    pub fn check_line<I>(&mut self, at: Cycle, addr: Addr, holders: I)
+    where
+        I: IntoIterator<Item = (usize, LineState)>,
+    {
+        if self.violation.is_some() {
+            return;
+        }
+        self.lines_checked += 1;
+        let mut n = 0usize;
+        for h in holders {
+            if n == MAX_HOLDERS {
+                break;
+            }
+            self.scratch[n] = h;
+            n += 1;
+        }
+        if let Some(kind) = classify(&self.scratch[..n]) {
+            self.violation = Some(InvariantViolation {
+                at,
+                addr: addr.line_base(),
+                kind,
+                holders: self.scratch[..n].to_vec(),
+            });
+        }
+    }
+}
+
+impl Default for InvariantObserver {
+    fn default() -> Self {
+        InvariantObserver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::{Exclusive, Invalid, Modified, Owned, Shared};
+
+    #[test]
+    fn legal_configurations_classify_clean() {
+        let cases: &[&[(usize, LineState)]] = &[
+            &[],
+            &[(0, Invalid)],
+            &[(0, Modified)],
+            &[(0, Exclusive)],
+            &[(0, Shared), (1, Shared)],
+            &[(0, Owned), (1, Shared), (2, Shared)],
+            &[(0, Modified), (1, Invalid)],
+        ];
+        for holders in cases {
+            assert_eq!(classify(holders), None, "{holders:?}");
+        }
+    }
+
+    #[test]
+    fn broken_configurations_classify_by_kind() {
+        let cases: &[(&[(usize, LineState)], InvariantKind)] = &[
+            (
+                &[(0, Modified), (1, Modified)],
+                InvariantKind::MultipleWriters,
+            ),
+            (
+                &[(0, Exclusive), (1, Modified)],
+                InvariantKind::MultipleWriters,
+            ),
+            (
+                &[(0, Modified), (1, Shared)],
+                InvariantKind::WriterWithSharers,
+            ),
+            (
+                &[(0, Exclusive), (1, Shared)],
+                InvariantKind::WriterWithSharers,
+            ),
+            (
+                &[(0, Modified), (1, Owned)],
+                InvariantKind::WriterWithSharers,
+            ),
+            (&[(0, Owned), (1, Owned)], InvariantKind::MultipleOwners),
+        ];
+        for &(holders, want) in cases {
+            assert_eq!(classify(holders), Some(want), "{holders:?}");
+        }
+    }
+
+    #[test]
+    fn observer_latches_first_violation() {
+        let mut obs = InvariantObserver::new();
+        obs.check_line(Cycle::new(5), Addr::new(0x40), [(0, Shared), (1, Shared)]);
+        assert!(obs.violation().is_none());
+        obs.check_line(
+            Cycle::new(9),
+            Addr::new(0x84),
+            [(0, Exclusive), (1, Shared)],
+        );
+        let v = obs.violation().expect("latched").clone();
+        assert_eq!(v.kind, InvariantKind::WriterWithSharers);
+        assert_eq!(v.at, Cycle::new(9));
+        assert_eq!(v.addr, Addr::new(0x84).line_base());
+        assert_eq!(v.holders, vec![(0, Exclusive), (1, Shared)]);
+        // A later, different violation does not overwrite the first.
+        obs.check_line(
+            Cycle::new(11),
+            Addr::new(0x100),
+            [(0, Modified), (1, Modified)],
+        );
+        assert_eq!(obs.violation(), Some(&v));
+        assert_eq!(obs.lines_checked(), 2, "latched checker stops counting");
+    }
+
+    #[test]
+    fn violation_display_names_holders() {
+        let mut obs = InvariantObserver::new();
+        obs.check_line(Cycle::new(7), Addr::new(0x40), [(0, Modified), (1, Shared)]);
+        let txt = obs.violation().unwrap().to_string();
+        assert!(txt.contains("cycle 7"), "{txt}");
+        assert!(txt.contains("writer with live sharers"), "{txt}");
+        assert!(txt.contains("cpu0=Modified"), "{txt}");
+        assert!(txt.contains("cpu1=Shared"), "{txt}");
+    }
+
+    #[test]
+    fn scratch_overflow_is_truncated_not_unsafe() {
+        let mut obs = InvariantObserver::new();
+        let holders = (0..MAX_HOLDERS + 8).map(|i| (i, Shared));
+        obs.check_line(Cycle::new(1), Addr::new(0x40), holders);
+        assert!(obs.violation().is_none(), "shared-only stays legal");
+        assert_eq!(obs.lines_checked(), 1);
+    }
+}

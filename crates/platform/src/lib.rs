@@ -31,6 +31,7 @@
 mod checker;
 pub mod coherence;
 mod config;
+mod invariant;
 pub mod presets;
 mod report;
 mod result;
@@ -39,6 +40,7 @@ mod system;
 pub use checker::{CoherenceChecker, Violation};
 pub use coherence::{AddressPhase, CompletionAction, LineData, Pending, PendingKind, SnoopVerdict};
 pub use config::{layout, CpuSpec, MemLayout, PlatformSpec, Strategy, WrapperMode};
+pub use invariant::{classify, InvariantKind, InvariantObserver, InvariantViolation};
 pub use report::{CpuReport, Report};
-pub use result::{RunOutcome, RunResult};
+pub use result::{HangReport, RunOutcome, RunResult};
 pub use system::System;

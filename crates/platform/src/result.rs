@@ -1,10 +1,10 @@
 //! Simulation run results.
 
-use crate::Violation;
+use crate::{InvariantViolation, Violation};
 use core::fmt;
 use hmp_bus::BusStats;
 use hmp_cpu::CpuCounters;
-use hmp_sim::{Cycle, Stats};
+use hmp_sim::{Cycle, MetricsSnapshot, Span, Stats};
 
 /// Why the run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +16,9 @@ pub enum RunOutcome {
     Stalled,
     /// The cycle budget ran out first.
     CycleLimit,
+    /// The live invariant checker caught a broken line invariant and the
+    /// run failed fast (see [`RunResult::invariant`]).
+    InvariantViolation,
 }
 
 impl fmt::Display for RunOutcome {
@@ -24,7 +27,49 @@ impl fmt::Display for RunOutcome {
             RunOutcome::Completed => write!(f, "completed"),
             RunOutcome::Stalled => write!(f, "stalled (deadlock)"),
             RunOutcome::CycleLimit => write!(f, "cycle limit reached"),
+            RunOutcome::InvariantViolation => write!(f, "invariant violation"),
         }
+    }
+}
+
+/// Post-mortem context for a watchdog stall: what the bus was doing when
+/// progress stopped.
+///
+/// Built from the span layer when the platform runs with metrics enabled;
+/// without metrics only the timing fields are populated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// Bus cycle at which the watchdog tripped.
+    pub stalled_at: Cycle,
+    /// The watchdog window that elapsed without progress.
+    pub window: Cycle,
+    /// The most recently completed spans, oldest first.
+    pub last_spans: Vec<Span>,
+    /// Every span still open — the transactions wedging each other.
+    pub open_spans: Vec<Span>,
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog tripped at cycle {} after {} cycles without progress",
+            self.stalled_at.as_u64(),
+            self.window.as_u64()
+        )?;
+        if !self.open_spans.is_empty() {
+            writeln!(f, "open transactions:")?;
+            for s in &self.open_spans {
+                writeln!(f, "  {s}")?;
+            }
+        }
+        if !self.last_spans.is_empty() {
+            writeln!(f, "last completed transactions:")?;
+            for s in &self.last_spans {
+                writeln!(f, "  {s}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -45,12 +90,22 @@ pub struct RunResult {
     /// Stale reads the checker recorded (empty when coherent or the
     /// checker was off).
     pub violations: Vec<Violation>,
+    /// Spans, histograms and derived counters (when the platform ran with
+    /// `span_capacity > 0`).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Span-level context for a [`RunOutcome::Stalled`] run.
+    pub hang: Option<HangReport>,
+    /// The broken line invariant behind a
+    /// [`RunOutcome::InvariantViolation`] run.
+    pub invariant: Option<InvariantViolation>,
 }
 
 impl RunResult {
     /// `true` if the run completed with no coherence violations.
     pub fn is_clean_completion(&self) -> bool {
-        self.outcome == RunOutcome::Completed && self.violations.is_empty()
+        self.outcome == RunOutcome::Completed
+            && self.violations.is_empty()
+            && self.invariant.is_none()
     }
 
     /// Execution time as a plain cycle count.
@@ -81,6 +136,15 @@ impl fmt::Display for RunResult {
                 writeln!(f, "  {v}")?;
             }
         }
+        if let Some(v) = &self.invariant {
+            writeln!(f, "INVARIANT:  {v}")?;
+        }
+        if let Some(h) = &self.hang {
+            write!(f, "{h}")?;
+        }
+        if let Some(m) = &self.metrics {
+            writeln!(f, "{m}")?;
+        }
         Ok(())
     }
 }
@@ -88,6 +152,9 @@ impl fmt::Display for RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::InvariantKind;
+    use hmp_cache::LineState;
+    use hmp_mem::Addr;
 
     fn result(outcome: RunOutcome) -> RunResult {
         RunResult {
@@ -97,6 +164,9 @@ mod tests {
             cpus: vec![CpuCounters::default(); 2],
             stats: Stats::new(),
             violations: Vec::new(),
+            metrics: None,
+            hang: None,
+            invariant: None,
         }
     }
 
@@ -105,6 +175,22 @@ mod tests {
         assert!(result(RunOutcome::Completed).is_clean_completion());
         assert!(!result(RunOutcome::Stalled).is_clean_completion());
         assert!(!result(RunOutcome::CycleLimit).is_clean_completion());
+        assert!(!result(RunOutcome::InvariantViolation).is_clean_completion());
+    }
+
+    #[test]
+    fn latched_invariant_taints_completion() {
+        let mut r = result(RunOutcome::Completed);
+        r.invariant = Some(InvariantViolation {
+            at: Cycle::new(9),
+            addr: Addr::new(0x40),
+            kind: InvariantKind::WriterWithSharers,
+            holders: vec![(0, LineState::Exclusive), (1, LineState::Shared)],
+        });
+        assert!(!r.is_clean_completion());
+        let s = r.to_string();
+        assert!(s.contains("INVARIANT"), "{s}");
+        assert!(s.contains("writer with live sharers"), "{s}");
     }
 
     #[test]
@@ -112,6 +198,9 @@ mod tests {
         assert_eq!(RunOutcome::Completed.to_string(), "completed");
         assert!(RunOutcome::Stalled.to_string().contains("deadlock"));
         assert!(RunOutcome::CycleLimit.to_string().contains("limit"));
+        assert!(RunOutcome::InvariantViolation
+            .to_string()
+            .contains("invariant"));
     }
 
     #[test]
@@ -122,5 +211,19 @@ mod tests {
         assert!(s.contains("cpu1"));
         assert!(s.contains("cycles:     100"));
         assert_eq!(r.cycles_u64(), 100);
+    }
+
+    #[test]
+    fn hang_report_renders_spans() {
+        let h = HangReport {
+            stalled_at: Cycle::new(50_123),
+            window: Cycle::new(50_000),
+            last_spans: Vec::new(),
+            open_spans: Vec::new(),
+        };
+        let s = h.to_string();
+        assert!(s.contains("cycle 50123"), "{s}");
+        assert!(s.contains("50000 cycles without progress"), "{s}");
+        assert!(!s.contains("open transactions"), "{s}");
     }
 }

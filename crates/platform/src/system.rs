@@ -1,7 +1,8 @@
 //! The assembled platform and its cycle loop.
 
-use crate::coherence::Pending;
-use crate::{CoherenceChecker, PlatformSpec, RunOutcome, RunResult, WrapperMode};
+use crate::coherence::{AddressPhase, Pending};
+use crate::invariant::{InvariantObserver, InvariantViolation};
+use crate::{CoherenceChecker, HangReport, PlatformSpec, RunOutcome, RunResult, WrapperMode};
 use hmp_bus::{Bus, BusDevice, BusPhase, LockRegister};
 use hmp_cache::{DataCache, ProtocolKind};
 use hmp_core::{
@@ -10,9 +11,32 @@ use hmp_core::{
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
 use hmp_sim::{
-    ClockDomain, CounterBank, Cycle, NullObserver, Observer, Stats, TraceObserver, Watchdog,
-    WatchdogVerdict,
+    ClockDomain, CounterBank, Cycle, MetricsObserver, NullObserver, Observer, SimEvent, Stats,
+    TraceObserver, Watchdog, WatchdogVerdict,
 };
+
+/// The platform's internal event sink: fans every [`SimEvent`] out to the
+/// optional metrics layer before the user's observer.
+///
+/// This is what lets metrics ride along any `System<O>` without changing
+/// the component signatures: every `&mut self.obs` in the cycle loop hits
+/// this type, which is itself an [`Observer`]. With metrics disabled (the
+/// default) the extra branch is a `None` check that the optimizer removes
+/// against a concrete `O`.
+pub(crate) struct SystemSink<O: Observer> {
+    pub(crate) metrics: Option<Box<MetricsObserver>>,
+    pub(crate) inner: O,
+}
+
+impl<O: Observer> Observer for SystemSink<O> {
+    #[inline]
+    fn on_event(&mut self, at: Cycle, event: SimEvent) {
+        if let Some(m) = &mut self.metrics {
+            m.on_event(at, event);
+        }
+        self.inner.on_event(at, event);
+    }
+}
 
 pub(crate) struct Node {
     pub(crate) cpu: Cpu,
@@ -45,7 +69,12 @@ pub struct System<O: Observer = NullObserver> {
     pub(crate) checker: Option<CoherenceChecker>,
     watchdog: Watchdog,
     pub(crate) counters: CounterBank,
-    pub(crate) obs: O,
+    pub(crate) obs: SystemSink<O>,
+    pub(crate) invariants: Option<InvariantObserver>,
+    /// Reusable address-phase fold; keeping it (and its drain-list
+    /// capacity) across grants keeps steady-state snooping alloc-free.
+    pub(crate) phase_scratch: AddressPhase,
+    cpu_names: Vec<String>,
     pub(crate) now: Cycle,
     class: PlatformClass,
     system_protocol: Option<ProtocolKind>,
@@ -153,6 +182,18 @@ impl<O: Observer> System<O> {
         bus.set_arbitration(spec.arbitration);
         bus.set_retry_backoff(spec.retry_backoff);
         let counters = CounterBank::new(nodes.len());
+        let metrics = (spec.span_capacity > 0).then(|| {
+            let event_capacity = if spec.trace_capacity > 0 {
+                spec.trace_capacity
+            } else {
+                spec.span_capacity.saturating_mul(8)
+            };
+            Box::new(MetricsObserver::new(
+                nodes.len(),
+                spec.span_capacity,
+                event_capacity,
+            ))
+        });
         System {
             bus,
             nodes,
@@ -164,7 +205,13 @@ impl<O: Observer> System<O> {
                 .then(|| CoherenceChecker::new(spec.memory_bytes, 64)),
             watchdog: Watchdog::new(Cycle::new(spec.watchdog_window)),
             counters,
-            obs,
+            obs: SystemSink {
+                metrics,
+                inner: obs,
+            },
+            invariants: spec.check_invariants.then(InvariantObserver::new),
+            phase_scratch: AddressPhase::new(),
+            cpu_names: spec.cpus.iter().map(|c| c.name.clone()).collect(),
             now: Cycle::ZERO,
             class,
             system_protocol,
@@ -248,13 +295,31 @@ impl<O: Observer> System<O> {
 
     /// The event observer.
     pub fn observer(&self) -> &O {
-        &self.obs
+        &self.obs.inner
     }
 
     /// Mutable access to the event observer (e.g. to clear a trace ring
     /// between phases of a test).
     pub fn observer_mut(&mut self) -> &mut O {
-        &mut self.obs
+        &mut self.obs.inner
+    }
+
+    /// Processor names from the spec, in master-index order (labels the
+    /// per-CPU tracks of an exported trace).
+    pub fn cpu_names(&self) -> &[String] {
+        &self.cpu_names
+    }
+
+    /// The metrics layer (spans, histograms, derived counters), when the
+    /// spec enabled it with `span_capacity > 0`.
+    pub fn metrics(&self) -> Option<&MetricsObserver> {
+        self.obs.metrics.as_deref()
+    }
+
+    /// The first live invariant violation, if checking is enabled and a
+    /// line invariant has broken.
+    pub fn invariant_violation(&self) -> Option<&InvariantViolation> {
+        self.invariants.as_ref().and_then(|i| i.violation())
     }
 
     /// The coherence checker, if enabled.
@@ -280,7 +345,8 @@ impl<O: Observer> System<O> {
         self.step_cpus();
     }
 
-    /// Runs until completion, watchdog stall, or `max_cycles`.
+    /// Runs until completion, watchdog stall, invariant break, or
+    /// `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let outcome = loop {
             if self.finished() {
@@ -290,11 +356,28 @@ impl<O: Observer> System<O> {
                 break RunOutcome::CycleLimit;
             }
             self.step();
+            if self.invariant_violation().is_some() {
+                break RunOutcome::InvariantViolation;
+            }
             let progress: u64 = self.nodes.iter().map(|n| n.cpu.committed()).sum();
             if self.watchdog.poll(self.now, progress) == WatchdogVerdict::Stalled {
                 break RunOutcome::Stalled;
             }
         };
+        let hang = (outcome == RunOutcome::Stalled).then(|| {
+            let (last_spans, open_spans) = self
+                .obs
+                .metrics
+                .as_ref()
+                .map(|m| (m.spans().recent(8), m.spans().open_spans()))
+                .unwrap_or_default();
+            HangReport {
+                stalled_at: self.now,
+                window: self.watchdog.window(),
+                last_spans,
+                open_spans,
+            }
+        });
         RunResult {
             outcome,
             cycles: self.now,
@@ -306,6 +389,13 @@ impl<O: Observer> System<O> {
                 .as_ref()
                 .map(|c| c.violations().to_vec())
                 .unwrap_or_default(),
+            metrics: self.obs.metrics.as_ref().map(|m| m.snapshot()),
+            hang,
+            invariant: self
+                .invariants
+                .as_ref()
+                .and_then(|i| i.violation())
+                .cloned(),
         }
     }
 
@@ -319,13 +409,13 @@ impl<O: Observer> System<O> {
             BusPhase::Idle => {
                 if let Some(txn) = self.bus.try_grant(self.now, &mut self.obs) {
                     let outcome = self.snoop_and_decide(&txn);
-                    if let Some(done) = self.bus.resolve(outcome) {
+                    if let Some(done) = self.bus.resolve(outcome, self.now, &mut self.obs) {
                         self.complete_txn(done);
                     }
                 }
             }
             BusPhase::Data { .. } => {
-                if let Some(done) = self.bus.advance_data() {
+                if let Some(done) = self.bus.advance_data(self.now, &mut self.obs) {
                     self.complete_txn(done);
                 }
             }

@@ -33,9 +33,33 @@ fn cache_with(protocol: ProtocolKind, held: Held) -> DataCache {
     let addr = Addr::new(LINE);
     match held {
         Held::Absent => {}
-        Held::Shared => cache.fill(addr, DATA, Access::Read, true, false),
-        Held::Exclusive => cache.fill(addr, DATA, Access::Read, false, false),
-        Held::Modified => cache.fill(addr, DATA, Access::Write, false, false),
+        Held::Shared => cache.fill(
+            addr,
+            DATA,
+            Access::Read,
+            true,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        ),
+        Held::Exclusive => cache.fill(
+            addr,
+            DATA,
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        ),
+        Held::Modified => cache.fill(
+            addr,
+            DATA,
+            Access::Write,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        ),
     }
     cache
 }

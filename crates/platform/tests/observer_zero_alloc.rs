@@ -7,8 +7,15 @@
 //! enum-indexed counters must do neither: with a `NullObserver`, a
 //! steady-state cycle performs zero heap allocations.
 //!
+//! The same must hold with the metrics layer compiled in and *enabled*:
+//! spans, histograms, the event ring and the retry table are all
+//! preallocated at construction, so a steady-state cycle full of bus
+//! traffic — grants, snoop pushes, ARTRY kills, span completions — still
+//! performs zero heap allocations.
+//!
 //! Measured with a counting `#[global_allocator]`; this file holds a
-//! single test so no concurrent test can perturb the counter.
+//! single test (both phases run sequentially inside it) so no concurrent
+//! test can perturb the counter.
 
 use hmp_cache::ProtocolKind;
 use hmp_cpu::{LockKind, LockLayout, ProgramBuilder};
@@ -94,4 +101,56 @@ fn steady_state_stepping_with_null_observer_does_not_allocate() {
         sys.counters().get(0, hmp_sim::CpuCounter::ReadHit) >= 1_000,
         "the measured window must have executed read hits"
     );
+
+    // Phase 2: metrics enabled, and a workload that keeps the bus busy.
+    // Two MESI caches ping-pong ownership of one shared line, so the
+    // measured window is dense with grants, snoop pushes, retries and
+    // span completions — every metrics code path runs, none may allocate.
+    let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+    let mut spec = PlatformSpec::new(
+        vec![
+            CpuSpec::generic("P0", ProtocolKind::Mesi),
+            CpuSpec::generic("P1", ProtocolKind::Mesi),
+        ],
+        map,
+        lock,
+    );
+    spec.check_coherence = false;
+    spec.span_capacity = 256;
+    let a = lay.shared_base;
+    let pingpong = |v: u32| {
+        let mut b = ProgramBuilder::new();
+        for i in 0..2_000 {
+            b = b.write(a, v + i);
+        }
+        b.build()
+    };
+    let mut sys = System::new(&spec, vec![pingpong(0), pingpong(10_000)]);
+
+    for _ in 0..500 {
+        sys.step();
+    }
+    let warm_grants = sys.metrics().expect("metrics enabled").grants();
+    assert!(
+        warm_grants > 0,
+        "warm-up must reach bus-traffic steady state"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sys.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state stepping with metrics enabled must not allocate"
+    );
+
+    // The window saw real coherence traffic, spans included.
+    let m = sys.metrics().unwrap();
+    assert!(m.grants() > warm_grants, "grants during the window");
+    assert!(m.completions() > 0, "spans completed during the run");
+    assert!(m.service_time().count() > 0, "histograms recorded");
 }

@@ -112,6 +112,19 @@ impl RetryCause {
 /// output render lazily from these payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimEvent {
+    /// A master queued a transaction on its bus port (emitted by
+    /// `hmp-bus`). This opens a transaction lifecycle span: the gap to
+    /// the first [`SimEvent::BusGrant`] is the bus-acquire wait.
+    BusRequest {
+        /// Index of the requesting master.
+        master: usize,
+        /// Operation to be driven.
+        op: BusOpKind,
+        /// Target address.
+        addr: u64,
+        /// `true` for a queued snoop-push / victim write-back.
+        is_drain: bool,
+    },
     /// The bus granted a transaction (emitted by `hmp-bus`).
     BusGrant {
         /// Index of the granted master.
@@ -155,6 +168,18 @@ pub enum SimEvent {
         /// Matched address.
         addr: u64,
     },
+    /// A transaction finished its data phase (emitted by `hmp-bus`).
+    /// Closes the lifecycle span opened by [`SimEvent::BusRequest`].
+    BusComplete {
+        /// Index of the master whose transaction completed.
+        master: usize,
+        /// Operation that completed.
+        op: BusOpKind,
+        /// Target address.
+        addr: u64,
+        /// `true` for a snoop-push / victim write-back.
+        is_drain: bool,
+    },
     /// A non-coherent CPU entered its snoop-drain ISR (emitted by
     /// `hmp-cpu`).
     IsrEnter {
@@ -163,11 +188,39 @@ pub enum SimEvent {
         /// Line the nFIQ asked it to drain.
         line: u64,
     },
+    /// A non-coherent CPU finished its snoop-drain ISR (emitted by
+    /// `hmp-cpu`). The gap from [`SimEvent::IsrEnter`] is the ISR drain
+    /// latency.
+    IsrExit {
+        /// Index of the CPU.
+        cpu: usize,
+        /// Line that was drained.
+        line: u64,
+    },
+    /// A cache line was filled from the bus (emitted by `hmp-cache`).
+    CacheFill {
+        /// Index of the cache's owner.
+        owner: usize,
+        /// Line base address.
+        addr: u64,
+        /// `true` if the SHARED signal forced a shared install.
+        shared: bool,
+    },
 }
 
 impl fmt::Display for SimEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
+            SimEvent::BusRequest {
+                master,
+                op,
+                addr,
+                is_drain,
+            } => write!(
+                f,
+                "request cpu{master} {op} {addr:#x}{}",
+                if is_drain { " (drain)" } else { "" },
+            ),
             SimEvent::BusGrant {
                 master,
                 op,
@@ -198,9 +251,31 @@ impl fmt::Display for SimEvent {
             SimEvent::CamHit { owner, addr } => {
                 write!(f, "cpu{owner} cam hit {addr:#x}")
             }
+            SimEvent::BusComplete {
+                master,
+                op,
+                addr,
+                is_drain,
+            } => write!(
+                f,
+                "complete cpu{master} {op} {addr:#x}{}",
+                if is_drain { " (drain)" } else { "" },
+            ),
             SimEvent::IsrEnter { cpu, line } => {
                 write!(f, "cpu{cpu} isr enter drain {line:#x}")
             }
+            SimEvent::IsrExit { cpu, line } => {
+                write!(f, "cpu{cpu} isr exit drain {line:#x}")
+            }
+            SimEvent::CacheFill {
+                owner,
+                addr,
+                shared,
+            } => write!(
+                f,
+                "cpu{owner} fill {addr:#x}{}",
+                if shared { " (shared)" } else { "" },
+            ),
         }
     }
 }
@@ -241,10 +316,10 @@ impl fmt::Display for TracedEvent {
 
 /// A bounded ring of typed events, rendered lazily.
 ///
-/// The successor of the stringly-typed [`crate::TraceBuffer`]: recording
-/// stores the `Copy` event only — all formatting happens in
+/// Recording stores the `Copy` event only — all formatting happens in
 /// [`fmt::Display`], after the simulation, so tracing costs no per-event
-/// allocation on the hot path.
+/// allocation on the hot path. (The stringly-typed `TraceBuffer` this
+/// replaced is gone; this ring is the single tracing substrate.)
 #[derive(Debug, Clone, Default)]
 pub struct TraceObserver {
     capacity: usize,

@@ -1,0 +1,547 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! [`chrome_trace`] renders completed [`Span`]s and the raw event ring
+//! into the [Trace Event Format] consumed by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one track per CPU (its
+//! transaction spans and ISR activity), one per snoop port, and one for
+//! the bus arbiter. Timestamps are bus cycles reported as microseconds —
+//! at the paper's 50 MHz ASB one "µs" on screen is 50 bus cycles, but
+//! relative durations (the thing a timeline is for) are exact.
+//!
+//! The JSON is hand-rolled: the workspace builds against an offline
+//! registry, so there is no serde. [`validate_json`] is a minimal
+//! syntax checker used by the smoke tests and the `hmp-trace` CLI.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::RetryCause;
+use crate::event::{SimEvent, TracedEvent};
+use crate::metrics::MetricsSnapshot;
+use crate::span::Span;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Thread id of the bus-arbiter track.
+const TID_BUS: u64 = 0;
+
+fn tid_cpu(i: usize) -> u64 {
+    1 + i as u64
+}
+
+fn tid_snoop(i: usize, masters: usize) -> u64 {
+    1 + masters as u64 + i as u64
+}
+
+fn push_event(out: &mut String, body: &str) {
+    if !out.ends_with('[') {
+        out.push(',');
+    }
+    out.push_str("\n  {");
+    out.push_str(body);
+    out.push('}');
+}
+
+fn meta_thread(out: &mut String, tid: u64, name: &str, sort: u64) {
+    push_event(
+        out,
+        &format!(
+            r#""name":"thread_name","ph":"M","pid":0,"tid":{tid},"args":{{"name":"{}"}}"#,
+            json_escape(name)
+        ),
+    );
+    push_event(
+        out,
+        &format!(
+            r#""name":"thread_sort_index","ph":"M","pid":0,"tid":{tid},"args":{{"sort_index":{sort}}}"#
+        ),
+    );
+}
+
+/// Renders spans and raw events as Chrome trace-event JSON.
+///
+/// `cpu_names` labels the per-CPU tracks (index order); masters beyond
+/// `cpu_names.len()` get a generic label. Incomplete spans are skipped —
+/// every emitted `"X"` (complete) event corresponds to one completed bus
+/// transaction.
+pub fn chrome_trace<'a, S, E>(spans: S, events: E, cpu_names: &[String]) -> String
+where
+    S: IntoIterator<Item = &'a Span>,
+    E: IntoIterator<Item = &'a TracedEvent>,
+{
+    let masters = cpu_names.len();
+    let mut out = String::from("{\"traceEvents\":[");
+
+    meta_thread(&mut out, TID_BUS, "bus arbiter", 0);
+    for (i, name) in cpu_names.iter().enumerate() {
+        meta_thread(
+            &mut out,
+            tid_cpu(i),
+            &format!("cpu{i} {name}"),
+            1 + i as u64,
+        );
+        meta_thread(
+            &mut out,
+            tid_snoop(i, masters),
+            &format!("snoop{i} {name}"),
+            1 + (masters + i) as u64,
+        );
+    }
+
+    for span in spans {
+        let Some(dur) = span.service_time() else {
+            continue;
+        };
+        let cat = if span.is_drain { "drain" } else { "txn" };
+        let wait = span.acquire_wait().unwrap_or(0);
+        push_event(
+            &mut out,
+            &format!(
+                concat!(
+                    r#""name":"{op} {addr:#x}","cat":"{cat}","ph":"X","ts":{ts},"dur":{dur},"#,
+                    r#""pid":0,"tid":{tid},"args":{{"addr":"{addr:#x}","retries":{retries},"#,
+                    r#""acquire_wait":{wait},"snoop_hits":{snoops},"cam_conflicts":{cams}}}"#
+                ),
+                op = span.op,
+                addr = span.addr,
+                cat = cat,
+                ts = span.requested_at.as_u64(),
+                dur = dur.max(1),
+                tid = tid_cpu(span.master),
+                retries = span.retries,
+                wait = wait,
+                snoops = span.snoop_hits,
+                cams = span.cam_conflicts,
+            ),
+        );
+    }
+
+    // ISR activity is paired at export time from the raw event ring.
+    let mut open_isr: Vec<Option<(u64, u64)>> = vec![None; masters.max(1)];
+    for te in events {
+        let ts = te.at.as_u64();
+        match te.event {
+            SimEvent::BusGrant { .. } | SimEvent::BusRetry { .. } => {
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#""name":"{}","cat":"bus","ph":"i","s":"t","ts":{ts},"pid":0,"tid":{TID_BUS}"#,
+                        json_escape(&te.event.to_string()),
+                    ),
+                );
+            }
+            SimEvent::SnoopHit { owner, .. }
+            | SimEvent::CamHit { owner, .. }
+            | SimEvent::CacheFill { owner, .. } => {
+                if owner < masters {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            r#""name":"{}","cat":"snoop","ph":"i","s":"t","ts":{ts},"pid":0,"tid":{}"#,
+                            json_escape(&te.event.to_string()),
+                            tid_snoop(owner, masters),
+                        ),
+                    );
+                }
+            }
+            SimEvent::IsrEnter { cpu, line } => {
+                if let Some(slot) = open_isr.get_mut(cpu) {
+                    *slot = Some((ts, line));
+                }
+            }
+            SimEvent::IsrExit { cpu, .. } => {
+                if let Some((enter, line)) = open_isr.get_mut(cpu).and_then(|s| s.take()) {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            concat!(
+                                r#""name":"ISR drain {line:#x}","cat":"isr","ph":"X","ts":{ts},"#,
+                                r#""dur":{dur},"pid":0,"tid":{tid}"#
+                            ),
+                            line = line,
+                            ts = enter,
+                            dur = (ts - enter).max(1),
+                            tid = tid_cpu(cpu),
+                        ),
+                    );
+                }
+            }
+            SimEvent::BusRequest { .. } | SimEvent::BusComplete { .. } => {}
+        }
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"hmp-trace\",\"clock\":\"bus-cycles\"}}");
+    out
+}
+
+/// Renders a [`MetricsSnapshot`] as a JSON object.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    fn hist(out: &mut String, name: &str, h: &crate::hist::Hist) {
+        let _ = write!(
+            out,
+            r#""{name}":{{"count":{},"sum":{},"max":{},"buckets":["#,
+            h.count(),
+            h.sum(),
+            h.max()
+        );
+        for (i, b) in h.buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]},");
+    }
+    fn list(out: &mut String, name: &str, xs: &[u64]) {
+        let _ = write!(out, r#""{name}":["#);
+        for (i, x) in xs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{x}");
+        }
+        out.push_str("],");
+    }
+
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        r#""masters":{},"grants":{},"completions":{},"drains_completed":{},"retries":{},"#,
+        snap.masters, snap.grants, snap.completions, snap.drains_completed, snap.retries
+    );
+    out.push_str("\"retry_by_cause\":{");
+    for (i, cause) in RetryCause::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            r#""{}":{}"#,
+            cause.key(),
+            snap.retry_by_cause[cause as usize]
+        );
+    }
+    out.push_str("},");
+    hist(&mut out, "acquire_wait", &snap.acquire_wait);
+    hist(&mut out, "service_time", &snap.service_time);
+    hist(&mut out, "isr_latency", &snap.isr_latency);
+    hist(&mut out, "retries_per_txn", &snap.retries_per_txn);
+    list(&mut out, "snoop_hits", &snap.snoop_hits);
+    list(&mut out, "cam_hits", &snap.cam_hits);
+    list(&mut out, "isr_entries", &snap.isr_entries);
+    list(&mut out, "fills", &snap.fills);
+    out.push_str("\"top_retry_addrs\":[");
+    for (i, &(addr, n)) in snap.top_retry_addrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#"{{"addr":"{addr:#x}","retries":{n}}}"#);
+    }
+    out.push_str("],");
+    let _ = write!(
+        out,
+        r#""retry_addr_overflow":{},"spans_recorded":{},"spans_dropped":{},"span_orphans":{}}}"#,
+        snap.retry_addr_overflow, snap.spans_recorded, snap.spans_dropped, snap.span_orphans
+    );
+    out
+}
+
+/// Minimal JSON syntax validation: checks the input is one complete,
+/// well-formed JSON value. Returns the number of *non-whitespace* bytes
+/// consumed, which for an object/array is a cheap non-emptiness proxy.
+///
+/// This is not a full RFC 8259 parser (numbers are accepted loosely);
+/// it exists so smoke tests can validate exporter output without an
+/// external JSON dependency.
+pub fn validate_json(s: &str) -> Result<usize, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+        depth: usize,
+    }
+    impl P<'_> {
+        fn err(&self, msg: &str) -> String {
+            format!("{msg} at byte {}", self.i)
+        }
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8, what: &str) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.err(what))
+            }
+        }
+        fn value(&mut self) -> Result<(), String> {
+            self.depth += 1;
+            if self.depth > 256 {
+                return Err(self.err("nesting too deep"));
+            }
+            self.ws();
+            let r = match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string(),
+                Some(b't') => self.literal("true"),
+                Some(b'f') => self.literal("false"),
+                Some(b'n') => self.literal("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.err("expected a JSON value")),
+            };
+            self.depth -= 1;
+            r
+        }
+        fn literal(&mut self, lit: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(lit.as_bytes()) {
+                self.i += lit.len();
+                Ok(())
+            } else {
+                Err(self.err("bad literal"))
+            }
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.i == start {
+                Err(self.err("expected a number"))
+            } else {
+                Ok(())
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"', "expected '\"'")?;
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        if self.peek().is_none() {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    _ => {}
+                }
+            }
+            Err(self.err("unterminated string"))
+        }
+        fn object(&mut self) -> Result<(), String> {
+            self.eat(b'{', "expected '{'")?;
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                self.string()?;
+                self.ws();
+                self.eat(b':', "expected ':'")?;
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+        }
+        fn array(&mut self) -> Result<(), String> {
+            self.eat(b'[', "expected '['")?;
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.value()?;
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(self.err("expected ',' or ']'")),
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: s.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    p.value()?;
+    let consumed = p.i;
+    p.ws();
+    if p.i != s.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BusOpKind, Observer, TraceObserver};
+    use crate::metrics::MetricsObserver;
+    use crate::Cycle;
+
+    fn names() -> Vec<String> {
+        vec!["PowerPC755".to_string(), "ARM920T".to_string()]
+    }
+
+    fn sample_ring() -> TraceObserver {
+        let mut t = TraceObserver::new(64);
+        t.on_event(
+            Cycle::new(2),
+            SimEvent::BusGrant {
+                master: 0,
+                op: BusOpKind::ReadLine,
+                addr: 0x40,
+                is_retry: false,
+                is_drain: false,
+            },
+        );
+        t.on_event(
+            Cycle::new(3),
+            SimEvent::SnoopHit {
+                owner: 1,
+                addr: 0x40,
+                action: crate::event::SnoopActionKind::Writeback,
+                asserts_shared: false,
+            },
+        );
+        t.on_event(Cycle::new(5), SimEvent::IsrEnter { cpu: 1, line: 0x40 });
+        t.on_event(Cycle::new(9), SimEvent::IsrExit { cpu: 1, line: 0x40 });
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_tracks_and_spans() {
+        let mut spans = crate::span::SpanTracker::new(2, 8);
+        spans.on_event(
+            Cycle::new(1),
+            SimEvent::BusRequest {
+                master: 0,
+                op: BusOpKind::ReadLine,
+                addr: 0x40,
+                is_drain: false,
+            },
+        );
+        spans.on_event(
+            Cycle::new(2),
+            SimEvent::BusGrant {
+                master: 0,
+                op: BusOpKind::ReadLine,
+                addr: 0x40,
+                is_retry: false,
+                is_drain: false,
+            },
+        );
+        spans.on_event(
+            Cycle::new(15),
+            SimEvent::BusComplete {
+                master: 0,
+                op: BusOpKind::ReadLine,
+                addr: 0x40,
+                is_drain: false,
+            },
+        );
+        let ring = sample_ring();
+        let json = chrome_trace(spans.iter(), ring.iter(), &names());
+        let consumed = validate_json(&json).expect("exporter output must parse");
+        assert!(consumed > 2, "non-empty");
+        assert!(json.contains(r#""name":"thread_name""#), "{json}");
+        assert!(json.contains("cpu0 PowerPC755"), "{json}");
+        assert!(json.contains("snoop1 ARM920T"), "{json}");
+        assert!(json.contains(r#""ph":"X""#), "{json}");
+        assert!(json.contains(r#""name":"ReadLine 0x40""#), "{json}");
+        assert!(json.contains(r#""name":"ISR drain 0x40""#), "{json}");
+        assert!(json.contains(r#""retries":0"#), "{json}");
+    }
+
+    #[test]
+    fn incomplete_spans_are_skipped() {
+        let mut spans = crate::span::SpanTracker::new(1, 8);
+        spans.on_event(
+            Cycle::new(1),
+            SimEvent::BusRequest {
+                master: 0,
+                op: BusOpKind::ReadLine,
+                addr: 0x40,
+                is_drain: false,
+            },
+        );
+        let open = spans.open_spans();
+        let json = chrome_trace(open.iter(), std::iter::empty(), &names());
+        validate_json(&json).unwrap();
+        assert!(!json.contains(r#""ph":"X""#), "{json}");
+    }
+
+    #[test]
+    fn metrics_json_is_valid() {
+        let mut m = MetricsObserver::new(2, 8, 8);
+        for te in sample_ring().iter() {
+            m.on_event(te.at, te.event);
+        }
+        let json = metrics_json(&m.snapshot());
+        validate_json(&json).expect("metrics JSON must parse");
+        assert!(json.contains(r#""grants":1"#), "{json}");
+        assert!(json.contains(r#""isr_latency""#), "{json}");
+    }
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json(r#"{"a":[1,2.5,-3],"b":"x\"y","c":null,"d":true}"#).is_ok());
+        assert!(validate_json("  [ ]  ").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json(r#"{"a":1,}"#).is_err());
+        assert!(validate_json(r#"{"a" 1}"#).is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{} extra").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-size log2-bucketed latency histograms.
+//!
+//! A [`Hist`] is a `Copy`-free but allocation-free histogram: 33 buckets
+//! covering `0`, `1`, `[2,3]`, `[4,7]`, … up to a catch-all for values
+//! `>= 2^31`. Recording is a `leading_zeros` and two adds — cheap enough
+//! for the simulator hot path — and the exact `count`/`sum`/`max` are kept
+//! alongside the buckets so totals reconcile exactly with the counter
+//! bank even though bucket boundaries are coarse.
+
+use std::fmt;
+
+/// Number of buckets in a [`Hist`]: one for zero, one per power of two up
+/// to `2^31`, and a catch-all for everything larger.
+pub const BUCKETS: usize = 33;
+
+/// A log2-bucketed histogram of `u64` samples (cycle counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into: `0 → 0`, `1 → 1`, `2..=3 → 2`,
+    /// `4..=7 → 3`, …, with everything `>= 2^31` in the last bucket.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= BUCKETS`.
+    pub fn bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS, "bucket index {index} out of range");
+        match index {
+            0 => (0, 0),
+            i if i == BUCKETS - 1 => (1 << (BUCKETS - 2), u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts, index order (see [`Hist::bounds`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+impl fmt::Display for Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "count={} sum={} mean={:.1} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (lo, hi, c) in self.iter_nonzero() {
+            let bar = (c * 40).div_ceil(peak) as usize;
+            if hi == u64::MAX {
+                writeln!(f, "  [{lo:>10}, ..] {c:>8} {}", "#".repeat(bar))?;
+            } else {
+                writeln!(f, "  [{lo:>10},{hi:>11}] {c:>8} {}", "#".repeat(bar))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundary_table() {
+        // Exhaustive boundary table: every power-of-two edge maps to the
+        // expected bucket index.
+        let table: &[(u64, usize)] = &[
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (15, 4),
+            (16, 5),
+            (1023, 10),
+            (1024, 11),
+            (65_535, 16),
+            (65_536, 17),
+            ((1 << 30) - 1, 30),
+            (1 << 30, 31),
+            ((1 << 31) - 1, 31),
+            (1 << 31, 32),
+            (1 << 40, 32),
+            (u64::MAX, 32),
+        ];
+        for &(v, want) in table {
+            assert_eq!(Hist::bucket_of(v), want, "bucket_of({v})");
+        }
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = Hist::bounds(i);
+            assert_eq!(Hist::bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(Hist::bucket_of(hi), i, "hi of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(Hist::bucket_of(hi + 1), i + 1, "hi+1 of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_totals() {
+        let mut h = Hist::new();
+        assert!(h.is_empty());
+        for v in [0, 1, 3, 100, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.2).abs() < 1e-9);
+        assert!(!h.is_empty());
+        let total: u64 = h.buckets().iter().sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn iter_nonzero_reports_bounds() {
+        let mut h = Hist::new();
+        h.record(5);
+        h.record(6);
+        let rows: Vec<_> = h.iter_nonzero().collect();
+        assert_eq!(rows, vec![(4, 7, 2)]);
+    }
+
+    #[test]
+    fn display_shows_counts_and_bars() {
+        let mut h = Hist::new();
+        for _ in 0..3 {
+            h.record(10);
+        }
+        let s = h.to_string();
+        assert!(s.contains("count=3"), "{s}");
+        assert!(s.contains('#'), "{s}");
+    }
+
+    #[test]
+    fn saturating_sum_does_not_overflow() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

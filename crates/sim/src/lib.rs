@@ -17,8 +17,12 @@
 //!   [`RetryCause`]) that render to the legacy string-keyed [`Stats`]
 //!   registry only when a run finishes.
 //! * [`Stats`] — a string-keyed counter registry for reports.
-//! * [`TraceBuffer`] — a bounded ring of pre-rendered trace strings
-//!   (legacy; the hot path emits [`SimEvent`]s instead).
+//! * [`Span`] / [`SpanTracker`] — per-transaction lifecycle spans stitched
+//!   from the event stream (request → grant → retries → completion).
+//! * [`Hist`] — allocation-free log2-bucketed latency histograms.
+//! * [`MetricsObserver`] / [`MetricsSnapshot`] — the all-in-one metrics
+//!   sink: spans, histograms, per-CPU counters, hot retry addresses.
+//! * [`export`] — Chrome/Perfetto trace-event JSON rendering of a run.
 //! * [`Watchdog`] — forward-progress detection, used to turn the paper's
 //!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
 //!   instead of a hang.
@@ -44,9 +48,12 @@
 mod clock;
 mod counters;
 mod event;
+pub mod export;
+mod hist;
+mod metrics;
 mod rng;
+mod span;
 mod stats;
-mod trace;
 mod watchdog;
 
 pub use clock::{ClockDomain, CoreCycle, Cycle};
@@ -55,7 +62,9 @@ pub use event::{
     BusOpKind, NullObserver, Observer, RetryCause, SimEvent, SnoopActionKind, TraceObserver,
     TracedEvent,
 };
+pub use hist::{Hist, BUCKETS as HIST_BUCKETS};
+pub use metrics::{MetricsObserver, MetricsSnapshot};
 pub use rng::SplitMix64;
+pub use span::{Span, SpanTracker};
 pub use stats::Stats;
-pub use trace::{TraceBuffer, TraceEvent};
 pub use watchdog::{Watchdog, WatchdogVerdict};

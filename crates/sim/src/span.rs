@@ -1,0 +1,547 @@
+//! Transaction lifecycle spans stitched from [`SimEvent`]s.
+//!
+//! A [`Span`] covers one bus transaction from the cycle its master queued
+//! it ([`SimEvent::BusRequest`]) through grants, ARTRY kills and snoop
+//! verdicts to its data-phase completion ([`SimEvent::BusComplete`]).
+//! The [`SpanTracker`] is an [`Observer`] that maintains the open span per
+//! master (plus a small FIFO of queued drains) and a fixed-capacity ring
+//! of completed spans — all storage is preallocated, so steady-state
+//! tracking allocates nothing.
+
+use crate::event::{Observer, RetryCause, SimEvent};
+use crate::{BusOpKind, Cycle};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Queued drains tracked per master; overflow is counted, not grown.
+const DRAIN_FIFO_CAP: usize = 64;
+
+/// One bus transaction's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Index of the originating master.
+    pub master: usize,
+    /// Operation driven on the bus.
+    pub op: BusOpKind,
+    /// Target address.
+    pub addr: u64,
+    /// `true` for a snoop-push / victim write-back.
+    pub is_drain: bool,
+    /// Cycle the master queued the transaction.
+    pub requested_at: Cycle,
+    /// Cycle of the first bus grant (None while still queued).
+    pub first_grant_at: Option<Cycle>,
+    /// Cycle the data phase completed (None while open).
+    pub completed_at: Option<Cycle>,
+    /// Number of ARTRY kills this transaction absorbed.
+    pub retries: u32,
+    /// Snoop hits observed while this transaction held the bus.
+    pub snoop_hits: u32,
+    /// TAG-CAM conflicts observed while this transaction held the bus.
+    pub cam_conflicts: u32,
+    /// Cause of the most recent ARTRY, if any.
+    pub last_retry: Option<RetryCause>,
+}
+
+impl Span {
+    fn open(master: usize, op: BusOpKind, addr: u64, is_drain: bool, at: Cycle) -> Self {
+        Span {
+            master,
+            op,
+            addr,
+            is_drain,
+            requested_at: at,
+            first_grant_at: None,
+            completed_at: None,
+            retries: 0,
+            snoop_hits: 0,
+            cam_conflicts: 0,
+            last_retry: None,
+        }
+    }
+
+    /// `true` once the data phase has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Cycles spent queued before the first grant (None if never granted).
+    pub fn acquire_wait(&self) -> Option<u64> {
+        self.first_grant_at
+            .map(|g| g.saturating_since(self.requested_at).as_u64())
+    }
+
+    /// Total request-to-completion service time (None while open).
+    pub fn service_time(&self) -> Option<u64> {
+        self.completed_at
+            .map(|c| c.saturating_since(self.requested_at).as_u64())
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu{} {} {:#x}{}: req@{}",
+            self.master,
+            self.op,
+            self.addr,
+            if self.is_drain { " (drain)" } else { "" },
+            self.requested_at.as_u64(),
+        )?;
+        match (self.acquire_wait(), self.service_time()) {
+            (Some(w), Some(s)) => write!(f, " wait={w} svc={s}")?,
+            (Some(w), None) => write!(f, " wait={w} open")?,
+            _ => write!(f, " queued")?,
+        }
+        if self.retries > 0 {
+            write!(
+                f,
+                " retries={}{}",
+                self.retries,
+                self.last_retry
+                    .map(|c| format!(" (last {})", c.key()))
+                    .unwrap_or_default(),
+            )?;
+        }
+        if self.snoop_hits > 0 {
+            write!(f, " snoops={}", self.snoop_hits)?;
+        }
+        if self.cam_conflicts > 0 {
+            write!(f, " cam={}", self.cam_conflicts)?;
+        }
+        Ok(())
+    }
+}
+
+/// Stitches the bus event stream into per-transaction [`Span`]s.
+///
+/// Storage is fixed at construction: one open CPU-transaction slot per
+/// master, a bounded drain FIFO per master, and a `capacity`-sized ring of
+/// completed spans. Once warmed up, tracking performs zero allocations.
+#[derive(Debug, Clone)]
+pub struct SpanTracker {
+    open_cpu: Vec<Option<Span>>,
+    open_drains: Vec<VecDeque<Span>>,
+    /// The `(master, is_drain)` of the transaction currently holding the
+    /// bus (between its grant and its retry/completion); snoop verdicts
+    /// carry the snooper's index, so attribution needs this.
+    active: Option<(usize, bool)>,
+    completed: VecDeque<Span>,
+    capacity: usize,
+    dropped: u64,
+    orphans: u64,
+}
+
+impl SpanTracker {
+    /// A tracker for `masters` bus masters keeping the most recent
+    /// `capacity` completed spans.
+    pub fn new(masters: usize, capacity: usize) -> Self {
+        SpanTracker {
+            open_cpu: vec![None; masters],
+            open_drains: (0..masters)
+                .map(|_| VecDeque::with_capacity(DRAIN_FIFO_CAP))
+                .collect(),
+            active: None,
+            completed: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            orphans: 0,
+        }
+    }
+
+    /// Number of completed spans currently stored.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Returns `true` if no completed span is stored.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Completed spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events that could not be matched to an open span (e.g. the tracker
+    /// was attached mid-run).
+    pub fn orphans(&self) -> u64 {
+        self.orphans
+    }
+
+    /// Iterates completed spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.completed.iter()
+    }
+
+    /// The most recently completed span, if any.
+    pub fn last_completed(&self) -> Option<&Span> {
+        self.completed.back()
+    }
+
+    /// The last `n` completed spans, oldest first (allocates; post-mortem
+    /// use only).
+    pub fn recent(&self, n: usize) -> Vec<Span> {
+        let skip = self.completed.len().saturating_sub(n);
+        self.completed.iter().skip(skip).copied().collect()
+    }
+
+    /// All currently open (queued or in-flight) spans, masters in index
+    /// order, each master's drains in FIFO order (allocates; post-mortem
+    /// use only).
+    pub fn open_spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for (i, slot) in self.open_cpu.iter().enumerate() {
+            out.extend(slot.iter().copied());
+            out.extend(self.open_drains[i].iter().copied());
+        }
+        out
+    }
+
+    fn push_completed(&mut self, span: Span) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.completed.len() == self.capacity {
+            self.completed.pop_front();
+            self.dropped += 1;
+        }
+        self.completed.push_back(span);
+    }
+
+    fn active_span_mut(&mut self) -> Option<&mut Span> {
+        let (master, is_drain) = self.active?;
+        if is_drain {
+            self.open_drains.get_mut(master)?.front_mut()
+        } else {
+            self.open_cpu.get_mut(master)?.as_mut()
+        }
+    }
+
+    /// Feeds one event; returns the span it closed, if any.
+    pub fn track(&mut self, at: Cycle, event: SimEvent) -> Option<Span> {
+        match event {
+            SimEvent::BusRequest {
+                master,
+                op,
+                addr,
+                is_drain,
+            } => {
+                if master >= self.open_cpu.len() {
+                    self.orphans += 1;
+                    return None;
+                }
+                let span = Span::open(master, op, addr, is_drain, at);
+                if is_drain {
+                    let fifo = &mut self.open_drains[master];
+                    if fifo.len() == DRAIN_FIFO_CAP {
+                        self.orphans += 1;
+                    } else {
+                        fifo.push_back(span);
+                    }
+                } else {
+                    if self.open_cpu[master].is_some() {
+                        self.orphans += 1;
+                    }
+                    self.open_cpu[master] = Some(span);
+                }
+                None
+            }
+            SimEvent::BusGrant {
+                master,
+                op,
+                addr,
+                is_drain,
+                ..
+            } => {
+                if master >= self.open_cpu.len() {
+                    self.orphans += 1;
+                    return None;
+                }
+                self.active = Some((master, is_drain));
+                // Synthesize a span if the request predates the tracker.
+                let missing = if is_drain {
+                    self.open_drains[master].is_empty()
+                } else {
+                    self.open_cpu[master].is_none()
+                };
+                if missing {
+                    self.orphans += 1;
+                    let span = Span::open(master, op, addr, is_drain, at);
+                    if is_drain {
+                        self.open_drains[master].push_back(span);
+                    } else {
+                        self.open_cpu[master] = Some(span);
+                    }
+                }
+                if let Some(span) = self.active_span_mut() {
+                    if span.first_grant_at.is_none() {
+                        span.first_grant_at = Some(at);
+                    }
+                }
+                None
+            }
+            SimEvent::BusRetry { cause, .. } => {
+                if let Some(span) = self.active_span_mut() {
+                    span.retries += 1;
+                    span.last_retry = Some(cause);
+                } else {
+                    self.orphans += 1;
+                }
+                self.active = None;
+                None
+            }
+            SimEvent::SnoopHit { .. } => {
+                if let Some(span) = self.active_span_mut() {
+                    span.snoop_hits += 1;
+                }
+                None
+            }
+            SimEvent::CamHit { .. } => {
+                if let Some(span) = self.active_span_mut() {
+                    span.cam_conflicts += 1;
+                }
+                None
+            }
+            SimEvent::BusComplete {
+                master, is_drain, ..
+            } => {
+                if master >= self.open_cpu.len() {
+                    self.orphans += 1;
+                    return None;
+                }
+                self.active = None;
+                let closed = if is_drain {
+                    self.open_drains[master].pop_front()
+                } else {
+                    self.open_cpu[master].take()
+                };
+                match closed {
+                    Some(mut span) => {
+                        span.completed_at = Some(at);
+                        self.push_completed(span);
+                        self.last_completed().copied()
+                    }
+                    None => {
+                        self.orphans += 1;
+                        None
+                    }
+                }
+            }
+            SimEvent::IsrEnter { .. } | SimEvent::IsrExit { .. } | SimEvent::CacheFill { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl Observer for SpanTracker {
+    fn on_event(&mut self, at: Cycle, event: SimEvent) {
+        let _ = self.track(at, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SnoopActionKind;
+
+    fn req(master: usize, addr: u64, is_drain: bool) -> SimEvent {
+        SimEvent::BusRequest {
+            master,
+            op: if is_drain {
+                BusOpKind::WriteLine
+            } else {
+                BusOpKind::ReadLine
+            },
+            addr,
+            is_drain,
+        }
+    }
+
+    fn grant(master: usize, addr: u64, is_retry: bool, is_drain: bool) -> SimEvent {
+        SimEvent::BusGrant {
+            master,
+            op: if is_drain {
+                BusOpKind::WriteLine
+            } else {
+                BusOpKind::ReadLine
+            },
+            addr,
+            is_retry,
+            is_drain,
+        }
+    }
+
+    fn complete(master: usize, addr: u64, is_drain: bool) -> SimEvent {
+        SimEvent::BusComplete {
+            master,
+            op: if is_drain {
+                BusOpKind::WriteLine
+            } else {
+                BusOpKind::ReadLine
+            },
+            addr,
+            is_drain,
+        }
+    }
+
+    /// Full lifecycle state machine: request → grant → ARTRY → re-grant →
+    /// snoop verdict → completion, with the timing fields checked at each
+    /// transition.
+    #[test]
+    fn span_lifecycle_state_machine() {
+        let mut t = SpanTracker::new(2, 16);
+        assert!(t.track(Cycle::new(10), req(0, 0x40, false)).is_none());
+        let open = t.open_spans();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].acquire_wait(), None);
+
+        assert!(t
+            .track(Cycle::new(13), grant(0, 0x40, false, false))
+            .is_none());
+        assert_eq!(t.open_spans()[0].acquire_wait(), Some(3));
+
+        assert!(t
+            .track(
+                Cycle::new(13),
+                SimEvent::BusRetry {
+                    master: 0,
+                    addr: 0x40,
+                    cause: RetryCause::SnoopDrain,
+                },
+            )
+            .is_none());
+
+        assert!(t
+            .track(Cycle::new(20), grant(0, 0x40, true, false))
+            .is_none());
+        assert!(t
+            .track(
+                Cycle::new(20),
+                SimEvent::SnoopHit {
+                    owner: 1,
+                    addr: 0x40,
+                    action: SnoopActionKind::StateOnly,
+                    asserts_shared: true,
+                },
+            )
+            .is_none());
+
+        let closed = t.track(Cycle::new(33), complete(0, 0x40, false)).unwrap();
+        assert!(closed.is_complete());
+        assert_eq!(closed.acquire_wait(), Some(3), "first grant, not re-grant");
+        assert_eq!(closed.service_time(), Some(23));
+        assert_eq!(closed.retries, 1);
+        assert_eq!(closed.last_retry, Some(RetryCause::SnoopDrain));
+        assert_eq!(closed.snoop_hits, 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.orphans(), 0);
+        assert!(t.open_spans().is_empty());
+    }
+
+    #[test]
+    fn drains_match_fifo_order() {
+        let mut t = SpanTracker::new(1, 16);
+        t.track(Cycle::new(1), req(0, 0x100, true));
+        t.track(Cycle::new(2), req(0, 0x200, true));
+        t.track(Cycle::new(3), grant(0, 0x100, false, true));
+        let a = t.track(Cycle::new(5), complete(0, 0x100, true)).unwrap();
+        assert_eq!(a.addr, 0x100);
+        t.track(Cycle::new(6), grant(0, 0x200, false, true));
+        let b = t.track(Cycle::new(8), complete(0, 0x200, true)).unwrap();
+        assert_eq!(b.addr, 0x200);
+        assert_eq!(b.requested_at, Cycle::new(2));
+        assert_eq!(t.orphans(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_completed() {
+        let mut t = SpanTracker::new(1, 2);
+        for i in 0..3u64 {
+            t.track(Cycle::new(i * 10), req(0, 0x40 * (i + 1), false));
+            t.track(
+                Cycle::new(i * 10 + 1),
+                grant(0, 0x40 * (i + 1), false, false),
+            );
+            t.track(Cycle::new(i * 10 + 2), complete(0, 0x40 * (i + 1), false));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.iter().next().unwrap().addr, 0x80);
+        assert_eq!(t.last_completed().unwrap().addr, 0xc0);
+        assert_eq!(t.recent(1)[0].addr, 0xc0);
+    }
+
+    #[test]
+    fn orphan_grant_synthesizes_span() {
+        // Tracker attached mid-run: a grant with no recorded request still
+        // produces a (wait-less) completed span.
+        let mut t = SpanTracker::new(1, 4);
+        t.track(Cycle::new(5), grant(0, 0x40, false, false));
+        let s = t.track(Cycle::new(9), complete(0, 0x40, false)).unwrap();
+        assert_eq!(s.requested_at, Cycle::new(5));
+        assert_eq!(s.service_time(), Some(4));
+        assert_eq!(t.orphans(), 1);
+    }
+
+    #[test]
+    fn unmatched_complete_counts_orphan() {
+        let mut t = SpanTracker::new(1, 4);
+        assert!(t.track(Cycle::new(1), complete(0, 0x40, false)).is_none());
+        assert_eq!(t.orphans(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_master_is_ignored() {
+        let mut t = SpanTracker::new(1, 4);
+        t.track(Cycle::new(1), req(7, 0x40, false));
+        t.track(Cycle::new(2), grant(7, 0x40, false, false));
+        t.track(Cycle::new(3), complete(7, 0x40, false));
+        assert_eq!(t.orphans(), 3);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn observer_impl_tracks() {
+        let mut t = SpanTracker::new(1, 4);
+        t.on_event(Cycle::new(1), req(0, 0x40, false));
+        t.on_event(Cycle::new(2), grant(0, 0x40, false, false));
+        t.on_event(Cycle::new(4), complete(0, 0x40, false));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn span_display_renders_fields() {
+        let mut t = SpanTracker::new(1, 4);
+        t.track(Cycle::new(1), req(0, 0x40, false));
+        t.track(Cycle::new(2), grant(0, 0x40, false, false));
+        t.track(
+            Cycle::new(2),
+            SimEvent::BusRetry {
+                master: 0,
+                addr: 0x40,
+                cause: RetryCause::CamHit,
+            },
+        );
+        t.track(Cycle::new(6), grant(0, 0x40, true, false));
+        t.track(
+            Cycle::new(6),
+            SimEvent::CamHit {
+                owner: 1,
+                addr: 0x40,
+            },
+        );
+        let s = t.track(Cycle::new(9), complete(0, 0x40, false)).unwrap();
+        let txt = s.to_string();
+        assert!(txt.contains("cpu0 ReadLine 0x40"), "{txt}");
+        assert!(txt.contains("wait=1"), "{txt}");
+        assert!(txt.contains("svc=8"), "{txt}");
+        assert!(txt.contains("retries=1 (last cam)"), "{txt}");
+        assert!(txt.contains("cam=1"), "{txt}");
+    }
+}

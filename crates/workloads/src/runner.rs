@@ -37,6 +37,10 @@ pub struct RunSpec {
     pub cacheable_locks: bool,
     /// Simulation cycle budget.
     pub max_cycles: u64,
+    /// Completed-span ring capacity for the metrics layer (0 = off).
+    pub span_capacity: usize,
+    /// Enforce line invariants live, failing the run fast on a break.
+    pub check_invariants: bool,
 }
 
 impl RunSpec {
@@ -51,6 +55,8 @@ impl RunSpec {
             burst_penalty: 13,
             cacheable_locks: false,
             max_cycles: 50_000_000,
+            span_capacity: 0,
+            check_invariants: false,
         }
     }
 
@@ -67,6 +73,20 @@ impl RunSpec {
         self.burst_penalty = cycles;
         self
     }
+
+    /// Same spec with the metrics layer keeping `capacity` spans.
+    #[must_use]
+    pub fn with_spans(mut self, capacity: usize) -> Self {
+        self.span_capacity = capacity;
+        self
+    }
+
+    /// Same spec with live invariant checking on.
+    #[must_use]
+    pub fn with_invariants(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
 }
 
 /// Builds the platform and programs for `spec` without running — useful
@@ -80,6 +100,8 @@ pub fn prepare(spec: &RunSpec) -> System {
         PlatformPick::Pair(a, b) => presets::protocol_pair(a, b, spec.strategy, lock_kind),
     };
     pspec.latency = LatencyModel::scaled_to_burst(spec.burst_penalty);
+    pspec.span_capacity = spec.span_capacity;
+    pspec.check_invariants = spec.check_invariants;
     let programs = build_programs(spec.scenario, spec.strategy, &spec.params, &lay);
     presets::instantiate(&pspec, spec.strategy, programs)
 }

@@ -6,7 +6,7 @@ use hmp::core::{SnoopLogic, Wrapper, WrapperPolicy};
 use hmp::cpu::{Cpu, Program};
 use hmp::mem::{Addr, LatencyModel, Memory, MemoryMap};
 use hmp::platform::{PlatformSpec, Report, RunResult};
-use hmp::sim::{SplitMix64, Stats, TraceBuffer, Watchdog};
+use hmp::sim::{MetricsObserver, SpanTracker, SplitMix64, Stats, Watchdog};
 
 fn assert_send<T: Send>() {}
 fn assert_sync<T: Sync>() {}
@@ -30,7 +30,8 @@ fn simulation_types_are_send() {
     assert_send::<Report>();
     assert_send::<SplitMix64>();
     assert_send::<Stats>();
-    assert_send::<TraceBuffer>();
+    assert_send::<SpanTracker>();
+    assert_send::<MetricsObserver>();
     assert_send::<Watchdog>();
 }
 
