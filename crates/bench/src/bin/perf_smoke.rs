@@ -1,0 +1,78 @@
+//! Simulator performance smoke test: cycles/sec under both kernels.
+//!
+//! Runs WCS/TCS/BCS on all four platform classes under both
+//! [`Kernel::Step`] and [`Kernel::FastForward`], checks that every cell's
+//! two results compare equal, times one full WCS grid under each kernel
+//! at both the Figure 5 burst penalty (13) and the Figure 8 endpoint
+//! (96), and writes everything to `BENCH_PERF.json` — into the
+//! `HMP_BENCH_JSON` directory if set, the current directory otherwise.
+//! CI runs this on every push, so the JSON history is the simulator's
+//! tracked cycles/sec trajectory.
+//!
+//! Exits nonzero if any cell's kernels disagree or any run fails to
+//! complete cleanly.
+
+use hmp_bench::json::bench_json_dir;
+use hmp_bench::perf::{measure_cells, measure_fig5_sweep, measure_fig8_sweep, perf_json};
+use hmp_sim::export::validate_json;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn main() {
+    // Long enough per cell that short-timer jitter washes out, short
+    // enough that the whole smoke run stays in CI-friendly territory.
+    let min_wall = Duration::from_millis(30);
+
+    println!("perf smoke — simulated cycles per wall-clock second");
+    println!();
+    println!(
+        "{:<4} {:>10} {:>8} {:>14} {:>14} {:>9}  equal",
+        "case", "platform", "cycles", "step c/s", "fastfwd c/s", "speedup"
+    );
+    let cells = measure_cells(min_wall);
+    for c in &cells {
+        println!(
+            "{:<4} {:>10} {:>8} {:>14.0} {:>14.0} {:>8.2}x  {}",
+            c.scenario.to_string(),
+            c.platform,
+            c.cycles,
+            c.step_cps,
+            c.fast_cps,
+            c.speedup(),
+            c.equivalent,
+        );
+    }
+
+    println!();
+    let sweeps = [measure_fig5_sweep(), measure_fig8_sweep()];
+    for s in &sweeps {
+        println!(
+            "{} (burst {}, {} points, {} cycles): step {:.0} c/s, fast-forward {:.0} c/s, {:.2}x",
+            s.slug,
+            s.burst_penalty,
+            s.points,
+            s.total_cycles,
+            s.step_cps,
+            s.fast_cps,
+            s.speedup(),
+        );
+    }
+
+    let json = perf_json(&cells, &sweeps);
+    validate_json(&json).unwrap_or_else(|e| panic!("malformed BENCH_PERF.json: {e}"));
+    let dir = bench_json_dir().unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let path = dir.join("BENCH_PERF.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
+
+    let divergent: Vec<_> = cells.iter().filter(|c| !c.equivalent).collect();
+    assert!(
+        divergent.is_empty(),
+        "kernel divergence on {} cell(s): {divergent:?}",
+        divergent.len()
+    );
+    for s in &sweeps {
+        assert!(s.equivalent, "kernel divergence on {}", s.slug);
+    }
+}

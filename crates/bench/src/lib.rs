@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod perf;
 pub mod sweep;
 
 use hmp_platform::Strategy;

@@ -1,0 +1,304 @@
+//! Cycles-per-second measurement comparing the two simulation kernels.
+//!
+//! The `perf_smoke` binary drives these helpers across the paper's three
+//! scenarios and four platform classes: each cell is timed under both
+//! [`Kernel::Step`] and [`Kernel::FastForward`], the two full
+//! [`hmp_platform::RunResult`]s are compared for equivalence, and the
+//! numbers land in `BENCH_PERF.json` so CI can track the simulator's
+//! cycles/sec trajectory over time.
+//!
+//! All timings measure the simulation kernel itself — [`hmp_platform::System::run`]
+//! on a prepared platform. Workload generation and platform
+//! construction happen outside the timed region: they are identical for
+//! both kernels and would only dilute the comparison (the Figure 5 grid
+//! runs are a few milliseconds each, against a fixed per-run setup cost
+//! of building programs and zeroing memory images).
+//!
+//! Two grid sweeps are recorded alongside the per-preset cells:
+//!
+//! * `fig5_sweep` — the Figure 5 grid at the paper's burst penalty
+//!   (13 cycles). This workload is *event-dense*: roughly half its
+//!   cycles carry a genuine event (an instruction issuing, a grant, a
+//!   data-phase completion), so skipping dead cycles is Amdahl-bound.
+//! * `fig8_sweep` — the same grid at the Figure 8 miss-penalty
+//!   endpoint (96 cycles), where long data phases make dead cycles
+//!   dominate and the event-driven kernel pays off in full.
+
+use crate::{figure_params, sweep};
+use hmp_cache::ProtocolKind;
+use hmp_platform::{Kernel, RunResult, Strategy};
+use hmp_workloads::{prepare, PlatformPick, RunSpec, Scenario};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The four platform classes every perf cell sweeps over.
+pub const PLATFORMS: [(&str, PlatformPick); 4] = [
+    ("ppc_arm", PlatformPick::PpcArm),
+    ("i486_ppc", PlatformPick::I486Ppc),
+    ("pf1_dual", PlatformPick::Pf1Dual),
+    (
+        "mesi_moesi",
+        PlatformPick::Pair(ProtocolKind::Mesi, ProtocolKind::Moesi),
+    ),
+];
+
+/// One (scenario, platform) measurement: simulated bus cycles per
+/// wall-clock second under each kernel, and whether the two kernels'
+/// full results compared equal.
+#[derive(Debug, Clone)]
+pub struct PerfCell {
+    /// Workload scenario.
+    pub scenario: Scenario,
+    /// Platform slug from [`PLATFORMS`].
+    pub platform: &'static str,
+    /// Simulated cycles of one run of this cell.
+    pub cycles: u64,
+    /// Cycles/sec under the per-cycle step kernel.
+    pub step_cps: f64,
+    /// Cycles/sec under the fast-forward kernel.
+    pub fast_cps: f64,
+    /// Whether the two kernels produced equal [`RunResult`]s.
+    pub equivalent: bool,
+}
+
+impl PerfCell {
+    /// Fast-forward speedup over per-cycle stepping.
+    pub fn speedup(&self) -> f64 {
+        self.fast_cps / self.step_cps
+    }
+}
+
+/// Times repeated runs of `spec` under `kernel` until at least `min_wall`
+/// of simulation time has accumulated (and at least 3 repetitions),
+/// returning cycles/sec and the run's result. Only [`hmp_platform::System::run`] is
+/// timed; each repetition's platform is prepared outside the clock.
+fn cycles_per_sec(spec: &RunSpec, kernel: Kernel, min_wall: Duration) -> (f64, RunResult) {
+    let spec = spec.with_kernel(kernel);
+    let first = prepare(&spec).run(spec.max_cycles);
+    let mut sim_cycles = 0u64;
+    let mut reps = 0u32;
+    let mut timed = Duration::ZERO;
+    while reps < 3 || timed < min_wall {
+        let mut sys = prepare(&spec);
+        let start = Instant::now();
+        let r = sys.run(spec.max_cycles);
+        timed += start.elapsed();
+        sim_cycles += r.cycles_u64();
+        reps += 1;
+    }
+    (sim_cycles as f64 / timed.as_secs_f64(), first)
+}
+
+/// Measures one cell under both kernels.
+///
+/// # Panics
+///
+/// Panics if the run does not complete cleanly — a perf number for a
+/// deadlocked or incoherent run would be meaningless.
+pub fn measure_cell(
+    scenario: Scenario,
+    platform: (&'static str, PlatformPick),
+    min_wall: Duration,
+) -> PerfCell {
+    let spec = RunSpec::new(scenario, Strategy::Proposed, figure_params(16, 4)).on(platform.1);
+    let (step_cps, step_result) = cycles_per_sec(&spec, Kernel::Step, min_wall);
+    let (fast_cps, fast_result) = cycles_per_sec(&spec, Kernel::FastForward, min_wall);
+    assert!(
+        step_result.is_clean_completion(),
+        "{scenario}/{}: {step_result}",
+        platform.0
+    );
+    PerfCell {
+        scenario,
+        platform: platform.0,
+        cycles: step_result.cycles_u64(),
+        step_cps,
+        fast_cps,
+        equivalent: step_result == fast_result,
+    }
+}
+
+/// Measures every scenario × platform cell, in scenario-major order.
+pub fn measure_cells(min_wall: Duration) -> Vec<PerfCell> {
+    let mut cells = Vec::new();
+    for scenario in [Scenario::Worst, Scenario::Typical, Scenario::Best] {
+        for platform in PLATFORMS {
+            cells.push(measure_cell(scenario, platform, min_wall));
+        }
+    }
+    cells
+}
+
+/// Aggregate timing of one full WCS grid — every strategy at every
+/// (lines, exec_time) point — under each kernel, at a fixed burst miss
+/// penalty.
+#[derive(Debug, Clone)]
+pub struct SweepPerf {
+    /// JSON slug for this sweep (`fig5_sweep`, `fig8_sweep`).
+    pub slug: &'static str,
+    /// Burst miss penalty in bus cycles.
+    pub burst_penalty: u64,
+    /// Grid points measured (each runs all three strategies).
+    pub points: usize,
+    /// Total simulated cycles of one full pass.
+    pub total_cycles: u64,
+    /// Cycles/sec for the step-kernel pass.
+    pub step_cps: f64,
+    /// Cycles/sec for the fast-forward pass.
+    pub fast_cps: f64,
+    /// Whether both passes simulated the same total cycle count.
+    pub equivalent: bool,
+}
+
+impl SweepPerf {
+    /// Fast-forward speedup over per-cycle stepping on the sweep.
+    pub fn speedup(&self) -> f64 {
+        self.fast_cps / self.step_cps
+    }
+}
+
+fn sweep_pass(kernel: Kernel, burst_penalty: u64) -> (u64, f64) {
+    let grid = sweep::figure_grid(Scenario::Worst);
+    let mut total = 0u64;
+    let mut timed = Duration::ZERO;
+    for p in &grid {
+        for strategy in Strategy::ALL {
+            let spec = RunSpec::new(p.scenario, strategy, figure_params(p.lines, p.exec_time))
+                .with_burst_penalty(burst_penalty)
+                .with_kernel(kernel);
+            let mut sys = prepare(&spec);
+            let start = Instant::now();
+            let r = sys.run(spec.max_cycles);
+            timed += start.elapsed();
+            assert!(r.is_clean_completion(), "{}/{strategy}: {r}", p.scenario);
+            total += r.cycles_u64();
+        }
+    }
+    (total, total as f64 / timed.as_secs_f64())
+}
+
+/// Times one serial pass over the WCS grid under each kernel at the
+/// given burst penalty.
+pub fn measure_sweep(slug: &'static str, burst_penalty: u64) -> SweepPerf {
+    let (step_total, step_cps) = sweep_pass(Kernel::Step, burst_penalty);
+    let (fast_total, fast_cps) = sweep_pass(Kernel::FastForward, burst_penalty);
+    SweepPerf {
+        slug,
+        burst_penalty,
+        points: sweep::figure_grid(Scenario::Worst).len(),
+        total_cycles: fast_total,
+        step_cps,
+        fast_cps,
+        equivalent: step_total == fast_total,
+    }
+}
+
+/// The Figure 5 grid at the paper's burst penalty of 13 cycles.
+pub fn measure_fig5_sweep() -> SweepPerf {
+    measure_sweep("fig5_sweep", 13)
+}
+
+/// The same grid at the Figure 8 miss-penalty endpoint of 96 cycles,
+/// where data phases dominate and fast-forward warps most of the run.
+pub fn measure_fig8_sweep() -> SweepPerf {
+    measure_sweep("fig8_sweep", 96)
+}
+
+/// Renders the perf measurements as the `BENCH_PERF.json` document.
+pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
+    let mut out =
+        String::from(r#"{"figure":"perf","unit":"simulated_cycles_per_wall_second","cells":["#);
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"scenario":"{:?}","platform":"{}","cycles":{},"#,
+                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{}}}"#
+            ),
+            c.scenario,
+            c.platform,
+            c.cycles,
+            c.step_cps,
+            c.fast_cps,
+            c.speedup(),
+            c.equivalent,
+        );
+    }
+    out.push(']');
+    for s in sweeps {
+        let _ = write!(
+            out,
+            concat!(
+                r#","{}":{{"burst_penalty":{},"points":{},"total_cycles":{},"#,
+                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{}}}"#
+            ),
+            s.slug,
+            s.burst_penalty,
+            s.points,
+            s.total_cycles,
+            s.step_cps,
+            s.fast_cps,
+            s.speedup(),
+            s.equivalent,
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_sim::export::validate_json;
+
+    #[test]
+    fn cell_measurement_is_equivalent_and_positive() {
+        let cell = measure_cell(Scenario::Worst, PLATFORMS[0], Duration::ZERO);
+        assert!(cell.equivalent);
+        assert!(cell.cycles > 0);
+        assert!(cell.step_cps > 0.0);
+        assert!(cell.fast_cps > 0.0);
+    }
+
+    #[test]
+    fn perf_json_is_valid_json() {
+        let cell = PerfCell {
+            scenario: Scenario::Typical,
+            platform: "ppc_arm",
+            cycles: 20_946,
+            step_cps: 1_000_000.0,
+            fast_cps: 4_000_000.0,
+            equivalent: true,
+        };
+        let sweeps = [
+            SweepPerf {
+                slug: "fig5_sweep",
+                burst_penalty: 13,
+                points: 18,
+                total_cycles: 1_234_567,
+                step_cps: 2_000_000.0,
+                fast_cps: 8_000_000.0,
+                equivalent: true,
+            },
+            SweepPerf {
+                slug: "fig8_sweep",
+                burst_penalty: 96,
+                points: 18,
+                total_cycles: 7_654_321,
+                step_cps: 2_000_000.0,
+                fast_cps: 16_000_000.0,
+                equivalent: true,
+            },
+        ];
+        let json = perf_json(std::slice::from_ref(&cell), &sweeps);
+        validate_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains(r#""speedup":4.000"#), "{json}");
+        assert!(json.contains(r#""fig5_sweep""#), "{json}");
+        assert!(json.contains(r#""fig8_sweep""#), "{json}");
+        assert!(json.contains(r#""burst_penalty":96"#), "{json}");
+        assert!(json.contains(r#""equivalent":true"#), "{json}");
+    }
+}

@@ -150,6 +150,27 @@ mod tests {
     }
 
     #[test]
+    fn default_workers_tracks_parallelism_and_env_override() {
+        // Without an override the default is the machine's available
+        // parallelism — always at least one worker, so sweeps never
+        // degenerate to a zero-thread fan-out.
+        let hardware = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        std::env::remove_var("HMP_BENCH_WORKERS");
+        assert_eq!(default_workers(), hardware);
+
+        // A positive HMP_BENCH_WORKERS wins; garbage or zero falls back.
+        std::env::set_var("HMP_BENCH_WORKERS", "3");
+        assert_eq!(default_workers(), 3);
+        std::env::set_var("HMP_BENCH_WORKERS", "0");
+        assert_eq!(default_workers(), hardware);
+        std::env::set_var("HMP_BENCH_WORKERS", "not-a-number");
+        assert_eq!(default_workers(), hardware);
+        std::env::remove_var("HMP_BENCH_WORKERS");
+    }
+
+    #[test]
     fn figure_grid_covers_the_sweep() {
         let grid = figure_grid(Scenario::Worst);
         assert_eq!(

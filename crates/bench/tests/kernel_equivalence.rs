@@ -1,0 +1,159 @@
+//! Step vs fast-forward kernel equivalence.
+//!
+//! The fast-forward kernel may only skip cycles on which provably nothing
+//! happens; every grant, snoop, retry, countdown expiry, interrupt
+//! delivery and watchdog poll must land on exactly the cycle the
+//! per-cycle step kernel would produce. These tests pin that property at
+//! the strongest available granularity: the **entire** [`RunResult`] —
+//! outcome, cycle count, bus stats, per-CPU counters, platform counters,
+//! metrics histograms and span-derived reports — must compare equal
+//! between the two kernels, across every preset scenario, strategy and
+//! platform pairing, including the pathological runs (the Figure 4
+//! hardware deadlock and the seeded Table 2 invariant violation).
+
+use hmp_cache::ProtocolKind;
+use hmp_cpu::{LockKind, LockLayout, ProgramBuilder};
+use hmp_platform::{
+    layout, CpuSpec, Kernel, PlatformSpec, RunOutcome, RunResult, Strategy, System, WrapperMode,
+};
+use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+
+fn params() -> MicrobenchParams {
+    MicrobenchParams {
+        lines_per_iter: 8,
+        exec_time: 2,
+        outer_iters: 3,
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+/// Runs `spec` under both kernels and asserts the full results agree,
+/// returning the (shared) result for additional outcome assertions.
+fn kernels_agree(spec: RunSpec, label: &str) -> RunResult {
+    let step = run(&spec.with_kernel(Kernel::Step));
+    let fast = run(&spec.with_kernel(Kernel::FastForward));
+    assert_eq!(step, fast, "kernel divergence on {label}");
+    step
+}
+
+#[test]
+fn every_preset_and_strategy_agrees() {
+    for scenario in [Scenario::Worst, Scenario::Typical, Scenario::Best] {
+        for strategy in Strategy::ALL {
+            // Metrics + invariants on, so the comparison covers the
+            // MetricsSnapshot histograms and the invariant observer too.
+            let spec = RunSpec::new(scenario, strategy, params())
+                .with_spans(256)
+                .with_invariants();
+            let r = kernels_agree(spec, &format!("{scenario:?}/{strategy}"));
+            assert!(r.is_clean_completion(), "{scenario:?}/{strategy}: {r}");
+            assert!(r.metrics.is_some(), "metrics snapshot compared");
+        }
+    }
+}
+
+#[test]
+fn every_platform_class_agrees() {
+    let picks = [
+        ("ppc_arm", PlatformPick::PpcArm),
+        ("i486_ppc", PlatformPick::I486Ppc),
+        ("pf1_dual", PlatformPick::Pf1Dual),
+        (
+            "mesi_moesi",
+            PlatformPick::Pair(ProtocolKind::Mesi, ProtocolKind::Moesi),
+        ),
+    ];
+    for (name, pick) in picks {
+        let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+            .on(pick)
+            .with_spans(256);
+        let r = kernels_agree(spec, name);
+        assert!(r.is_clean_completion(), "{name}: {r}");
+    }
+}
+
+#[test]
+fn five_protocol_pairings_agree() {
+    use ProtocolKind::{Mei, Mesi, Moesi, Msi};
+    for (a, b) in [
+        (Mei, Mesi),
+        (Msi, Mesi),
+        (Msi, Moesi),
+        (Mesi, Moesi),
+        (Moesi, Moesi),
+    ] {
+        let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+            .on(PlatformPick::Pair(a, b))
+            .with_spans(256)
+            .with_invariants();
+        let r = kernels_agree(spec, &format!("{a}+{b}"));
+        assert!(r.is_clean_completion(), "{a}+{b}: {r}");
+    }
+}
+
+#[test]
+fn figure4_deadlock_stalls_at_the_same_cycle() {
+    // Cacheable lock variables on the PF2 platform reproduce the paper's
+    // Figure 4 hardware deadlock; the watchdog must trip at the identical
+    // cycle under both kernels, with identical hang reports.
+    let mut spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params()).with_spans(256);
+    spec.cacheable_locks = true;
+    spec.max_cycles = 400_000;
+    let r = kernels_agree(spec, "figure-4 deadlock");
+    assert_eq!(
+        r.outcome,
+        RunOutcome::Stalled,
+        "cacheable locks must reproduce the hardware deadlock: {r}"
+    );
+    let hang = r.hang.expect("stalled runs carry a hang report");
+    assert!(
+        !hang.open_spans.is_empty(),
+        "the wedged transactions are visible in the hang report"
+    );
+}
+
+#[test]
+fn seeded_table2_invariant_violation_agrees() {
+    // Transparent wrappers on a MEI+MESI pairing break coherence (the
+    // paper's Table 2 stale read); with live invariant checking the run
+    // dies fast — at the same cycle, with the same latched violation,
+    // under both kernels.
+    let build = |kernel: Kernel| {
+        let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+        let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+        let mut spec = PlatformSpec::new(
+            vec![
+                CpuSpec::generic("mesi", ProtocolKind::Mesi),
+                CpuSpec::generic("mei", ProtocolKind::Mei),
+            ],
+            map,
+            lock,
+        );
+        spec.wrapper_mode = WrapperMode::Transparent;
+        spec.check_invariants = true;
+        spec.span_capacity = 64;
+        let a = lay.shared_base;
+        let p0 = ProgramBuilder::new().read(a).delay(200).read(a).build();
+        let p1 = ProgramBuilder::new().delay(60).read(a).write(a, 77).build();
+        let mut sys = System::new(&spec, vec![p0, p1]);
+        sys.set_kernel(kernel);
+        sys
+    };
+    let step = build(Kernel::Step).run(10_000);
+    let fast = build(Kernel::FastForward).run(10_000);
+    assert_eq!(step, fast, "kernel divergence on the Table 2 run");
+    assert_eq!(step.outcome, RunOutcome::InvariantViolation, "{step}");
+    assert!(step.invariant.is_some());
+}
+
+#[test]
+fn cycle_limit_runs_agree() {
+    // A budget that expires mid-flight: the fast-forward kernel must not
+    // warp past the limit, and the truncated results must still match.
+    let mut spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params()).with_spans(64);
+    spec.max_cycles = 1_000;
+    let r = kernels_agree(spec, "cycle-limit truncation");
+    assert_eq!(r.outcome, RunOutcome::CycleLimit);
+    assert_eq!(r.cycles_u64(), 1_000);
+}

@@ -141,6 +141,10 @@ pub struct Bus {
     /// Reused arbitration request mask — rebuilding it per cycle would
     /// allocate on the hot path.
     req_mask: Vec<bool>,
+    /// Maintained count of queued (not yet granted) drains across all
+    /// ports — kept at transition points so [`Bus::queued_drains`] is
+    /// O(1) instead of a per-cycle port scan.
+    queued_drain_count: usize,
 }
 
 impl Bus {
@@ -158,6 +162,7 @@ impl Bus {
             stats: BusStats::default(),
             retry_backoff: 0,
             req_mask: vec![false; masters],
+            queued_drain_count: 0,
         }
     }
 
@@ -240,6 +245,7 @@ impl Bus {
     ) {
         let line = addr.line_base();
         self.ports[master.index()].drains.push_back((data, line));
+        self.queued_drain_count += 1;
         obs.on_event(
             now,
             SimEvent::BusRequest {
@@ -280,14 +286,66 @@ impl Bus {
         })
     }
 
-    /// Number of queued (not yet completed) drains across all masters.
+    /// Number of queued (not yet granted) drains across all masters.
     pub fn queued_drains(&self) -> usize {
-        self.ports.iter().map(|p| p.drains.len()).sum::<usize>()
-            + self
+        debug_assert_eq!(
+            self.queued_drain_count,
+            self.ports.iter().map(|p| p.drains.len()).sum::<usize>()
+                + self
+                    .ports
+                    .iter()
+                    .filter(|p| p.retrying.as_ref().is_some_and(|&(_, _, d)| d))
+                    .count(),
+            "maintained drain counter diverged from the port scan"
+        );
+        self.queued_drain_count
+    }
+
+    /// Bus cycles until the bus's next self-generated event, or `None`
+    /// when the bus is quiescent (idle with no backing-off requester) —
+    /// the earliest cycle on which a data phase can complete or a new
+    /// grant can happen. The request set cannot change between steps
+    /// (submissions only happen inside a step), so a fast-forward kernel
+    /// may skip strictly fewer cycles than this.
+    pub fn next_event(&self) -> Option<u64> {
+        match self.phase {
+            BusPhase::Data { remaining } => Some(remaining),
+            BusPhase::Address => Some(1), // resolves within its own cycle
+            BusPhase::Idle => self
                 .ports
                 .iter()
-                .filter(|p| p.retrying.as_ref().is_some_and(|&(_, _, d)| d))
-                .count()
+                .filter(|p| p.wants_bus())
+                // A requester with no BOFF left is grantable on the next
+                // cycle; otherwise it re-requests once its window elapses.
+                .map(|p| p.backoff.max(1))
+                .min(),
+        }
+    }
+
+    /// Bulk-advances the bus by `cycles` event-free cycles: streams the
+    /// data phase and runs down BOFF windows exactly as that many
+    /// [`Bus::begin_cycle`] + [`Bus::advance_data`] cycles would have,
+    /// without completing anything.
+    ///
+    /// The caller must guarantee `cycles` is strictly less than the last
+    /// [`Bus::next_event`] answer (debug-asserted).
+    pub fn warp(&mut self, cycles: u64) {
+        if let BusPhase::Data { remaining } = &mut self.phase {
+            debug_assert!(cycles < *remaining, "warp across a data-phase completion");
+            *remaining -= cycles;
+            self.stats.data_cycles += cycles;
+        } else {
+            debug_assert!(
+                !self
+                    .ports
+                    .iter()
+                    .any(|p| p.wants_bus() && p.backoff.max(1) <= cycles),
+                "warp across a grant opportunity"
+            );
+        }
+        for p in &mut self.ports {
+            p.backoff = p.backoff.saturating_sub(cycles);
+        }
     }
 
     /// Runs arbitration if the bus is idle. On a grant, the returned
@@ -306,6 +364,9 @@ impl Bus {
         let master = self.arbiter.grant(&self.req_mask)?;
         let port = &mut self.ports[master.index()];
         let txn = if let Some((op, addr, was_drain)) = port.retrying.take() {
+            if was_drain {
+                self.queued_drain_count -= 1;
+            }
             GrantedTxn {
                 master,
                 op,
@@ -314,6 +375,7 @@ impl Bus {
                 is_retry: true,
             }
         } else if let Some((data, addr)) = port.drains.pop_front() {
+            self.queued_drain_count -= 1;
             GrantedTxn {
                 master,
                 op: BusOp::WriteLine(data),
@@ -399,6 +461,7 @@ impl Bus {
                     // the *front* of the queue.
                     let _ = data;
                     port.retrying = Some((t.op, t.addr, true));
+                    self.queued_drain_count += 1;
                 } else {
                     port.retrying = Some((t.op, t.addr, false));
                 }
@@ -760,6 +823,105 @@ mod tests {
         assert_eq!(bus.stats().drains, 1);
         assert_eq!(bus.queued_drains(), 0);
         assert!(!bus.drain_pending_to(Addr::new(0x40)));
+    }
+
+    #[test]
+    fn next_event_during_data_phase_and_idle() {
+        let mut bus = Bus::new(2);
+        assert_eq!(bus.next_event(), None, "quiescent bus has no events");
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        assert_eq!(bus.next_event(), Some(1), "requester grantable next cycle");
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(proceed(13), Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.next_event(), Some(13));
+        bus.advance_data(Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.next_event(), Some(12));
+    }
+
+    #[test]
+    fn next_event_respects_backoff_windows() {
+        let mut bus = Bus::new(2);
+        bus.set_retry_backoff(8);
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        // The killed master sits out its BOFF window before re-requesting.
+        assert_eq!(bus.next_event(), Some(8));
+        bus.begin_cycle();
+        assert_eq!(bus.next_event(), Some(7));
+        // A second, unbackedoff requester pulls the event in.
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadWord,
+            Addr::new(0x4),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        assert_eq!(bus.next_event(), Some(1));
+    }
+
+    #[test]
+    fn warp_matches_repeated_cycles() {
+        // Two identical buses mid-burst: warping one by k must equal k
+        // begin_cycle + advance_data cycles on the other (no completion).
+        let mk = || {
+            let mut bus = Bus::new(2);
+            bus.set_retry_backoff(20);
+            bus.submit(
+                MasterId(1),
+                BusOp::ReadWord,
+                Addr::new(0x4),
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+            bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+            bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+            bus.submit(
+                MasterId(0),
+                BusOp::ReadLine,
+                Addr::new(0x40),
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+            bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+            bus.resolve(proceed(13), Cycle::ZERO, &mut NullObserver);
+            bus
+        };
+        let mut warped = mk();
+        let mut stepped = mk();
+        warped.warp(9);
+        for _ in 0..9 {
+            stepped.begin_cycle();
+            assert!(stepped
+                .advance_data(Cycle::ZERO, &mut NullObserver)
+                .is_none());
+        }
+        assert_eq!(warped.phase(), stepped.phase());
+        assert_eq!(warped.stats(), stepped.stats());
+        assert_eq!(warped.next_event(), stepped.next_event());
+        // Both complete on the same further cycle, and the retrying
+        // master's BOFF window ran down identically.
+        for bus in [&mut warped, &mut stepped] {
+            bus.begin_cycle();
+            for _ in 0..3 {
+                assert!(bus.advance_data(Cycle::ZERO, &mut NullObserver).is_none());
+                bus.begin_cycle();
+            }
+            assert!(bus.advance_data(Cycle::ZERO, &mut NullObserver).is_some());
+        }
+        assert_eq!(warped.next_event(), stepped.next_event());
     }
 
     #[test]

@@ -255,6 +255,77 @@ impl Cpu {
         self.nfiq_line = line;
     }
 
+    /// Core cycles until this CPU's next externally visible event, or
+    /// `None` if no event can occur without outside input (a memory
+    /// completion or a change of the nFIQ line).
+    ///
+    /// `nfiq_pending` is whether the interrupt line *will be asserted* on
+    /// the next tick — the platform samples its TAG CAM each bus cycle, so
+    /// the stored `nfiq_line` may be stale between steps.
+    ///
+    /// The accounting matches [`Cpu::tick`] exactly: a countdown of `r`
+    /// produces its transition on the `r`-th tick from now, and an
+    /// interruptible CPU with a pending nFIQ vectors on the very next
+    /// tick. A fast-forward kernel may therefore skip strictly fewer than
+    /// the returned number of core cycles via [`Cpu::warp`].
+    pub fn core_cycles_to_event(&self, nfiq_pending: bool) -> Option<u64> {
+        if let Some(isr) = &self.isr {
+            return match &isr.phase {
+                IsrPhase::Entry { remaining } | IsrPhase::Exit { remaining } => {
+                    Some(u64::from(*remaining))
+                }
+                // Blocked on the drain; the bus side owns the next event.
+                IsrPhase::AwaitFlush => None,
+            };
+        }
+        if nfiq_pending
+            && matches!(
+                self.exec,
+                Exec::Ready | Exec::Computing { .. } | Exec::Halted
+            )
+        {
+            return Some(1); // interrupt entry happens on the next tick
+        }
+        match &self.exec {
+            Exec::Ready => Some(1), // may fetch and issue immediately
+            Exec::Computing { remaining } => Some(u64::from(*remaining)),
+            Exec::AwaitMem | Exec::Halted => None,
+        }
+    }
+
+    /// Bulk-advances this CPU by `core_cycles` cycles during which nothing
+    /// observable happens: countdowns tick down without expiring and the
+    /// cycle counters advance, exactly as that many [`Cpu::tick`] calls
+    /// would have done.
+    ///
+    /// The caller must guarantee `core_cycles` is strictly less than the
+    /// last [`Cpu::core_cycles_to_event`] answer (debug-asserted): warping
+    /// across an event would deliver it at the wrong cycle.
+    pub fn warp(&mut self, core_cycles: u64) {
+        self.core_cycles += core_cycles;
+        if let Some(isr) = &mut self.isr {
+            self.counters.isr_cycles += core_cycles;
+            match &mut isr.phase {
+                IsrPhase::Entry { remaining } | IsrPhase::Exit { remaining } => {
+                    debug_assert!(
+                        core_cycles < u64::from(*remaining),
+                        "warp across an ISR phase expiry"
+                    );
+                    *remaining -= core_cycles as u32;
+                }
+                IsrPhase::AwaitFlush => {}
+            }
+            return;
+        }
+        if let Exec::Computing { remaining } = &mut self.exec {
+            debug_assert!(
+                core_cycles < u64::from(*remaining),
+                "warp across a compute-delay expiry"
+            );
+            *remaining -= core_cycles as u32;
+        }
+    }
+
     /// Runs one core cycle.
     ///
     /// `at` is the current bus-clock time, used only to timestamp the
@@ -748,5 +819,115 @@ mod tests {
         assert_eq!(cpu.config().lock_party, 0);
         assert_eq!(cpu.state(), CpuState::Ready);
         assert_eq!(cpu.core_cycles(), 0);
+    }
+
+    #[test]
+    fn next_event_reflects_exec_state() {
+        let mut cpu = Cpu::new(0, config(), ProgramBuilder::new().delay(5).build());
+        assert_eq!(cpu.core_cycles_to_event(false), Some(1), "Ready may issue");
+        cpu.tick(Cycle::ZERO, &mut NullObserver); // fetch → Computing{5}
+        assert_eq!(cpu.core_cycles_to_event(false), Some(5));
+        assert_eq!(
+            cpu.core_cycles_to_event(true),
+            Some(1),
+            "a pending nFIQ pre-empts the compute countdown"
+        );
+        // Blocked CPUs have no self-generated events.
+        let mut blocked = Cpu::new(1, config(), prog_read_write());
+        blocked.tick(Cycle::ZERO, &mut NullObserver); // issues the read
+        assert_eq!(blocked.state(), CpuState::AwaitMem);
+        assert_eq!(blocked.core_cycles_to_event(false), None);
+        assert_eq!(
+            blocked.core_cycles_to_event(true),
+            None,
+            "interrupt entry never happens while blocked on memory"
+        );
+    }
+
+    #[test]
+    fn next_event_tracks_isr_phases() {
+        let mut cpu = Cpu::new(0, config(), Program::empty());
+        cpu.tick(Cycle::ZERO, &mut NullObserver); // Halted
+        assert_eq!(cpu.core_cycles_to_event(false), None);
+        assert_eq!(cpu.core_cycles_to_event(true), Some(1));
+        cpu.set_nfiq_line(Some(Addr::new(0x500)));
+        cpu.tick(Cycle::ZERO, &mut NullObserver); // vector into the ISR
+        assert!(cpu.in_isr());
+        // response(4) + entry(12) countdown.
+        assert_eq!(cpu.core_cycles_to_event(false), Some(16));
+        let mut issued = false;
+        for _ in 0..16 {
+            if let CpuAction::Issue(_) = cpu.tick(Cycle::ZERO, &mut NullObserver) {
+                issued = true;
+            }
+        }
+        assert!(issued, "entry countdown expired");
+        assert_eq!(
+            cpu.core_cycles_to_event(true),
+            None,
+            "AwaitFlush waits on the bus even with nFIQ still asserted"
+        );
+        cpu.set_nfiq_line(None);
+        cpu.complete_maintenance();
+        assert_eq!(cpu.core_cycles_to_event(false), Some(8), "exit countdown");
+    }
+
+    #[test]
+    fn warp_matches_repeated_idle_ticks() {
+        // Two identical CPUs mid-delay: warping one by k must leave it in
+        // the same state as ticking the other k times.
+        let p = || {
+            ProgramBuilder::new()
+                .delay(10)
+                .read(Addr::new(0x100))
+                .build()
+        };
+        let mut warped = Cpu::new(0, config(), p());
+        let mut stepped = Cpu::new(0, config(), p());
+        for cpu in [&mut warped, &mut stepped] {
+            cpu.tick(Cycle::ZERO, &mut NullObserver); // fetch → Computing{10}
+        }
+        warped.warp(7);
+        for _ in 0..7 {
+            assert_eq!(
+                stepped.tick(Cycle::ZERO, &mut NullObserver),
+                CpuAction::Idle
+            );
+        }
+        assert_eq!(warped.core_cycles(), stepped.core_cycles());
+        assert_eq!(warped.core_cycles_to_event(false), Some(3));
+        assert_eq!(stepped.core_cycles_to_event(false), Some(3));
+        // Both finish the delay and issue the read on the same tick.
+        for _ in 0..3 {
+            assert_eq!(warped.tick(Cycle::ZERO, &mut NullObserver), CpuAction::Idle);
+            assert_eq!(
+                stepped.tick(Cycle::ZERO, &mut NullObserver),
+                CpuAction::Idle
+            );
+        }
+        let CpuAction::Issue(a) = warped.tick(Cycle::ZERO, &mut NullObserver) else {
+            panic!("warped CPU issues");
+        };
+        let CpuAction::Issue(b) = stepped.tick(Cycle::ZERO, &mut NullObserver) else {
+            panic!("stepped CPU issues");
+        };
+        assert_eq!(a, b);
+        assert_eq!(warped.committed(), stepped.committed());
+    }
+
+    #[test]
+    fn warp_advances_isr_countdown_and_counters() {
+        let mut cpu = Cpu::new(0, config(), Program::empty());
+        cpu.tick(Cycle::ZERO, &mut NullObserver); // Halted
+        cpu.set_nfiq_line(Some(Addr::new(0x500)));
+        cpu.tick(Cycle::ZERO, &mut NullObserver); // ISR entry
+        let isr_before = cpu.counters().isr_cycles;
+        cpu.warp(15); // entry countdown is 16
+        assert_eq!(cpu.counters().isr_cycles, isr_before + 15);
+        assert_eq!(cpu.core_cycles_to_event(false), Some(1));
+        let CpuAction::Issue(r) = cpu.tick(Cycle::ZERO, &mut NullObserver) else {
+            panic!("drain issues on the expiry tick");
+        };
+        assert!(r.from_isr);
     }
 }

@@ -44,3 +44,5 @@ pub use invariant::{classify, InvariantKind, InvariantObserver, InvariantViolati
 pub use report::{CpuReport, Report};
 pub use result::{HangReport, RunOutcome, RunResult};
 pub use system::System;
+
+pub use hmp_sim::Kernel;

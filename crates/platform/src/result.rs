@@ -74,7 +74,12 @@ impl fmt::Display for HangReport {
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — outcome, cycles, bus stats, CPU
+/// counters, platform counters, violations, metrics snapshot, hang and
+/// invariant reports — which is exactly what the kernel-equivalence suite
+/// pins: two kernels agree only if their whole results agree.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// How the run ended.
     pub outcome: RunOutcome,

@@ -11,8 +11,8 @@ use hmp_core::{
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
 use hmp_sim::{
-    ClockDomain, CounterBank, Cycle, MetricsObserver, NullObserver, Observer, SimEvent, Stats,
-    TraceObserver, Watchdog, WatchdogVerdict,
+    ClockDomain, CounterBank, Cycle, Kernel, MetricsObserver, NullObserver, Observer, SimEvent,
+    Stats, TraceObserver, Watchdog, WatchdogVerdict,
 };
 
 /// The platform's internal event sink: fans every [`SimEvent`] out to the
@@ -44,6 +44,11 @@ pub(crate) struct Node {
     pub(crate) wrapper: Option<Wrapper>,
     pub(crate) cam: Option<SnoopLogic>,
     pub(crate) pending: Option<Pending>,
+    /// Core cycles per bus cycle, hoisted out of the per-cycle CPU loop
+    /// (the clock ratio is fixed at construction).
+    mult: u32,
+    /// Last observed `cpu.is_halted()`, for the incremental halt counter.
+    was_halted: bool,
 }
 
 /// The running platform: CPUs, wrappers, snoop logic, bus, memory,
@@ -79,6 +84,11 @@ pub struct System<O: Observer = NullObserver> {
     class: PlatformClass,
     system_protocol: Option<ProtocolKind>,
     pub(crate) snoop_logic_enabled: bool,
+    kernel: Kernel,
+    /// Number of nodes whose CPU is currently halted, maintained at the
+    /// transition points in [`System::step_cpus`] so [`System::finished`]
+    /// needs no per-cycle node scan.
+    halted_cpus: usize,
 }
 
 impl System {
@@ -170,6 +180,8 @@ impl<O: Observer> System<O> {
                 wrapper,
                 cam: cam.map(|c| c.with_owner(i)),
                 pending: None,
+                mult: cs.clock_mult,
+                was_halted: false,
             });
         }
 
@@ -216,6 +228,8 @@ impl<O: Observer> System<O> {
             class,
             system_protocol,
             snoop_logic_enabled: true,
+            kernel: Kernel::default(),
+            halted_cpus: 0,
         }
     }
 
@@ -224,6 +238,19 @@ impl<O: Observer> System<O> {
     /// that hardware).
     pub fn set_snoop_logic_enabled(&mut self, enabled: bool) {
         self.snoop_logic_enabled = enabled;
+    }
+
+    /// Selects how [`System::run`] and [`System::advance`] move time
+    /// forward. The default [`Kernel::FastForward`] skips provably-dead
+    /// cycles; [`Kernel::Step`] executes every cycle (the reference the
+    /// fast-forward kernel is validated against).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// The configured simulation kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// Attaches an extra bus device; its index must match the
@@ -328,8 +355,12 @@ impl<O: Observer> System<O> {
     }
 
     /// `true` once every program halted and all bus work drained.
+    ///
+    /// The halt and drain conditions read maintained counters (kept at
+    /// their transition points), so the common "not finished" answer is
+    /// O(1); only a platform that looks finished pays the CAM scan.
     pub fn finished(&self) -> bool {
-        self.nodes.iter().all(|n| n.cpu.is_halted())
+        self.halted_cpus == self.nodes.len()
             && self.bus.phase() == BusPhase::Idle
             && self.bus.queued_drains() == 0
             && self
@@ -345,8 +376,131 @@ impl<O: Observer> System<O> {
         self.step_cpus();
     }
 
+    /// The fast-forward kernel's next move: how many provably-dead bus
+    /// cycles to warp, and what kind of step the following (event) cycle
+    /// needs.
+    ///
+    /// The horizon is the earliest cycle on which *anything* can happen:
+    /// a grant opportunity or data-phase completion on the bus, a CPU
+    /// countdown expiry or instruction boundary, a pending-nFIQ delivery,
+    /// the watchdog deadline or the cycle budget. Everything strictly
+    /// before it is warped. The event cycle itself needs the full
+    /// [`System::step`] only when the *bus* can act; a cycle whose only
+    /// events are CPU-local runs through the cheaper
+    /// [`System::step_cpu_only`], which ticks just the due CPUs (recorded
+    /// in the `active` bitmask) and bulk-advances the rest.
+    fn plan(&self, max_cycles: u64) -> (u64, u64, bool) {
+        let now = self.now.as_u64();
+        // Budget and watchdog horizons: the stepped cycle after the skip
+        // must land on (or before) both.
+        let mut horizon = max_cycles.saturating_sub(now);
+        if let Some(deadline) = self.watchdog.deadline() {
+            horizon = horizon.min(deadline.as_u64().saturating_sub(now));
+        }
+        let bus_delta = self.bus.next_event();
+        if let Some(delta) = bus_delta {
+            horizon = horizon.min(delta);
+        }
+        let mut active = 0u64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let nfiq_pending = self.snoop_logic_enabled
+                && node
+                    .cam
+                    .as_ref()
+                    .is_some_and(|c| c.next_pending().is_some());
+            if let Some(core) = node.cpu.core_cycles_to_event(nfiq_pending) {
+                // Core→bus cycle conversion; the multiplier is 1 or 2 on
+                // every modelled platform, so avoid a hardware divide.
+                let delta = match node.mult {
+                    1 => core,
+                    2 => (core + 1) >> 1,
+                    m => core.div_ceil(u64::from(m)),
+                };
+                if delta < horizon {
+                    horizon = delta;
+                    active = 1 << i;
+                } else if delta == horizon {
+                    active |= 1 << i;
+                }
+            }
+        }
+        // The bitmask caps out at 64 CPUs; larger systems (none modelled)
+        // conservatively full-step every event cycle.
+        let full = bus_delta.is_some_and(|d| d == horizon) || self.nodes.len() > 64;
+        (horizon.saturating_sub(1), active, full)
+    }
+
+    /// Bulk-advances the clock and every component's countdowns by
+    /// `cycles` event-free bus cycles. Caller must have established via
+    /// [`System::plan`] that no event falls in the window.
+    fn warp(&mut self, cycles: u64) {
+        self.now += Cycle::new(cycles);
+        self.bus.warp(cycles);
+        for node in &mut self.nodes {
+            node.cpu.warp(cycles * u64::from(node.mult));
+        }
+    }
+
+    /// Executes one bus cycle on which only CPU-local events occur (no
+    /// grant opportunity, no data-phase completion): ticks the CPUs whose
+    /// event is due (`active` bit set) exactly as [`System::step`] would,
+    /// and bulk-advances the rest. The bus cannot act this cycle, so its
+    /// per-cycle work reduces to the same countdown arithmetic as a
+    /// one-cycle warp.
+    fn step_cpu_only(&mut self, active: u64) {
+        self.now.tick();
+        self.bus.warp(1);
+        for i in 0..self.nodes.len() {
+            if active & (1 << i) != 0 {
+                self.tick_node(i);
+            } else {
+                let node = &mut self.nodes[i];
+                node.cpu.warp(u64::from(node.mult));
+            }
+        }
+    }
+
+    /// One fast-forward iteration against `limit`: warp the dead window,
+    /// then execute the event cycle with the cheapest step that preserves
+    /// per-cycle semantics.
+    fn ff_iteration(&mut self, limit: u64) {
+        let (skip, active, full) = self.plan(limit);
+        if skip > 0 {
+            self.warp(skip);
+        }
+        if full {
+            self.step();
+        } else {
+            self.step_cpu_only(active);
+        }
+    }
+
+    /// Advances up to `cycles` bus cycles with the configured kernel,
+    /// stopping early once the platform is [`System::finished`]. Unlike
+    /// [`System::run`] it neither polls the watchdog nor builds a
+    /// [`RunResult`], so steady-state advancement stays allocation-free.
+    pub fn advance(&mut self, cycles: u64) {
+        let target = self.now.as_u64().saturating_add(cycles);
+        while !self.finished() && self.now.as_u64() < target {
+            match self.kernel {
+                Kernel::FastForward => self.ff_iteration(target),
+                Kernel::Step => self.step(),
+            }
+        }
+    }
+
     /// Runs until completion, watchdog stall, invariant break, or
     /// `max_cycles`.
+    ///
+    /// With the default [`Kernel::FastForward`] the loop computes the
+    /// earliest next event across all components, warps to one cycle
+    /// before it, and executes the event cycle — through the ordinary
+    /// [`System::step`] when the bus can act, through the reduced
+    /// [`System::step_cpu_only`] when the cycle's only events are
+    /// CPU-local — with identical results to [`Kernel::Step`], cycle for
+    /// cycle and counter for counter. Forward progress and the
+    /// invariant/watchdog checks happen only on stepped cycles; warped
+    /// cycles are provably event-free, so those polls would be no-ops.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
         let outcome = loop {
             if self.finished() {
@@ -355,7 +509,10 @@ impl<O: Observer> System<O> {
             if self.now.as_u64() >= max_cycles {
                 break RunOutcome::CycleLimit;
             }
-            self.step();
+            match self.kernel {
+                Kernel::FastForward => self.ff_iteration(max_cycles),
+                Kernel::Step => self.step(),
+            }
             if self.invariant_violation().is_some() {
                 break RunOutcome::InvariantViolation;
             }
@@ -429,18 +586,38 @@ impl<O: Observer> System<O> {
 
     fn step_cpus(&mut self) {
         for i in 0..self.nodes.len() {
-            let nfiq = if self.snoop_logic_enabled {
-                self.nodes[i].cam.as_ref().and_then(|c| c.next_pending())
+            self.tick_node(i);
+        }
+    }
+
+    /// Ticks one CPU its `clock_mult` core cycles for the current bus
+    /// cycle — the per-node body of [`System::step_cpus`], shared with
+    /// [`System::step_cpu_only`].
+    fn tick_node(&mut self, i: usize) {
+        let nfiq = if self.snoop_logic_enabled {
+            self.nodes[i].cam.as_ref().and_then(|c| c.next_pending())
+        } else {
+            None
+        };
+        self.nodes[i].cpu.set_nfiq_line(nfiq);
+        let mult = self.nodes[i].mult;
+        for _ in 0..mult {
+            match self.nodes[i].cpu.tick(self.now, &mut self.obs) {
+                CpuAction::Idle | CpuAction::Halted => {}
+                CpuAction::Issue(req) => self.handle_request(i, req),
+            }
+        }
+        // Halt transitions happen only inside `Cpu::tick` (program end,
+        // ISR entry on a halted core, ISR exit restoring a halted
+        // core), so this is the one place the counter needs updating.
+        let node = &mut self.nodes[i];
+        let halted = node.cpu.is_halted();
+        if halted != node.was_halted {
+            node.was_halted = halted;
+            if halted {
+                self.halted_cpus += 1;
             } else {
-                None
-            };
-            self.nodes[i].cpu.set_nfiq_line(nfiq);
-            let mult = self.nodes[i].cpu.config().clock.core_cycles_per_bus_cycle();
-            for _ in 0..mult {
-                match self.nodes[i].cpu.tick(self.now, &mut self.obs) {
-                    CpuAction::Idle | CpuAction::Halted => {}
-                    CpuAction::Issue(req) => self.handle_request(i, req),
-                }
+                self.halted_cpus -= 1;
             }
         }
     }

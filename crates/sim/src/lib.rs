@@ -50,6 +50,7 @@ mod counters;
 mod event;
 pub mod export;
 mod hist;
+mod kernel;
 mod metrics;
 mod rng;
 mod span;
@@ -63,6 +64,7 @@ pub use event::{
     TracedEvent,
 };
 pub use hist::{Hist, BUCKETS as HIST_BUCKETS};
+pub use kernel::Kernel;
 pub use metrics::{MetricsObserver, MetricsSnapshot};
 pub use rng::SplitMix64;
 pub use span::{Span, SpanTracker};

@@ -94,6 +94,15 @@ impl Watchdog {
     pub fn stalled_for(&self, now: Cycle) -> Cycle {
         now.saturating_since(self.last_progress_at)
     }
+
+    /// The earliest cycle at which a poll could report
+    /// [`WatchdogVerdict::Stalled`], or `None` before the first poll has
+    /// established its baseline. A fast-forward kernel must not skip past
+    /// this cycle: the stall must be detected at exactly the same cycle
+    /// the per-cycle polling loop would have detected it.
+    pub fn deadline(&self) -> Option<Cycle> {
+        self.started.then(|| self.last_progress_at + self.window)
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +157,18 @@ mod tests {
     #[test]
     fn window_accessor() {
         assert_eq!(Watchdog::new(Cycle::new(7)).window(), Cycle::new(7));
+    }
+
+    #[test]
+    fn deadline_tracks_last_progress() {
+        let mut dog = Watchdog::new(Cycle::new(10));
+        assert_eq!(dog.deadline(), None, "no baseline before the first poll");
+        dog.poll(Cycle::new(3), 0);
+        assert_eq!(dog.deadline(), Some(Cycle::new(13)));
+        dog.poll(Cycle::new(8), 1); // progress resets the stall timer
+        assert_eq!(dog.deadline(), Some(Cycle::new(18)));
+        // The deadline is exactly the first cycle a poll trips.
+        assert_eq!(dog.poll(Cycle::new(17), 1), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(18), 1), WatchdogVerdict::Stalled);
     }
 }

@@ -3,7 +3,7 @@
 use crate::{build_programs, scenario_lock_kind, MicrobenchParams, Scenario};
 use hmp_cache::ProtocolKind;
 use hmp_mem::LatencyModel;
-use hmp_platform::{presets, RunResult, Strategy, System};
+use hmp_platform::{presets, Kernel, RunResult, Strategy, System};
 
 /// Which hardware platform to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,10 @@ pub struct RunSpec {
     pub span_capacity: usize,
     /// Enforce line invariants live, failing the run fast on a break.
     pub check_invariants: bool,
+    /// How the run loop advances time. [`Kernel::FastForward`] (the
+    /// default) skips provably-dead cycles; [`Kernel::Step`] executes
+    /// every cycle. Results are byte-identical either way.
+    pub kernel: Kernel,
 }
 
 impl RunSpec {
@@ -57,6 +61,7 @@ impl RunSpec {
             max_cycles: 50_000_000,
             span_capacity: 0,
             check_invariants: false,
+            kernel: Kernel::FastForward,
         }
     }
 
@@ -87,6 +92,13 @@ impl RunSpec {
         self.check_invariants = true;
         self
     }
+
+    /// Same spec under a different simulation kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// Builds the platform and programs for `spec` without running — useful
@@ -103,7 +115,9 @@ pub fn prepare(spec: &RunSpec) -> System {
     pspec.span_capacity = spec.span_capacity;
     pspec.check_invariants = spec.check_invariants;
     let programs = build_programs(spec.scenario, spec.strategy, &spec.params, &lay);
-    presets::instantiate(&pspec, spec.strategy, programs)
+    let mut sys = presets::instantiate(&pspec, spec.strategy, programs);
+    sys.set_kernel(spec.kernel);
+    sys
 }
 
 /// Runs one microbenchmark to completion and returns its result.
