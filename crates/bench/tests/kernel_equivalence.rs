@@ -148,6 +148,57 @@ fn seeded_table2_invariant_violation_agrees() {
 }
 
 #[test]
+fn faulted_runs_agree_for_every_fault_class() {
+    // Faults are kernel events, not wall-cycle side effects: a fault plan
+    // caps the fast-forward horizon at every fire cycle, so an injected
+    // run must stay byte-identical between kernels for every class —
+    // including the ones that end degraded, stalled or incoherent.
+    use hmp_sim::FaultKind;
+    for kind in FaultKind::ALL {
+        let spec = hmp_bench::chaos::chaos_spec(kind, PlatformPick::PpcArm, Strategy::Proposed);
+        let r = kernels_agree(spec, kind.key());
+        assert!(r.faults_injected >= 1, "{}: no fault fired", kind.key());
+    }
+}
+
+#[test]
+fn degraded_recovery_run_agrees_with_metrics_armed() {
+    // A wedged master under the recovery policy: quarantine, watchdog
+    // rebaseline and the Degraded outcome must land on identical cycles,
+    // and the span/histogram snapshots must compare equal too.
+    use hmp_sim::FaultKind;
+    let spec = hmp_bench::chaos::chaos_spec(
+        FaultKind::WedgedMaster,
+        PlatformPick::PpcArm,
+        Strategy::Proposed,
+    )
+    .with_spans(256);
+    let r = kernels_agree(spec, "wedged master recovery");
+    assert!(
+        matches!(r.outcome, RunOutcome::Degraded { quarantined, .. } if quarantined >= 1),
+        "{r}"
+    );
+    assert!(!r.is_clean_completion());
+    assert!(r.metrics.is_some(), "metrics snapshot compared");
+}
+
+#[test]
+fn fault_free_chaos_spec_matches_plain_spec() {
+    // Arming a recovery policy whose escalation stages never engage must
+    // not perturb a healthy run: zero behavioral tax until a fault
+    // actually pushes a master over a threshold.
+    let plain = RunSpec::new(Scenario::Worst, Strategy::Proposed, params());
+    let armed = plain.with_recovery(hmp_bus::RecoveryPolicy {
+        retry_budget: 1_000_000,
+        escalation_backoff: 64,
+        quarantine_after: 1_000_000,
+    });
+    let a = kernels_agree(plain, "plain WCS");
+    let b = kernels_agree(armed, "recovery-armed WCS");
+    assert_eq!(a, b, "an unescalated recovery policy must be free");
+}
+
+#[test]
 fn cycle_limit_runs_agree() {
     // A budget that expires mid-flight: the fast-forward kernel must not
     // warp past the limit, and the truncated results must still match.

@@ -72,6 +72,37 @@ pub struct CompletedTxn {
     pub supplied: Option<[u32; LINE_WORDS as usize]>,
 }
 
+/// Arbiter-level retry escalation: timeout → back-off → quarantine.
+///
+/// The paper's §3 failure mode is a master wedged in permanent retry.
+/// A recovery policy bounds how long the arbiter tolerates that: after
+/// `retry_budget` *consecutive* ARTRY kills of one master's CPU
+/// transaction the arbiter escalates its BOFF window to
+/// `escalation_backoff`, and after `quarantine_after` consecutive kills
+/// it quarantines the master outright — its CPU transactions are
+/// excluded from arbitration while its drains (dirty-data push-outs)
+/// keep flowing, so quarantine never loses data. The default policy is
+/// fully disabled; a fault-free run with a disabled policy is
+/// byte-identical to a build without this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryPolicy {
+    /// Consecutive ARTRYs of one master before its BOFF escalates
+    /// (0 disables escalation).
+    pub retry_budget: u32,
+    /// BOFF window applied once the budget is exceeded.
+    pub escalation_backoff: u64,
+    /// Consecutive ARTRYs before the master is quarantined
+    /// (0 disables quarantine).
+    pub quarantine_after: u32,
+}
+
+impl RecoveryPolicy {
+    /// `true` when any escalation stage is armed.
+    pub fn enabled(&self) -> bool {
+        self.retry_budget > 0 || self.quarantine_after > 0
+    }
+}
+
 /// Aggregate bus activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -145,6 +176,16 @@ pub struct Bus {
     /// ports — kept at transition points so [`Bus::queued_drains`] is
     /// O(1) instead of a per-cycle port scan.
     queued_drain_count: usize,
+    /// Injected grant blackout: while positive, arbitration is
+    /// suppressed (a dropped/delayed BG line). Runs down one per cycle.
+    grant_block: u64,
+    /// Retry-escalation policy (disabled by default).
+    recovery: RecoveryPolicy,
+    /// Consecutive ARTRY kills per master, reset when a CPU transaction
+    /// of that master proceeds.
+    consecutive_retries: Vec<u32>,
+    /// Masters whose CPU transactions are excluded from arbitration.
+    quarantined: Vec<bool>,
 }
 
 impl Bus {
@@ -163,6 +204,10 @@ impl Bus {
             retry_backoff: 0,
             req_mask: vec![false; masters],
             queued_drain_count: 0,
+            grant_block: 0,
+            recovery: RecoveryPolicy::default(),
+            consecutive_retries: vec![0; masters],
+            quarantined: vec![false; masters],
         }
     }
 
@@ -178,11 +223,68 @@ impl Bus {
         self.retry_backoff = cycles;
     }
 
-    /// Advances per-cycle bus state (BOFF countdowns). Call once at the
-    /// top of every bus cycle.
+    /// Advances per-cycle bus state (BOFF countdowns, injected grant
+    /// blackouts). Call once at the top of every bus cycle.
     pub fn begin_cycle(&mut self) {
         for p in &mut self.ports {
             p.backoff = p.backoff.saturating_sub(1);
+        }
+        self.grant_block = self.grant_block.saturating_sub(1);
+    }
+
+    /// Sets the retry-escalation policy.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// The active retry-escalation policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// Suppresses arbitration for the next `cycles` bus cycles (an
+    /// injected dropped/delayed grant line). Extends, never shortens, an
+    /// active blackout.
+    pub fn block_grants(&mut self, cycles: u64) {
+        self.grant_block = self.grant_block.max(cycles);
+    }
+
+    /// Remaining injected grant-blackout cycles.
+    pub fn grant_block_remaining(&self) -> u64 {
+        self.grant_block
+    }
+
+    /// Quarantines `master`: its CPU transactions are excluded from
+    /// arbitration from now on; its drains still flow. Returns `true`
+    /// if the master was not already quarantined.
+    pub fn quarantine(&mut self, master: MasterId) -> bool {
+        !std::mem::replace(&mut self.quarantined[master.index()], true)
+    }
+
+    /// `true` if `master` is quarantined.
+    pub fn is_quarantined(&self, master: MasterId) -> bool {
+        self.quarantined[master.index()]
+    }
+
+    /// Number of quarantined masters.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Consecutive ARTRY kills of `master`'s CPU transaction since it
+    /// last proceeded.
+    pub fn consecutive_retries(&self, master: MasterId) -> u32 {
+        self.consecutive_retries[master.index()]
+    }
+
+    /// What `master` can currently offer arbitration: everything when
+    /// healthy, drains only when quarantined.
+    fn wants_bus_effective(&self, i: usize) -> bool {
+        let p = &self.ports[i];
+        if self.quarantined[i] {
+            p.retrying.as_ref().is_some_and(|&(_, _, d)| d) || !p.drains.is_empty()
+        } else {
+            p.wants_bus()
         }
     }
 
@@ -311,13 +413,14 @@ impl Bus {
         match self.phase {
             BusPhase::Data { remaining } => Some(remaining),
             BusPhase::Address => Some(1), // resolves within its own cycle
-            BusPhase::Idle => self
-                .ports
-                .iter()
-                .filter(|p| p.wants_bus())
+            // During an injected grant blackout this is conservative (the
+            // true next grant is later), which only costs the fast-forward
+            // kernel extra event steps — never a missed event.
+            BusPhase::Idle => (0..self.ports.len())
+                .filter(|&i| self.wants_bus_effective(i))
                 // A requester with no BOFF left is grantable on the next
                 // cycle; otherwise it re-requests once its window elapses.
-                .map(|p| p.backoff.max(1))
+                .map(|i| self.ports[i].backoff.max(1))
                 .min(),
         }
     }
@@ -336,16 +439,15 @@ impl Bus {
             self.stats.data_cycles += cycles;
         } else {
             debug_assert!(
-                !self
-                    .ports
-                    .iter()
-                    .any(|p| p.wants_bus() && p.backoff.max(1) <= cycles),
+                !(0..self.ports.len())
+                    .any(|i| self.wants_bus_effective(i) && self.ports[i].backoff.max(1) <= cycles),
                 "warp across a grant opportunity"
             );
         }
         for p in &mut self.ports {
             p.backoff = p.backoff.saturating_sub(cycles);
         }
+        self.grant_block = self.grant_block.saturating_sub(cycles);
     }
 
     /// Runs arbitration if the bus is idle. On a grant, the returned
@@ -358,12 +460,23 @@ impl Bus {
         if self.phase != BusPhase::Idle {
             return None;
         }
-        for (slot, p) in self.req_mask.iter_mut().zip(&self.ports) {
-            *slot = p.backoff == 0 && p.wants_bus();
+        if self.grant_block > 0 {
+            return None;
+        }
+        for i in 0..self.ports.len() {
+            self.req_mask[i] = self.ports[i].backoff == 0 && self.wants_bus_effective(i);
         }
         let master = self.arbiter.grant(&self.req_mask)?;
+        let quarantined = self.quarantined[master.index()];
         let port = &mut self.ports[master.index()];
-        let txn = if let Some((op, addr, was_drain)) = port.retrying.take() {
+        // A quarantined master's non-drain retry stays parked; only its
+        // drains are eligible.
+        let take_retrying = port
+            .retrying
+            .as_ref()
+            .is_some_and(|&(_, _, d)| d || !quarantined);
+        let txn = if take_retrying {
+            let (op, addr, was_drain) = port.retrying.take().expect("checked above");
             if was_drain {
                 self.queued_drain_count -= 1;
             }
@@ -450,7 +563,16 @@ impl Bus {
             AddressOutcome::Retry => {
                 self.stats.retries += 1;
                 let t = active.txn;
-                let backoff = self.retry_backoff;
+                let mut backoff = self.retry_backoff;
+                // Escalation counts only CPU transactions: a drain retried
+                // behind a busy line is normal protocol traffic.
+                if !t.is_drain && self.recovery.enabled() {
+                    let n = &mut self.consecutive_retries[t.master.index()];
+                    *n = n.saturating_add(1);
+                    if self.recovery.retry_budget > 0 && *n >= self.recovery.retry_budget {
+                        backoff = backoff.max(self.recovery.escalation_backoff);
+                    }
+                }
                 let port = &mut self.ports[t.master.index()];
                 port.backoff = backoff;
                 if t.is_drain {
@@ -473,6 +595,9 @@ impl Bus {
                 shared,
                 supplied,
             } => {
+                if !active.txn.is_drain {
+                    self.consecutive_retries[active.txn.master.index()] = 0;
+                }
                 if data_cycles == 0 {
                     self.phase = BusPhase::Idle;
                     self.stats.completions += 1;
@@ -922,6 +1047,93 @@ mod tests {
             assert!(bus.advance_data(Cycle::ZERO, &mut NullObserver).is_some());
         }
         assert_eq!(warped.next_event(), stepped.next_event());
+    }
+
+    #[test]
+    fn grant_blackout_suppresses_then_releases() {
+        let mut bus = Bus::new(1);
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.block_grants(2);
+        assert!(bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none());
+        bus.begin_cycle();
+        assert!(bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none());
+        bus.begin_cycle();
+        assert_eq!(bus.grant_block_remaining(), 0);
+        assert!(bus.try_grant(Cycle::ZERO, &mut NullObserver).is_some());
+    }
+
+    #[test]
+    fn escalation_raises_backoff_after_budget() {
+        let mut bus = Bus::new(1);
+        bus.set_recovery(RecoveryPolicy {
+            retry_budget: 2,
+            escalation_backoff: 50,
+            quarantine_after: 0,
+        });
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        // First kill: under budget, no escalated BOFF.
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.consecutive_retries(MasterId(0)), 1);
+        assert_eq!(bus.next_event(), Some(1), "no BOFF yet");
+        // Second kill reaches the budget: 50-cycle BOFF.
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.next_event(), Some(50), "escalated BOFF armed");
+        for _ in 0..50 {
+            bus.begin_cycle();
+        }
+        // A proceed resets the consecutive counter.
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(proceed(0), Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.consecutive_retries(MasterId(0)), 0);
+    }
+
+    #[test]
+    fn quarantine_starves_cpu_txns_but_drains_flow() {
+        let mut bus = Bus::new(1);
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x80),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        bus.submit_drain(
+            MasterId(0),
+            [5; 8],
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        assert!(bus.quarantine(MasterId(0)), "newly quarantined");
+        assert!(!bus.quarantine(MasterId(0)), "already quarantined");
+        assert!(bus.is_quarantined(MasterId(0)));
+        assert_eq!(bus.quarantined_count(), 1);
+        // The parked retry is skipped; the drain is granted instead.
+        let g = bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        assert!(g.is_drain);
+        bus.resolve(proceed(1), Cycle::ZERO, &mut NullObserver);
+        bus.advance_data(Cycle::ZERO, &mut NullObserver).unwrap();
+        // Nothing grantable remains, and the bus reports quiescence even
+        // though the parked CPU retry still exists.
+        assert!(bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none());
+        assert_eq!(bus.next_event(), None);
+        assert!(bus.cpu_txn_outstanding(MasterId(0)), "txn parked, not lost");
     }
 
     #[test]

@@ -35,6 +35,6 @@ mod device;
 mod transaction;
 
 pub use arbiter::{Arbiter, ArbitrationPolicy};
-pub use bus::{AddressOutcome, Bus, BusPhase, BusStats, CompletedTxn, GrantedTxn};
+pub use bus::{AddressOutcome, Bus, BusPhase, BusStats, CompletedTxn, GrantedTxn, RecoveryPolicy};
 pub use device::{BusDevice, LockRegister};
 pub use transaction::{BusOp, MasterId};

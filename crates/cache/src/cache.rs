@@ -476,6 +476,39 @@ impl DataCache {
         }
     }
 
+    /// Fault injection: flips the state bit of the line containing
+    /// `addr`, returning `(before, after)` if the line was present.
+    ///
+    /// The flip models single-event upsets in the state RAM: a clean
+    /// line (`Shared`/`Exclusive`) is promoted to `Modified` (the cache
+    /// now claims ownership it never acquired — a protocol break other
+    /// caches cannot see), and a dirty line (`Modified`/`Owned`) decays
+    /// to `Shared` (its dirty bit is lost, so the write-back never
+    /// happens). Deterministic: the same state always flips the same way.
+    pub fn corrupt_line_state(&mut self, addr: Addr) -> Option<(LineState, LineState)> {
+        let way = self.find_way(addr)?;
+        let si = self.set_index(addr);
+        let line = self.sets[si].ways[way as usize]
+            .as_mut()
+            .expect("found way");
+        let before = line.state;
+        // The decayed clean state must be one the protocol's state RAM
+        // can encode: MEI has no Shared, so its dirty lines decay to
+        // Exclusive (equally clean, equally wrong).
+        let clean = if self.protocol.has_state(LineState::Shared) {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        let after = match before {
+            LineState::Shared | LineState::Exclusive => LineState::Modified,
+            LineState::Modified | LineState::Owned => clean,
+            LineState::Invalid => return None,
+        };
+        line.state = after;
+        Some((before, after))
+    }
+
     /// Coherence state of the line containing `addr`, if present.
     pub fn line_state(&self, addr: Addr) -> Option<LineState> {
         self.find_way(addr).map(|way| {
@@ -536,6 +569,34 @@ mod tests {
 
     fn filled_line(v: u32) -> [u32; 8] {
         [v; 8]
+    }
+
+    #[test]
+    fn corrupt_line_state_flips_deterministically() {
+        let mut c = cache(ProtocolKind::Mesi);
+        let a = Addr::new(0x40);
+        assert_eq!(c.corrupt_line_state(a), None, "absent line: no flip");
+        c.fill(
+            a,
+            filled_line(5),
+            Access::Read,
+            true,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        assert_eq!(c.line_state(a), Some(LineState::Shared));
+        assert_eq!(
+            c.corrupt_line_state(a),
+            Some((LineState::Shared, LineState::Modified)),
+            "clean line promotes to a phantom Modified"
+        );
+        assert_eq!(c.line_state(a), Some(LineState::Modified));
+        assert_eq!(
+            c.corrupt_line_state(a),
+            Some((LineState::Modified, LineState::Shared)),
+            "dirty line loses its dirty bit"
+        );
     }
 
     #[test]

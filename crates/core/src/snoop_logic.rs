@@ -191,6 +191,21 @@ impl SnoopLogic {
         }
     }
 
+    /// Fault injection: the CAM silently forgets `addr`'s tag — storage
+    /// and overflow are pruned as if the line had been written back, but
+    /// *no* drain happened and the pending queue is untouched. The real
+    /// cache still holds the (possibly stale) line, which remote masters
+    /// can now read without being killed: the TAG-CAM desync failure
+    /// mode. Returns `true` if a tag was actually forgotten.
+    pub fn desync_forget(&mut self, addr: Addr) -> bool {
+        let line = addr.line_base().as_u32();
+        if !self.holds(line) {
+            return false;
+        }
+        self.observe_local_writeback(Addr::new(line));
+        true
+    }
+
     fn holds(&self, line: u32) -> bool {
         match &self.storage {
             Storage::FullMap(tags) => tags.contains(&line),
@@ -317,6 +332,21 @@ mod tests {
         cam.ack(Addr::new(0x100));
         assert!(!cam.nfiq());
         assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
+    }
+
+    #[test]
+    fn desync_forget_drops_tag_but_keeps_pending() {
+        let mut cam = SnoopLogic::new();
+        assert!(!cam.desync_forget(Addr::new(0x100)), "nothing to forget");
+        cam.observe_local_fill(Addr::new(0x100));
+        cam.observe_local_fill(Addr::new(0x140));
+        assert!(cam.check_remote(Addr::new(0x140), Cycle::ZERO, &mut NullObserver));
+        assert!(cam.desync_forget(Addr::new(0x100)));
+        // The desynced line no longer kills remote traffic...
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
+        // ...but the already-raised interrupt for the other line survives.
+        assert!(cam.nfiq());
+        assert_eq!(cam.next_pending(), Some(Addr::new(0x140)));
     }
 
     #[test]

@@ -385,7 +385,7 @@ impl<O: Observer> System<O> {
         );
     }
 
-    fn emit_retry(&mut self, txn: &GrantedTxn, cause: RetryCause) {
+    pub(crate) fn emit_retry(&mut self, txn: &GrantedTxn, cause: RetryCause) {
         self.obs.on_event(
             self.now,
             SimEvent::BusRetry {
@@ -448,10 +448,17 @@ impl<O: Observer> System<O> {
             CompletionAction::LineFill { access, value, wt } => {
                 let line = done.addr.line_base();
                 let data = done.supplied.unwrap_or_else(|| self.mem.read_line(line));
-                let gated_shared = match &mut self.nodes[m].wrapper {
+                let mut gated_shared = match &mut self.nodes[m].wrapper {
                     Some(w) => w.gate_shared(done.shared),
                     None => false,
                 };
+                // An armed SHARED-signal corruption overrides whatever the
+                // wrapper translated, once.
+                if let Some(engine) = &mut self.faults {
+                    if let Some(forced) = engine.shared_force[m].take() {
+                        gated_shared = forced;
+                    }
+                }
                 self.nodes[m].cache.fill(
                     line,
                     data,

@@ -274,6 +274,14 @@ pub struct PlatformSpec {
     /// first break. Off by default: the Transparent wrapper mode exists
     /// precisely to let those invariants break observably.
     pub check_invariants: bool,
+    /// Deterministic fault-injection schedule, applied by the platform's
+    /// fault engine at each spec's cycle. `None` (the default) leaves the
+    /// whole injection path unallocated — a fault-free run is
+    /// byte-identical with or without this field.
+    pub faults: Option<hmp_sim::FaultPlan>,
+    /// Retry-escalation and quarantine policy for the arbiter. Disabled
+    /// by default; see [`hmp_bus::RecoveryPolicy`].
+    pub recovery: hmp_bus::RecoveryPolicy,
 }
 
 impl PlatformSpec {
@@ -293,6 +301,8 @@ impl PlatformSpec {
             trace_capacity: 0,
             span_capacity: 0,
             check_invariants: false,
+            faults: None,
+            recovery: hmp_bus::RecoveryPolicy::default(),
         }
     }
 }
@@ -368,6 +378,8 @@ mod tests {
         assert_eq!(spec.latency, LatencyModel::TABLE4);
         assert_eq!(spec.wrapper_mode, WrapperMode::Paper);
         assert!(spec.check_coherence);
+        assert!(spec.faults.is_none(), "fault injection is opt-in");
+        assert!(!spec.recovery.enabled(), "recovery escalation is opt-in");
         assert!(spec.memory_bytes >= MemLayout::default().lock_base.as_u32());
     }
 }

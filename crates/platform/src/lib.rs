@@ -28,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod checker;
 pub mod coherence;
 mod config;
+mod faults;
 mod invariant;
 pub mod presets;
 mod report;

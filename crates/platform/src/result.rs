@@ -19,6 +19,15 @@ pub enum RunOutcome {
     /// The live invariant checker caught a broken line invariant and the
     /// run failed fast (see [`RunResult::invariant`]).
     InvariantViolation,
+    /// Recovery escalation quarantined one or more wedged masters and the
+    /// surviving platform ran to completion — the fault-injection
+    /// alternative to hanging into [`RunOutcome::Stalled`].
+    Degraded {
+        /// Masters the recovery policy quarantined.
+        quarantined: u32,
+        /// Faults injected up to the point the run wound down.
+        faults_absorbed: u64,
+    },
 }
 
 impl fmt::Display for RunOutcome {
@@ -28,6 +37,14 @@ impl fmt::Display for RunOutcome {
             RunOutcome::Stalled => write!(f, "stalled (deadlock)"),
             RunOutcome::CycleLimit => write!(f, "cycle limit reached"),
             RunOutcome::InvariantViolation => write!(f, "invariant violation"),
+            RunOutcome::Degraded {
+                quarantined,
+                faults_absorbed,
+            } => write!(
+                f,
+                "degraded ({quarantined} master(s) quarantined, \
+                 {faults_absorbed} fault(s) absorbed)"
+            ),
         }
     }
 }
@@ -103,6 +120,9 @@ pub struct RunResult {
     /// The broken line invariant behind a
     /// [`RunOutcome::InvariantViolation`] run.
     pub invariant: Option<InvariantViolation>,
+    /// Faults the platform's fault engine injected (0 for fault-free
+    /// runs, which carry no engine at all).
+    pub faults_injected: u64,
 }
 
 impl RunResult {
@@ -144,6 +164,9 @@ impl fmt::Display for RunResult {
         if let Some(v) = &self.invariant {
             writeln!(f, "INVARIANT:  {v}")?;
         }
+        if self.faults_injected > 0 {
+            writeln!(f, "faults:     {} injected", self.faults_injected)?;
+        }
         if let Some(h) = &self.hang {
             write!(f, "{h}")?;
         }
@@ -172,6 +195,7 @@ mod tests {
             metrics: None,
             hang: None,
             invariant: None,
+            faults_injected: 0,
         }
     }
 
@@ -181,6 +205,14 @@ mod tests {
         assert!(!result(RunOutcome::Stalled).is_clean_completion());
         assert!(!result(RunOutcome::CycleLimit).is_clean_completion());
         assert!(!result(RunOutcome::InvariantViolation).is_clean_completion());
+        assert!(
+            !result(RunOutcome::Degraded {
+                quarantined: 1,
+                faults_absorbed: 3
+            })
+            .is_clean_completion(),
+            "a degraded survival is not a clean completion"
+        );
     }
 
     #[test]
@@ -206,6 +238,22 @@ mod tests {
         assert!(RunOutcome::InvariantViolation
             .to_string()
             .contains("invariant"));
+        let d = RunOutcome::Degraded {
+            quarantined: 2,
+            faults_absorbed: 5,
+        }
+        .to_string();
+        assert!(d.contains("degraded"), "{d}");
+        assert!(d.contains("2 master(s)"), "{d}");
+        assert!(d.contains("5 fault(s)"), "{d}");
+    }
+
+    #[test]
+    fn faults_injected_render_in_result() {
+        let mut r = result(RunOutcome::Completed);
+        assert!(!r.to_string().contains("faults:"));
+        r.faults_injected = 4;
+        assert!(r.to_string().contains("faults:     4 injected"));
     }
 
     #[test]

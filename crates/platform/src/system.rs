@@ -1,9 +1,10 @@
 //! The assembled platform and its cycle loop.
 
 use crate::coherence::{AddressPhase, Pending};
+use crate::faults::FaultEngine;
 use crate::invariant::{InvariantObserver, InvariantViolation};
 use crate::{CoherenceChecker, HangReport, PlatformSpec, RunOutcome, RunResult, WrapperMode};
-use hmp_bus::{Bus, BusDevice, BusPhase, LockRegister};
+use hmp_bus::{AddressOutcome, Bus, BusDevice, BusPhase, LockRegister, MasterId};
 use hmp_cache::{DataCache, ProtocolKind};
 use hmp_core::{
     classify_platform, reduce, CoherenceSupport, PlatformClass, SnoopLogic, Wrapper, WrapperPolicy,
@@ -11,8 +12,8 @@ use hmp_core::{
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
 use hmp_sim::{
-    ClockDomain, CounterBank, Cycle, Kernel, MetricsObserver, NullObserver, Observer, SimEvent,
-    Stats, TraceObserver, Watchdog, WatchdogVerdict,
+    ClockDomain, CounterBank, Cycle, Kernel, MetricsObserver, NullObserver, Observer, RetryCause,
+    SimEvent, Stats, TraceObserver, Watchdog, WatchdogVerdict,
 };
 
 /// The platform's internal event sink: fans every [`SimEvent`] out to the
@@ -76,6 +77,12 @@ pub struct System<O: Observer = NullObserver> {
     pub(crate) counters: CounterBank,
     pub(crate) obs: SystemSink<O>,
     pub(crate) invariants: Option<InvariantObserver>,
+    /// Fault engine, boxed behind an `Option` exactly like the metrics
+    /// layer: a fault-free run carries one null pointer and no behavior.
+    pub(crate) faults: Option<Box<FaultEngine>>,
+    /// Whether the spec armed any recovery escalation stage, hoisted so
+    /// the run loop's degraded-completion check is one branch when off.
+    recovery_armed: bool,
     /// Reusable address-phase fold; keeping it (and its drain-list
     /// capacity) across grants keeps steady-state snooping alloc-free.
     pub(crate) phase_scratch: AddressPhase,
@@ -190,9 +197,11 @@ impl<O: Observer> System<O> {
             devices.push(Box::new(LockRegister::new(16)));
         }
 
-        let mut bus = Bus::new(nodes.len());
+        let cpu_count = nodes.len();
+        let mut bus = Bus::new(cpu_count);
         bus.set_arbitration(spec.arbitration);
         bus.set_retry_backoff(spec.retry_backoff);
+        bus.set_recovery(spec.recovery);
         let counters = CounterBank::new(nodes.len());
         let metrics = (spec.span_capacity > 0).then(|| {
             let event_capacity = if spec.trace_capacity > 0 {
@@ -222,6 +231,12 @@ impl<O: Observer> System<O> {
                 inner: obs,
             },
             invariants: spec.check_invariants.then(InvariantObserver::new),
+            faults: spec
+                .faults
+                .as_ref()
+                .filter(|p| !p.specs().is_empty())
+                .map(|p| Box::new(FaultEngine::new(p.clone(), cpu_count))),
+            recovery_armed: spec.recovery.enabled(),
             phase_scratch: AddressPhase::new(),
             cpu_names: spec.cpus.iter().map(|c| c.name.clone()).collect(),
             now: Cycle::ZERO,
@@ -372,6 +387,7 @@ impl<O: Observer> System<O> {
     /// Advances the platform by one bus cycle.
     pub fn step(&mut self) {
         self.now.tick();
+        self.fire_faults();
         self.step_bus();
         self.step_cpus();
     }
@@ -397,25 +413,44 @@ impl<O: Observer> System<O> {
         if let Some(deadline) = self.watchdog.deadline() {
             horizon = horizon.min(deadline.as_u64().saturating_sub(now));
         }
+        // A fault fire cycle is an event: the stepped cycle must land on
+        // it so `fire_faults` runs there in both kernels.
+        if let Some(engine) = &self.faults {
+            if let Some(at) = engine.plan.next_fire_at() {
+                horizon = horizon.min(at.saturating_sub(now).max(1));
+            }
+        }
         let bus_delta = self.bus.next_event();
         if let Some(delta) = bus_delta {
             horizon = horizon.min(delta);
         }
         let mut active = 0u64;
         for (i, node) in self.nodes.iter().enumerate() {
-            let nfiq_pending = self.snoop_logic_enabled
+            let cam_pending = self.snoop_logic_enabled
                 && node
                     .cam
                     .as_ref()
                     .is_some_and(|c| c.next_pending().is_some());
-            if let Some(core) = node.cpu.core_cycles_to_event(nfiq_pending) {
+            // An injected nFIQ mask hides the pending interrupt from the
+            // CPU; the unmask cycle (if finite) becomes the node's event
+            // instead — the first tick that can see the line again.
+            let mask_until = self.faults.as_ref().map_or(0, |e| e.nfiq_mask_until[i]);
+            let masked = now < mask_until;
+            let nfiq_pending = cam_pending && !masked;
+            let mut node_delta = node.cpu.core_cycles_to_event(nfiq_pending).map(|core| {
                 // Core→bus cycle conversion; the multiplier is 1 or 2 on
                 // every modelled platform, so avoid a hardware divide.
-                let delta = match node.mult {
+                match node.mult {
                     1 => core,
                     2 => (core + 1) >> 1,
                     m => core.div_ceil(u64::from(m)),
-                };
+                }
+            });
+            if cam_pending && masked && mask_until != u64::MAX {
+                let unmask = mask_until - now;
+                node_delta = Some(node_delta.map_or(unmask, |d| d.min(unmask)));
+            }
+            if let Some(delta) = node_delta {
                 if delta < horizon {
                     horizon = delta;
                     active = 1 << i;
@@ -449,6 +484,7 @@ impl<O: Observer> System<O> {
     /// one-cycle warp.
     fn step_cpu_only(&mut self, active: u64) {
         self.now.tick();
+        self.fire_faults();
         self.bus.warp(1);
         for i in 0..self.nodes.len() {
             if active & (1 << i) != 0 {
@@ -506,7 +542,24 @@ impl<O: Observer> System<O> {
             if self.finished() {
                 break RunOutcome::Completed;
             }
+            if self.recovery_armed && self.degraded_finished() {
+                break RunOutcome::Degraded {
+                    quarantined: self.bus.quarantined_count() as u32,
+                    faults_absorbed: self.faults.as_ref().map_or(0, |e| e.fired),
+                };
+            }
             if self.now.as_u64() >= max_cycles {
+                // A run that exhausts its budget after quarantining a
+                // master is a degraded survival, not an opaque timeout:
+                // spinning survivors (e.g. a lock waiter whose peer was
+                // quarantined mid-critical-section) keep the watchdog fed
+                // forever, so this is where that livelock surfaces.
+                if self.bus.quarantined_count() > 0 {
+                    break RunOutcome::Degraded {
+                        quarantined: self.bus.quarantined_count() as u32,
+                        faults_absorbed: self.faults.as_ref().map_or(0, |e| e.fired),
+                    };
+                }
                 break RunOutcome::CycleLimit;
             }
             match self.kernel {
@@ -517,7 +570,9 @@ impl<O: Observer> System<O> {
                 break RunOutcome::InvariantViolation;
             }
             let progress: u64 = self.nodes.iter().map(|n| n.cpu.committed()).sum();
-            if self.watchdog.poll(self.now, progress) == WatchdogVerdict::Stalled {
+            if self.watchdog.poll(self.now, progress) == WatchdogVerdict::Stalled
+                && !self.escalate_stall()
+            {
                 break RunOutcome::Stalled;
             }
         };
@@ -553,6 +608,71 @@ impl<O: Observer> System<O> {
                 .as_ref()
                 .and_then(|i| i.violation())
                 .cloned(),
+            faults_injected: self.faults.as_ref().map_or(0, |e| e.fired),
+        }
+    }
+
+    /// `true` once the *surviving* platform has finished: at least one
+    /// master is quarantined, every healthy CPU has halted, and no bus
+    /// work remains that a healthy master could still move. A pending
+    /// nFIQ on a masked (fault-suppressed) line does not block degraded
+    /// completion — that unserviced drain is precisely the damage the
+    /// golden checker then reports.
+    fn degraded_finished(&self) -> bool {
+        if self.bus.quarantined_count() == 0
+            || self.bus.phase() != BusPhase::Idle
+            || self.bus.queued_drains() != 0
+        {
+            return false;
+        }
+        let now = self.now.as_u64();
+        self.nodes.iter().enumerate().all(|(i, n)| {
+            self.bus.is_quarantined(MasterId(i))
+                || (n.cpu.is_halted()
+                    && n.cam.as_ref().is_none_or(|c| {
+                        !c.nfiq() || self.faults.as_ref().is_some_and(|e| e.nfiq_masked(i, now))
+                    }))
+        })
+    }
+
+    /// Watchdog escalation: instead of giving up on a stall, quarantine
+    /// every master wedged on an outstanding transaction and grant the
+    /// survivors a fresh window. Returns `false` (stall stands) when the
+    /// recovery policy is disarmed or nothing was left to quarantine.
+    fn escalate_stall(&mut self) -> bool {
+        if self.bus.recovery().quarantine_after == 0 {
+            return false;
+        }
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].pending.is_some() && self.bus.quarantine(MasterId(i)) {
+                any = true;
+                self.obs
+                    .on_event(self.now, SimEvent::MasterQuarantined { master: i });
+            }
+        }
+        if any {
+            self.watchdog.rebaseline(self.now);
+        }
+        any
+    }
+
+    /// Retry-budget escalation: once a master's consecutive ARTRY count
+    /// crosses the policy's quarantine threshold, park it for good.
+    fn maybe_quarantine(&mut self, master: MasterId) {
+        let policy = self.bus.recovery();
+        if policy.quarantine_after == 0
+            || self.bus.consecutive_retries(master) < policy.quarantine_after
+        {
+            return;
+        }
+        if self.bus.quarantine(master) {
+            self.obs.on_event(
+                self.now,
+                SimEvent::MasterQuarantined {
+                    master: master.index(),
+                },
+            );
         }
     }
 
@@ -565,9 +685,19 @@ impl<O: Observer> System<O> {
         match self.bus.phase() {
             BusPhase::Idle => {
                 if let Some(txn) = self.bus.try_grant(self.now, &mut self.obs) {
-                    let outcome = self.snoop_and_decide(&txn);
+                    let outcome = if self.fault_kills_grant(txn.master.index(), txn.is_drain) {
+                        self.counters.bump_retry(RetryCause::Injected);
+                        self.emit_retry(&txn, RetryCause::Injected);
+                        AddressOutcome::Retry
+                    } else {
+                        self.snoop_and_decide(&txn)
+                    };
+                    let retried = outcome == AddressOutcome::Retry;
                     if let Some(done) = self.bus.resolve(outcome, self.now, &mut self.obs) {
                         self.complete_txn(done);
+                    }
+                    if retried && self.recovery_armed && !txn.is_drain {
+                        self.maybe_quarantine(txn.master);
                     }
                 }
             }
@@ -594,7 +724,11 @@ impl<O: Observer> System<O> {
     /// cycle — the per-node body of [`System::step_cpus`], shared with
     /// [`System::step_cpu_only`].
     fn tick_node(&mut self, i: usize) {
-        let nfiq = if self.snoop_logic_enabled {
+        let masked = self
+            .faults
+            .as_ref()
+            .is_some_and(|e| e.nfiq_masked(i, self.now.as_u64()));
+        let nfiq = if self.snoop_logic_enabled && !masked {
             self.nodes[i].cam.as_ref().and_then(|c| c.next_pending())
         } else {
             None

@@ -202,4 +202,81 @@ fn steady_state_stepping_with_null_observer_does_not_allocate() {
     let m = sys.metrics().unwrap();
     assert!(m.grants() > warm_grants, "grants during the window");
     assert!(m.completions() > 0, "spans completed during the run");
+
+    // Phase 4: fault injection armed. The FaultPlan and every engine
+    // buffer (masks, armed retries, wedge flags) are preallocated at
+    // construction; firing a fault is a cursor bump plus field writes,
+    // and the injected-ARTRY path reuses the ordinary retry machinery.
+    // Steady-state cycles with faults firing mid-window must not
+    // allocate.
+    let (lay, map) = layout(2, Strategy::Proposed, LockKind::Turn, false);
+    let lock = LockLayout::new(LockKind::Turn, lay.lock_base, 2);
+    let mut spec = PlatformSpec::new(
+        vec![
+            CpuSpec::generic("P0", ProtocolKind::Mesi),
+            CpuSpec::generic("P1", ProtocolKind::Mesi),
+        ],
+        map,
+        lock,
+    );
+    spec.check_coherence = false;
+    spec.span_capacity = 256;
+    spec.recovery = hmp_bus::RecoveryPolicy {
+        retry_budget: 1_000_000, // armed, but never escalates
+        escalation_backoff: 64,
+        quarantine_after: 0,
+    };
+    let mut faults = Vec::new();
+    for i in 0..64u64 {
+        // Benign classes spread through the measured window.
+        let kind = match i % 3 {
+            0 => hmp_sim::FaultKind::SpuriousRetry,
+            1 => hmp_sim::FaultKind::GrantDrop,
+            _ => hmp_sim::FaultKind::NfiqDelay,
+        };
+        faults.push(hmp_sim::FaultSpec::new(
+            400 + i * 15,
+            kind,
+            (i % 2) as u32,
+            2,
+        ));
+    }
+    spec.faults = Some(hmp_sim::FaultPlan::from_specs(faults));
+    let a = lay.shared_base;
+    let pingpong = |v: u32| {
+        let mut b = ProgramBuilder::new();
+        for i in 0..2_000 {
+            b = b.write(a, v + i);
+        }
+        b.build()
+    };
+    let mut sys = System::new(&spec, vec![pingpong(0), pingpong(10_000)]);
+
+    for _ in 0..300 {
+        sys.step();
+    }
+    let warm_grants = sys.metrics().expect("metrics enabled").grants();
+    assert!(
+        warm_grants > 0,
+        "warm-up must reach bus-traffic steady state"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sys.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state stepping with fault injection armed must not allocate"
+    );
+
+    // The window actually injected faults and kept the bus busy.
+    let m = sys.metrics().unwrap();
+    assert!(m.grants() > warm_grants, "grants during the window");
+    assert!(
+        m.faults_injected() > 0,
+        "faults fired inside the measured window"
+    );
 }

@@ -78,17 +78,21 @@ pub enum RetryCause {
     SnoopDrain,
     /// A TAG-CAM hit on a non-coherent processor awaiting its drain ISR.
     CamHit,
+    /// An injected fault (spurious retry or wedged master) killed the
+    /// phase; no snoop demanded it.
+    Injected,
 }
 
 impl RetryCause {
     /// Number of causes (array-index bound for counter banks).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// All causes, in array-index order.
     pub const ALL: [RetryCause; RetryCause::COUNT] = [
         RetryCause::WriteBuffer,
         RetryCause::SnoopDrain,
         RetryCause::CamHit,
+        RetryCause::Injected,
     ];
 
     /// The legacy `Stats` key suffix (`bus.retry.<key>`).
@@ -97,6 +101,7 @@ impl RetryCause {
             RetryCause::WriteBuffer => "wb_buffer",
             RetryCause::SnoopDrain => "snoop_drain",
             RetryCause::CamHit => "cam",
+            RetryCause::Injected => "injected",
         }
     }
 
@@ -206,6 +211,22 @@ pub enum SimEvent {
         /// `true` if the SHARED signal forced a shared install.
         shared: bool,
     },
+    /// A scheduled fault fired (emitted by the platform's injector).
+    FaultInjected {
+        /// Fired fault class.
+        kind: crate::fault::FaultKind,
+        /// Target component index.
+        target: usize,
+        /// Address scope (0 when the class is not address-scoped).
+        addr: u64,
+    },
+    /// The recovery policy quarantined a master: its CPU-initiated
+    /// transactions are excluded from arbitration from here on (drains
+    /// still flow, so no dirty data is lost).
+    MasterQuarantined {
+        /// Index of the quarantined master.
+        master: usize,
+    },
 }
 
 impl fmt::Display for SimEvent {
@@ -276,6 +297,12 @@ impl fmt::Display for SimEvent {
                 "cpu{owner} fill {addr:#x}{}",
                 if shared { " (shared)" } else { "" },
             ),
+            SimEvent::FaultInjected { kind, target, addr } => {
+                write!(f, "FAULT {kind} target={target} addr={addr:#x}")
+            }
+            SimEvent::MasterQuarantined { master } => {
+                write!(f, "cpu{master} quarantined by recovery policy")
+            }
         }
     }
 }

@@ -183,6 +183,17 @@ where
                     );
                 }
             }
+            SimEvent::FaultInjected { .. } | SimEvent::MasterQuarantined { .. } => {
+                // Chaos markers land on the bus-arbiter track so the
+                // injected fault is visible next to its fallout.
+                push_event(
+                    &mut out,
+                    &format!(
+                        r#""name":"{}","cat":"fault","ph":"i","s":"g","ts":{ts},"pid":0,"tid":{TID_BUS}"#,
+                        json_escape(&te.event.to_string()),
+                    ),
+                );
+            }
             SimEvent::BusRequest { .. } | SimEvent::BusComplete { .. } => {}
         }
     }
@@ -225,6 +236,11 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
         out,
         r#""masters":{},"grants":{},"completions":{},"drains_completed":{},"retries":{},"#,
         snap.masters, snap.grants, snap.completions, snap.drains_completed, snap.retries
+    );
+    let _ = write!(
+        out,
+        r#""faults_injected":{},"masters_quarantined":{},"#,
+        snap.faults_injected, snap.masters_quarantined
     );
     out.push_str("\"retry_by_cause\":{");
     for (i, cause) in RetryCause::ALL.into_iter().enumerate() {

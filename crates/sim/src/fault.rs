@@ -1,0 +1,368 @@
+//! Deterministic fault injection: [`FaultKind`], [`FaultSpec`] and
+//! [`FaultPlan`].
+//!
+//! The paper's §3 hardware-deadlock analysis shows the retry-vs-interrupt
+//! cycle at the heart of PF1/PF2 is the fragile part of the design. This
+//! module provides the schedule half of a chaos harness for it: a
+//! [`FaultPlan`] is a cycle-ordered list of [`FaultSpec`]s, each naming a
+//! fault class, a firing cycle, a target component and an optional
+//! address. The platform layer owns the *mechanics* (what each class does
+//! at the arbiter / snoop-logic / wrapper / cache boundary it models);
+//! this crate only owns the *when* and *what*, so the schedule stays
+//! domain-neutral and byte-reproducible.
+//!
+//! Two properties matter for the rest of the stack:
+//!
+//! * **Determinism** — plans are either hand-built from specs or sampled
+//!   from a seeded [`SplitMix64`]; the same seed always yields the same
+//!   plan, and firing is driven purely by the simulated clock.
+//! * **Kernel neutrality** — [`FaultPlan::next_fire_at`] exposes the next
+//!   firing cycle so the fast-forward kernel can treat fault arrivals as
+//!   horizon events and never warp across one. Faults are therefore
+//!   *kernel events*, not wall-cycle side effects, and Step /
+//!   FastForward runs under the same plan stay byte-identical.
+//!
+//! All storage is preallocated at construction: consuming due faults in
+//! the steady state performs no heap allocation.
+
+use crate::rng::SplitMix64;
+use std::fmt;
+
+/// One class of injectable fault, named for the component boundary it
+/// corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The arbiter drops a grant window: no master is granted for
+    /// `param` cycles (models a glitched BG line).
+    GrantDrop,
+    /// The arbiter delays all grants by `param` cycles (models slow
+    /// arbitration under electrical noise). Mechanically identical to
+    /// [`FaultKind::GrantDrop`] but classified as a delay, not a loss.
+    GrantDelay,
+    /// The next `param` address phases of master `target` are killed
+    /// with ARTRY even though no snoop demanded it.
+    SpuriousRetry,
+    /// The snoop-logic nFIQ line to CPU `target` is masked for `param`
+    /// cycles: the drain ISR fires late.
+    NfiqDelay,
+    /// The snoop-logic nFIQ line to CPU `target` is cut permanently:
+    /// the drain ISR never fires.
+    NfiqLost,
+    /// The TAG CAM mirror of CPU `target` silently forgets the entry
+    /// for `addr`: a stale line in the real cache is no longer snooped.
+    CamDesync,
+    /// The wrapper of master `target` sees a corrupted SHARED signal on
+    /// its next line fill: `param != 0` forces SHARED asserted,
+    /// `param == 0` forces it suppressed.
+    SharedCorrupt,
+    /// Master `target` wedges: every non-drain address phase it drives
+    /// is killed with ARTRY forever (models a master stuck in the
+    /// paper's permanent-retry failure mode).
+    WedgedMaster,
+    /// Single-bit line-state corruption in the cache of CPU `target` at
+    /// `addr` (shared flips to modified, modified drops its dirty bit).
+    LineStateCorrupt,
+}
+
+impl FaultKind {
+    /// Number of fault classes (array-index bound for coverage matrices).
+    pub const COUNT: usize = 9;
+
+    /// All fault classes, in array-index order.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::GrantDrop,
+        FaultKind::GrantDelay,
+        FaultKind::SpuriousRetry,
+        FaultKind::NfiqDelay,
+        FaultKind::NfiqLost,
+        FaultKind::CamDesync,
+        FaultKind::SharedCorrupt,
+        FaultKind::WedgedMaster,
+        FaultKind::LineStateCorrupt,
+    ];
+
+    /// Stable snake_case key for JSON artefacts and tables.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::GrantDrop => "grant_drop",
+            FaultKind::GrantDelay => "grant_delay",
+            FaultKind::SpuriousRetry => "spurious_retry",
+            FaultKind::NfiqDelay => "nfiq_delay",
+            FaultKind::NfiqLost => "nfiq_lost",
+            FaultKind::CamDesync => "cam_desync",
+            FaultKind::SharedCorrupt => "shared_corrupt",
+            FaultKind::WedgedMaster => "wedged_master",
+            FaultKind::LineStateCorrupt => "line_state_corrupt",
+        }
+    }
+
+    /// Array index of this class.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `true` for classes that can silently break the coherence
+    /// protocol (stale data, lost invalidations). These *must* be caught
+    /// by a detector — an undetected protocol-breaking fault is a
+    /// finding. Timing-only classes merely delay progress and may be
+    /// absorbed without detection.
+    pub fn protocol_breaking(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CamDesync | FaultKind::SharedCorrupt | FaultKind::LineStateCorrupt
+        )
+    }
+
+    /// `true` for classes that can wedge the machine forever (lost
+    /// interrupts, permanent retry). These are expected to surface via
+    /// the watchdog rather than a data-integrity checker.
+    pub fn liveness_breaking(self) -> bool {
+        matches!(self, FaultKind::NfiqLost | FaultKind::WedgedMaster)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One scheduled fault: fire `kind` at bus cycle `at` against component
+/// `target`, optionally scoped to `addr`, with a class-specific `param`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Bus cycle at which the fault arms (inclusive).
+    pub at: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Target component index (master / CPU / CAM), where applicable.
+    pub target: u32,
+    /// Target address for address-scoped classes ([`FaultKind::CamDesync`],
+    /// [`FaultKind::LineStateCorrupt`]); `None` lets the injector pick a
+    /// live line at fire time.
+    pub addr: Option<u64>,
+    /// Class-specific magnitude: blackout/mask duration in cycles for the
+    /// delay classes, kill count for [`FaultKind::SpuriousRetry`], forced
+    /// SHARED value for [`FaultKind::SharedCorrupt`].
+    pub param: u64,
+}
+
+impl FaultSpec {
+    /// A spec firing `kind` at `at` against `target` with no address
+    /// scope and the given `param`.
+    pub fn new(at: u64, kind: FaultKind, target: u32, param: u64) -> Self {
+        FaultSpec {
+            at,
+            kind,
+            target,
+            addr: None,
+            param,
+        }
+    }
+
+    /// Same spec scoped to `addr`.
+    #[must_use]
+    pub fn at_addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} target={}", self.at, self.kind, self.target)?;
+        if let Some(a) = self.addr {
+            write!(f, " addr={a:#x}")?;
+        }
+        write!(f, " param={}", self.param)
+    }
+}
+
+/// A cycle-ordered, cursor-consumed schedule of faults.
+///
+/// Built once (from explicit specs or a seeded sample), then consumed in
+/// firing order by the platform's injector. Cloning a plan resets
+/// nothing — the cursor is part of the value, so a cloned un-consumed
+/// plan replays identically, which is what kernel-equivalence tests
+/// rely on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// A plan firing the given specs, sorted by cycle (stable, so specs
+    /// sharing a cycle fire in insertion order).
+    pub fn from_specs(mut specs: Vec<FaultSpec>) -> Self {
+        specs.sort_by_key(|s| s.at);
+        FaultPlan { specs, cursor: 0 }
+    }
+
+    /// Samples `count` faults of class `kind` uniformly over
+    /// `[from, to)` cycles, targeting masters `0..masters` and line
+    /// addresses drawn from `addr_base + k * 0x20` for
+    /// `k in 0..addr_lines`. Fully determined by `seed`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample(
+        seed: u64,
+        kind: FaultKind,
+        count: u32,
+        from: u64,
+        to: u64,
+        masters: u32,
+        addr_base: u64,
+        addr_lines: u64,
+        param: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let span = to.saturating_sub(from).max(1);
+        let mut specs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let at = from + rng.gen_range(span);
+            let target = rng.gen_range(masters.max(1) as u64) as u32;
+            let mut spec = FaultSpec::new(at, kind, target, param);
+            if addr_lines > 0 {
+                spec = spec.at_addr(addr_base + rng.gen_range(addr_lines) * 0x20);
+            }
+            specs.push(spec);
+        }
+        FaultPlan::from_specs(specs)
+    }
+
+    /// All scheduled specs, fired or not, in firing order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Number of specs not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.specs.len() - self.cursor
+    }
+
+    /// `true` when every spec has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.specs.len()
+    }
+
+    /// The firing cycle of the next unconsumed spec, if any. The
+    /// fast-forward kernel folds this into its warp horizon so a fault
+    /// never lands mid-warp.
+    pub fn next_fire_at(&self) -> Option<u64> {
+        self.specs.get(self.cursor).map(|s| s.at)
+    }
+
+    /// Consumes and returns the next spec if its firing cycle is due
+    /// (`at <= now`). Call in a loop each cycle; specs scheduled in the
+    /// past (e.g. before warm-up completed) fire immediately rather
+    /// than being lost.
+    pub fn pop_due(&mut self, now: u64) -> Option<FaultSpec> {
+        let spec = *self.specs.get(self.cursor)?;
+        if spec.at <= now {
+            self.cursor += 1;
+            Some(spec)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault plan: {} spec(s), {} remaining",
+            self.specs.len(),
+            self.remaining()
+        )?;
+        for s in &self.specs {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_index_ordered_with_distinct_keys() {
+        let mut keys = Vec::new();
+        for (i, k) in FaultKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            keys.push(k.key());
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), FaultKind::COUNT, "keys must be distinct");
+    }
+
+    #[test]
+    fn classifiers_partition_sanely() {
+        for k in FaultKind::ALL {
+            assert!(
+                !(k.protocol_breaking() && k.liveness_breaking()),
+                "{k} cannot be both"
+            );
+        }
+        assert!(FaultKind::CamDesync.protocol_breaking());
+        assert!(FaultKind::SharedCorrupt.protocol_breaking());
+        assert!(FaultKind::LineStateCorrupt.protocol_breaking());
+        assert!(FaultKind::WedgedMaster.liveness_breaking());
+        assert!(FaultKind::NfiqLost.liveness_breaking());
+        assert!(!FaultKind::GrantDelay.protocol_breaking());
+    }
+
+    #[test]
+    fn plan_sorts_and_consumes_in_cycle_order() {
+        let mut plan = FaultPlan::from_specs(vec![
+            FaultSpec::new(50, FaultKind::NfiqDelay, 1, 100),
+            FaultSpec::new(10, FaultKind::GrantDrop, 0, 5),
+            FaultSpec::new(30, FaultKind::SpuriousRetry, 0, 2),
+        ]);
+        assert_eq!(plan.next_fire_at(), Some(10));
+        assert_eq!(plan.remaining(), 3);
+        assert!(plan.pop_due(5).is_none(), "not due yet");
+        let first = plan.pop_due(10).unwrap();
+        assert_eq!(first.kind, FaultKind::GrantDrop);
+        // Catch-up: both remaining specs are due at cycle 60.
+        assert_eq!(plan.pop_due(60).unwrap().kind, FaultKind::SpuriousRetry);
+        assert_eq!(plan.pop_due(60).unwrap().kind, FaultKind::NfiqDelay);
+        assert!(plan.exhausted());
+        assert_eq!(plan.next_fire_at(), None);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = FaultPlan::sample(42, FaultKind::CamDesync, 8, 100, 1_000, 2, 0x10_0000, 16, 0);
+        let b = FaultPlan::sample(42, FaultKind::CamDesync, 8, 100, 1_000, 2, 0x10_0000, 16, 0);
+        assert_eq!(a, b);
+        let c = FaultPlan::sample(43, FaultKind::CamDesync, 8, 100, 1_000, 2, 0x10_0000, 16, 0);
+        assert_ne!(a, c, "different seed, different plan");
+        for s in a.specs() {
+            assert!((100..1_000).contains(&s.at));
+            assert!(s.target < 2);
+            let addr = s.addr.unwrap();
+            assert!((0x10_0000..0x10_0000 + 16 * 0x20).contains(&addr));
+            assert_eq!(addr % 0x20, 0, "line-aligned");
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_exhausted_and_default() {
+        let plan = FaultPlan::default();
+        assert!(plan.exhausted());
+        assert_eq!(plan.next_fire_at(), None);
+        assert_eq!(plan, FaultPlan::from_specs(Vec::new()));
+    }
+
+    #[test]
+    fn specs_display_roundtrips_fields() {
+        let s = FaultSpec::new(77, FaultKind::SharedCorrupt, 1, 1).at_addr(0x40);
+        let text = s.to_string();
+        assert!(text.contains("@77"), "{text}");
+        assert!(text.contains("shared_corrupt"), "{text}");
+        assert!(text.contains("addr=0x40"), "{text}");
+    }
+}

@@ -26,6 +26,10 @@
 //! * [`Watchdog`] — forward-progress detection, used to turn the paper's
 //!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
 //!   instead of a hang.
+//! * [`FaultPlan`] / [`FaultSpec`] / [`FaultKind`] — deterministic,
+//!   seed-reproducible fault schedules for the chaos harness; the
+//!   platform layer injects each class at the component boundary it
+//!   models.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@ mod clock;
 mod counters;
 mod event;
 pub mod export;
+mod fault;
 mod hist;
 mod kernel;
 mod metrics;
@@ -63,6 +68,7 @@ pub use event::{
     BusOpKind, NullObserver, Observer, RetryCause, SimEvent, SnoopActionKind, TraceObserver,
     TracedEvent,
 };
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use hist::{Hist, BUCKETS as HIST_BUCKETS};
 pub use kernel::Kernel;
 pub use metrics::{MetricsObserver, MetricsSnapshot};

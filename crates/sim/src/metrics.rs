@@ -87,6 +87,8 @@ pub struct MetricsObserver {
     completions: u64,
     drains_completed: u64,
     retries: u64,
+    faults_injected: u64,
+    masters_quarantined: u64,
 }
 
 impl MetricsObserver {
@@ -111,6 +113,8 @@ impl MetricsObserver {
             completions: 0,
             drains_completed: 0,
             retries: 0,
+            faults_injected: 0,
+            masters_quarantined: 0,
         }
     }
 
@@ -137,6 +141,16 @@ impl MetricsObserver {
     /// ARTRY kills observed.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Injected faults observed.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Master quarantines observed.
+    pub fn masters_quarantined(&self) -> u64 {
+        self.masters_quarantined
     }
 
     /// Retry count for one cause.
@@ -178,6 +192,8 @@ impl MetricsObserver {
             completions: self.completions,
             drains_completed: self.drains_completed,
             retries: self.retries,
+            faults_injected: self.faults_injected,
+            masters_quarantined: self.masters_quarantined,
             spans_recorded: self.spans.len() as u64 + self.spans.dropped(),
             spans_dropped: self.spans.dropped(),
             span_orphans: self.spans.orphans(),
@@ -227,6 +243,8 @@ impl Observer for MetricsObserver {
                     self.drains_completed += 1;
                 }
             }
+            SimEvent::FaultInjected { .. } => self.faults_injected += 1,
+            SimEvent::MasterQuarantined { .. } => self.masters_quarantined += 1,
             SimEvent::BusRequest { .. } => {}
         }
         if let Some(closed) = self.spans.track(at, event) {
@@ -276,6 +294,10 @@ pub struct MetricsSnapshot {
     pub drains_completed: u64,
     /// ARTRY kills.
     pub retries: u64,
+    /// Faults injected by the chaos harness (0 on fault-free runs).
+    pub faults_injected: u64,
+    /// Masters quarantined by the recovery policy.
+    pub masters_quarantined: u64,
     /// Spans completed over the whole run (stored + evicted).
     pub spans_recorded: u64,
     /// Completed spans evicted from the ring.
@@ -291,6 +313,13 @@ impl fmt::Display for MetricsSnapshot {
             "bus: {} grants, {} completions ({} drains), {} retries",
             self.grants, self.completions, self.drains_completed, self.retries
         )?;
+        if self.faults_injected > 0 || self.masters_quarantined > 0 {
+            writeln!(
+                f,
+                "faults: {} injected, {} master(s) quarantined",
+                self.faults_injected, self.masters_quarantined
+            )?;
+        }
         for cause in RetryCause::ALL {
             let n = self.retry_by_cause[cause as usize];
             if n > 0 {

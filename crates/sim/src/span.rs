@@ -331,9 +331,11 @@ impl SpanTracker {
                     }
                 }
             }
-            SimEvent::IsrEnter { .. } | SimEvent::IsrExit { .. } | SimEvent::CacheFill { .. } => {
-                None
-            }
+            SimEvent::IsrEnter { .. }
+            | SimEvent::IsrExit { .. }
+            | SimEvent::CacheFill { .. }
+            | SimEvent::FaultInjected { .. }
+            | SimEvent::MasterQuarantined { .. } => None,
         }
     }
 }

@@ -95,6 +95,17 @@ impl Watchdog {
         now.saturating_since(self.last_progress_at)
     }
 
+    /// Re-establishes the progress baseline at `now` without requiring
+    /// counter movement.
+    ///
+    /// Used by recovery escalation: after quarantining a wedged master the
+    /// platform grants the survivors a fresh stall window instead of
+    /// tripping again on the pre-quarantine silence.
+    pub fn rebaseline(&mut self, now: Cycle) {
+        self.started = true;
+        self.last_progress_at = now;
+    }
+
     /// The earliest cycle at which a poll could report
     /// [`WatchdogVerdict::Stalled`], or `None` before the first poll has
     /// established its baseline. A fast-forward kernel must not skip past
@@ -157,6 +168,17 @@ mod tests {
     #[test]
     fn window_accessor() {
         assert_eq!(Watchdog::new(Cycle::new(7)).window(), Cycle::new(7));
+    }
+
+    #[test]
+    fn rebaseline_grants_a_fresh_window() {
+        let mut dog = Watchdog::new(Cycle::new(10));
+        dog.poll(Cycle::new(0), 0);
+        assert_eq!(dog.poll(Cycle::new(10), 0), WatchdogVerdict::Stalled);
+        dog.rebaseline(Cycle::new(10));
+        assert_eq!(dog.deadline(), Some(Cycle::new(20)));
+        assert_eq!(dog.poll(Cycle::new(19), 0), WatchdogVerdict::Healthy);
+        assert_eq!(dog.poll(Cycle::new(20), 0), WatchdogVerdict::Stalled);
     }
 
     #[test]

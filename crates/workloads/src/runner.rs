@@ -1,9 +1,11 @@
 //! One-call microbenchmark execution.
 
 use crate::{build_programs, scenario_lock_kind, MicrobenchParams, Scenario};
+use hmp_bus::RecoveryPolicy;
 use hmp_cache::ProtocolKind;
 use hmp_mem::LatencyModel;
 use hmp_platform::{presets, Kernel, RunResult, Strategy, System};
+use hmp_sim::{FaultKind, FaultPlan};
 
 /// Which hardware platform to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +18,60 @@ pub enum PlatformPick {
     Pf1Dual,
     /// Two generic processors with the given protocols (PF3).
     Pair(ProtocolKind, ProtocolKind),
+}
+
+/// A seed-reproducible fault batch, sampled into a concrete
+/// [`FaultPlan`] when the platform is prepared (so [`RunSpec`] stays
+/// `Copy`). Addresses are drawn from the prepared layout's shared window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDirective {
+    /// Fault class to inject.
+    pub kind: FaultKind,
+    /// Sampling seed — same seed, same concrete plan.
+    pub seed: u64,
+    /// Number of faults to sample.
+    pub count: u32,
+    /// Earliest fire cycle (inclusive).
+    pub from: u64,
+    /// Latest fire cycle (exclusive).
+    pub to: u64,
+    /// Shared-window lines addresses are drawn from.
+    pub addr_lines: u64,
+    /// Class-specific knob (blackout/delay length, armed retry count,
+    /// forced SHARED value).
+    pub param: u64,
+}
+
+impl FaultDirective {
+    /// A directive with a workable mid-run window for `count` faults of
+    /// `kind`.
+    pub fn new(kind: FaultKind, seed: u64, count: u32) -> Self {
+        FaultDirective {
+            kind,
+            seed,
+            count,
+            from: 200,
+            to: 4_000,
+            addr_lines: 8,
+            param: 50,
+        }
+    }
+
+    /// Samples the concrete plan for a platform with `masters` masters
+    /// and its shared window at `addr_base`.
+    pub fn sample(&self, masters: u32, addr_base: u64) -> FaultPlan {
+        FaultPlan::sample(
+            self.seed,
+            self.kind,
+            self.count,
+            self.from,
+            self.to,
+            masters,
+            addr_base,
+            self.addr_lines,
+            self.param,
+        )
+    }
 }
 
 /// Everything one simulation run needs.
@@ -45,6 +101,13 @@ pub struct RunSpec {
     /// default) skips provably-dead cycles; [`Kernel::Step`] executes
     /// every cycle. Results are byte-identical either way.
     pub kernel: Kernel,
+    /// Seed-reproducible fault injection (`None` = fault-free).
+    pub faults: Option<FaultDirective>,
+    /// Arbiter retry-escalation / quarantine policy.
+    pub recovery: RecoveryPolicy,
+    /// Watchdog stall window override in bus cycles (0 keeps the
+    /// platform default).
+    pub watchdog_window: u64,
 }
 
 impl RunSpec {
@@ -62,6 +125,9 @@ impl RunSpec {
             span_capacity: 0,
             check_invariants: false,
             kernel: Kernel::FastForward,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
+            watchdog_window: 0,
         }
     }
 
@@ -99,6 +165,28 @@ impl RunSpec {
         self.kernel = kernel;
         self
     }
+
+    /// Same spec with a fault directive armed.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultDirective) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Same spec with a recovery policy armed.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Same spec with a reduced watchdog window (chaos runs shrink it so
+    /// liveness faults report in bounded time).
+    #[must_use]
+    pub fn with_watchdog_window(mut self, cycles: u64) -> Self {
+        self.watchdog_window = cycles;
+        self
+    }
 }
 
 /// Builds the platform and programs for `spec` without running — useful
@@ -114,6 +202,14 @@ pub fn prepare(spec: &RunSpec) -> System {
     pspec.latency = LatencyModel::scaled_to_burst(spec.burst_penalty);
     pspec.span_capacity = spec.span_capacity;
     pspec.check_invariants = spec.check_invariants;
+    pspec.recovery = spec.recovery;
+    if spec.watchdog_window > 0 {
+        pspec.watchdog_window = spec.watchdog_window;
+    }
+    if let Some(directive) = &spec.faults {
+        pspec.faults =
+            Some(directive.sample(pspec.cpus.len() as u32, u64::from(lay.shared_base.as_u32())));
+    }
     let programs = build_programs(spec.scenario, spec.strategy, &spec.params, &lay);
     let mut sys = presets::instantiate(&pspec, spec.strategy, programs);
     sys.set_kernel(spec.kernel);
