@@ -16,6 +16,8 @@
 //! Exit status: 0 for a clean completion, 1 for any other outcome
 //! (deadlock, invariant violation, cycle limit), 2 for a usage error.
 
+use hmp_bus::ArbitrationPolicy;
+use hmp_cache::ProtocolKind;
 use hmp_platform::Strategy;
 use hmp_sim::export::{chrome_trace, metrics_json, validate_json};
 use hmp_workloads::{prepare, MicrobenchParams, PlatformPick, RunSpec, Scenario};
@@ -29,7 +31,10 @@ USAGE:
 OPTIONS:
   --scenario <wcs|bcs|tcs>                  workload scenario      [default: wcs]
   --strategy <disabled|software|proposed>   shared-data strategy   [default: proposed]
-  --platform <ppc-arm|i486-ppc|pf1>         hardware platform      [default: ppc-arm]
+  --platform <ppc-arm|i486-ppc|pf1|fabric<N>x<S>>
+                       hardware platform (fabric4x2 = 4 MESI
+                       masters over 2 bus segments)                [default: ppc-arm]
+  --arbitration <rr|fp|fcfs>                bus arbitration        [default: rr]
   --lines <N>          accessed cache lines per iteration          [default: 8]
   --exec <N>           exec_time workload parameter                [default: 1]
   --iters <N>          critical-section entries per task           [default: 8]
@@ -47,6 +52,7 @@ struct Cli {
     scenario: Scenario,
     strategy: Strategy,
     platform: PlatformPick,
+    arbitration: ArbitrationPolicy,
     lines: u32,
     exec: u32,
     iters: u32,
@@ -65,6 +71,7 @@ impl Default for Cli {
             scenario: Scenario::Worst,
             strategy: Strategy::Proposed,
             platform: PlatformPick::PpcArm,
+            arbitration: ArbitrationPolicy::RoundRobin,
             lines: 8,
             exec: 1,
             iters: 8,
@@ -77,6 +84,32 @@ impl Default for Cli {
             metrics_out: "hmp_metrics.json".to_string(),
         }
     }
+}
+
+/// Parses `fabric<N>x<S>` (e.g. `fabric4x2`) into a homogeneous MESI
+/// fabric pick; a bare `fabric<N>` means one flat segment.
+fn parse_fabric(s: &str) -> Result<PlatformPick, String> {
+    let body = &s["fabric".len()..];
+    let (n, segs) = match body.split_once('x') {
+        Some((n, s)) => (n, s),
+        None => (body, "1"),
+    };
+    let masters: u8 = n
+        .parse()
+        .map_err(|_| format!("--platform: bad fabric master count in {s:?}"))?;
+    let segments: u8 = segs
+        .parse()
+        .map_err(|_| format!("--platform: bad fabric segment count in {s:?}"))?;
+    if masters < 2 || segments == 0 || segments > masters {
+        return Err(format!(
+            "--platform: fabric needs 2+ masters and 1..=N segments, got {s:?}"
+        ));
+    }
+    Ok(PlatformPick::Fabric {
+        protocol: ProtocolKind::Mesi,
+        masters,
+        segments,
+    })
 }
 
 fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -115,10 +148,22 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     Some("ppc-arm") => PlatformPick::PpcArm,
                     Some("i486-ppc") => PlatformPick::I486Ppc,
                     Some("pf1") => PlatformPick::Pf1Dual,
+                    Some(f) if f.starts_with("fabric") => parse_fabric(f)?,
                     other => {
                         return Err(format!(
-                            "--platform: expected ppc-arm|i486-ppc|pf1, got {other:?}"
+                            "--platform: expected ppc-arm|i486-ppc|pf1|fabric<N>x<S>, \
+                             got {other:?}"
                         ))
+                    }
+                }
+            }
+            "--arbitration" => {
+                cli.arbitration = match args.next().as_deref() {
+                    Some("rr") => ArbitrationPolicy::RoundRobin,
+                    Some("fp") => ArbitrationPolicy::FixedPriority,
+                    Some("fcfs") => ArbitrationPolicy::Fcfs,
+                    other => {
+                        return Err(format!("--arbitration: expected rr|fp|fcfs, got {other:?}"))
                     }
                 }
             }
@@ -164,6 +209,7 @@ fn main() {
     };
     let mut spec = RunSpec::new(cli.scenario, cli.strategy, params)
         .on(cli.platform)
+        .with_arbitration(cli.arbitration)
         .with_burst_penalty(cli.burst_penalty)
         .with_spans(cli.spans);
     if cli.invariants {

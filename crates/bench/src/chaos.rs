@@ -63,6 +63,7 @@ pub fn platform_key(platform: PlatformPick) -> &'static str {
         PlatformPick::I486Ppc => "i486_ppc",
         PlatformPick::Pf1Dual => "pf1_dual",
         PlatformPick::Pair(..) => "mesi_moesi",
+        PlatformPick::Fabric { .. } => "fabric",
     }
 }
 
@@ -130,9 +131,19 @@ pub fn directive_for(kind: FaultKind) -> FaultDirective {
 /// legitimately holds concurrent writable copies between drains, which
 /// the structural checker would (correctly, but unhelpfully) flag.
 pub fn chaos_spec(kind: FaultKind, platform: PlatformPick, strategy: Strategy) -> RunSpec {
+    chaos_spec_with(directive_for(kind), platform, strategy)
+}
+
+/// [`chaos_spec`] with an explicit directive (the bridge cells pin their
+/// faults on a specific master).
+pub fn chaos_spec_with(
+    directive: FaultDirective,
+    platform: PlatformPick,
+    strategy: Strategy,
+) -> RunSpec {
     let mut spec = RunSpec::new(Scenario::Worst, strategy, chaos_params())
         .on(platform)
-        .with_faults(directive_for(kind))
+        .with_faults(directive)
         .with_recovery(CHAOS_RECOVERY)
         .with_watchdog_window(CHAOS_WATCHDOG_WINDOW);
     spec.max_cycles = CHAOS_MAX_CYCLES;
@@ -140,6 +151,30 @@ pub fn chaos_spec(kind: FaultKind, platform: PlatformPick, strategy: Strategy) -
         spec = spec.with_invariants();
     }
     spec
+}
+
+/// The fabric platform the bridge chaos cells run on: four MESI masters
+/// split over two bridged segments, so master [`BRIDGE_TARGET`] sits
+/// across the snooping bridge from memory.
+pub const BRIDGE_PLATFORM: PlatformPick = PlatformPick::Fabric {
+    protocol: ProtocolKind::Mesi,
+    masters: 4,
+    segments: 2,
+};
+
+/// The bridge-endpoint master (on segment 1) the bridge cells aim at.
+pub const BRIDGE_TARGET: u32 = 3;
+
+/// The two bridge-endpoint cells appended to every grid: a permanently
+/// wedged master behind the bridge (expected to quarantine → Degraded)
+/// and a grant blackout longer than the watchdog window (expected to
+/// trip the watchdog). Neither may go undetected.
+pub fn bridge_directives() -> [FaultDirective; 2] {
+    let wedge = directive_for(FaultKind::WedgedMaster).aimed_at(BRIDGE_TARGET);
+    let mut blackout = directive_for(FaultKind::GrantDrop).aimed_at(BRIDGE_TARGET);
+    blackout.count = 1;
+    blackout.param = CHAOS_WATCHDOG_WINDOW + 5_000; // outlives the watchdog window
+    [wedge, blackout]
 }
 
 /// One finished grid cell.
@@ -162,13 +197,22 @@ pub struct ChaosCell {
 
 /// Runs one cell under both kernels and classifies it.
 pub fn run_cell(kind: FaultKind, platform: PlatformPick, strategy: Strategy) -> ChaosCell {
-    let spec = chaos_spec(kind, platform, strategy);
+    run_cell_with(directive_for(kind), platform, strategy)
+}
+
+/// [`run_cell`] with an explicit directive.
+pub fn run_cell_with(
+    directive: FaultDirective,
+    platform: PlatformPick,
+    strategy: Strategy,
+) -> ChaosCell {
+    let spec = chaos_spec_with(directive, platform, strategy);
     let fast = run(&spec.with_kernel(Kernel::FastForward));
     let step = run(&spec.with_kernel(Kernel::Step));
     let kernels_agree = fast == step;
     let detector = hmp_platform::chaos::classify(&fast);
     ChaosCell {
-        kind,
+        kind: directive.kind,
         platform,
         strategy,
         detector,
@@ -194,12 +238,16 @@ pub fn run_grid(reduced: bool, workers: usize) -> (Vec<ChaosCell>, Vec<CoverageR
     for kind in FaultKind::ALL {
         for platform in chaos_platforms() {
             for &strategy in chaos_strategies(reduced) {
-                points.push((kind, platform, strategy));
+                points.push((directive_for(kind), platform, strategy));
             }
         }
     }
-    let cells = par_map(&points, workers, |&(kind, platform, strategy)| {
-        run_cell(kind, platform, strategy)
+    // The two bridge-endpoint cells ride on every grid, reduced or not.
+    for directive in bridge_directives() {
+        points.push((directive, BRIDGE_PLATFORM, Strategy::Proposed));
+    }
+    let cells = par_map(&points, workers, |&(directive, platform, strategy)| {
+        run_cell_with(directive, platform, strategy)
     });
     let mut rows: Vec<CoverageRow> = FaultKind::ALL
         .iter()
@@ -324,12 +372,33 @@ mod tests {
     }
 
     #[test]
+    fn bridge_cells_are_detected_never_silent() {
+        for directive in bridge_directives() {
+            let cell = run_cell_with(directive, BRIDGE_PLATFORM, Strategy::Proposed);
+            assert!(
+                cell.kernels_agree,
+                "{}: kernels diverged: {:?}",
+                directive.kind.key(),
+                cell.result
+            );
+            assert_ne!(
+                cell.detector,
+                Detector::Undetected,
+                "{} at the bridge endpoint escaped every detector: {:?}",
+                directive.kind.key(),
+                cell.result
+            );
+        }
+    }
+
+    #[test]
     fn keys_are_stable() {
         assert_eq!(platform_key(PlatformPick::PpcArm), "ppc_arm");
         assert_eq!(
             platform_key(PlatformPick::Pair(ProtocolKind::Mei, ProtocolKind::Msi)),
             "mesi_moesi"
         );
+        assert_eq!(platform_key(BRIDGE_PLATFORM), "fabric");
         assert_eq!(strategy_key(Strategy::SoftwareDrain), "software_drain");
         assert_eq!(outcome_key(RunOutcome::Completed), "completed");
         assert_eq!(

@@ -11,12 +11,16 @@
 //! platform pairing, including the pathological runs (the Figure 4
 //! hardware deadlock and the seeded Table 2 invariant violation).
 
+use hmp_bus::ArbitrationPolicy;
 use hmp_cache::ProtocolKind;
 use hmp_cpu::{LockKind, LockLayout, ProgramBuilder};
 use hmp_platform::{
-    layout, CpuSpec, Kernel, PlatformSpec, RunOutcome, RunResult, Strategy, System, WrapperMode,
+    layout, presets, CpuSpec, Kernel, PlatformSpec, RunOutcome, RunResult, Strategy, System,
+    Topology, TopologyMaster, WrapperMode,
 };
-use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+use hmp_workloads::{
+    build_programs_for, run, scenario_lock_kind, MicrobenchParams, PlatformPick, RunSpec, Scenario,
+};
 
 fn params() -> MicrobenchParams {
     MicrobenchParams {
@@ -90,6 +94,83 @@ fn five_protocol_pairings_agree() {
         let r = kernels_agree(spec, &format!("{a}+{b}"));
         assert!(r.is_clean_completion(), "{a}+{b}: {r}");
     }
+}
+
+/// Runs a hand-built topology's WCS workload under one kernel and
+/// returns the full result plus the per-master grant counts.
+fn run_topology(
+    topo: &Topology,
+    arbitration: ArbitrationPolicy,
+    kernel: Kernel,
+) -> (RunResult, Vec<u64>) {
+    let lock_kind = scenario_lock_kind(Scenario::Worst);
+    let (mut pspec, lay) = topo.spec(Strategy::Proposed, lock_kind, false);
+    pspec.arbitration = arbitration;
+    pspec.span_capacity = 256;
+    pspec.check_invariants = true;
+    let programs = build_programs_for(
+        Scenario::Worst,
+        Strategy::Proposed,
+        &params(),
+        &lay,
+        pspec.cpus.len(),
+    );
+    let mut sys = presets::instantiate(&pspec, Strategy::Proposed, programs);
+    sys.set_kernel(kernel);
+    let result = sys.run(2_000_000);
+    (result, sys.master_grants().to_vec())
+}
+
+/// Both kernels over a topology: full results and grant counts must
+/// match; returns the shared result.
+fn topology_kernels_agree(
+    topo: &Topology,
+    arbitration: ArbitrationPolicy,
+    label: &str,
+) -> RunResult {
+    let (step, step_grants) = run_topology(topo, arbitration, Kernel::Step);
+    let (fast, fast_grants) = run_topology(topo, arbitration, Kernel::FastForward);
+    assert_eq!(step, fast, "kernel divergence on {label}");
+    assert_eq!(step_grants, fast_grants, "grant divergence on {label}");
+    step
+}
+
+#[test]
+fn three_master_mixed_clock_topology_agrees() {
+    // Three coherent masters with different protocols *and* different
+    // core:bus clock ratios on a flat bus — the multi-rate event horizon
+    // must line up exactly between kernels.
+    let mut topo = Topology::single_segment(vec![
+        CpuSpec::generic("fast-mesi", ProtocolKind::Mesi),
+        CpuSpec::generic("bus-moesi", ProtocolKind::Moesi),
+        CpuSpec::generic("turbo-msi", ProtocolKind::Msi),
+    ]);
+    topo.masters[0].cpu.clock_mult = 2;
+    topo.masters[2].cpu.clock_mult = 3;
+    let r = topology_kernels_agree(&topo, ArbitrationPolicy::RoundRobin, "3-master mixed-clock");
+    assert!(r.is_clean_completion(), "{r}");
+    assert!(r.metrics.is_some(), "metrics snapshot compared");
+}
+
+#[test]
+fn four_master_bridged_fcfs_topology_agrees() {
+    // Four masters over two bridged segments under FCFS arbitration, with
+    // mixed protocols and clock ratios: bridge data-phase penalties and
+    // request timestamps are both kernel-neutral.
+    let mut topo = Topology {
+        masters: vec![
+            TopologyMaster::new(CpuSpec::generic("m0-moesi", ProtocolKind::Moesi)),
+            TopologyMaster::new(CpuSpec::generic("m1-mesi", ProtocolKind::Mesi)),
+            TopologyMaster::new(CpuSpec::generic("m2-mesi", ProtocolKind::Mesi)).on_segment(1),
+            TopologyMaster::new(CpuSpec::generic("m3-msi", ProtocolKind::Msi)).on_segment(1),
+        ],
+        segments: 2,
+        bridge_latency: Topology::DEFAULT_BRIDGE_LATENCY,
+    };
+    topo.masters[1].cpu.clock_mult = 2;
+    topo.masters[3].cpu.clock_mult = 3;
+    let r = topology_kernels_agree(&topo, ArbitrationPolicy::Fcfs, "4-master bridged FCFS");
+    assert!(r.is_clean_completion(), "{r}");
 }
 
 #[test]

@@ -16,6 +16,12 @@ pub enum ArbitrationPolicy {
     RoundRobin,
     /// Master 0 always beats master 1, and so on.
     FixedPriority,
+    /// First-come-first-served: oldest outstanding request wins, ties
+    /// broken by master index. This is the "FCFS service discipline" of
+    /// arXiv:1004.3560, whose analytical model predicts near-equal grant
+    /// shares under symmetric load — the fairness baseline the
+    /// `fabric_sweep` benchmark compares against.
+    Fcfs,
 }
 
 /// A fair round-robin arbiter over a fixed set of masters.
@@ -86,6 +92,20 @@ impl Arbiter {
     ///
     /// Panics if `requesting.len()` differs from the master count.
     pub fn grant(&mut self, requesting: &[bool]) -> Option<MasterId> {
+        self.grant_stamped(requesting, &[])
+    }
+
+    /// [`Arbiter::grant`] with per-master request timestamps for the
+    /// [`ArbitrationPolicy::Fcfs`] queue discipline: `stamps[i]` is the
+    /// cycle master *i* raised its (still outstanding) BREQ. Round-robin
+    /// and fixed-priority ignore the stamps, so callers without timestamp
+    /// tracking may pass `&[]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requesting.len()` differs from the master count, or if
+    /// the policy is FCFS and `stamps` is not the same width.
+    pub fn grant_stamped(&mut self, requesting: &[bool], stamps: &[u64]) -> Option<MasterId> {
         assert_eq!(requesting.len(), self.masters, "BREQ vector width mismatch");
         match self.policy {
             ArbitrationPolicy::RoundRobin => {
@@ -100,6 +120,21 @@ impl Arbiter {
             }
             ArbitrationPolicy::FixedPriority => {
                 let idx = requesting.iter().position(|&r| r)?;
+                self.last = idx;
+                Some(MasterId(idx))
+            }
+            ArbitrationPolicy::Fcfs => {
+                assert_eq!(
+                    stamps.len(),
+                    self.masters,
+                    "FCFS stamp vector width mismatch"
+                );
+                let idx = requesting
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| r)
+                    .min_by_key(|&(i, _)| (stamps[i], i))?
+                    .0;
                 self.last = idx;
                 Some(MasterId(idx))
             }
@@ -176,5 +211,74 @@ mod tests {
     #[test]
     fn policy_default_is_round_robin() {
         assert_eq!(ArbitrationPolicy::default(), ArbitrationPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn fcfs_simultaneous_requests_grant_in_index_order() {
+        let mut arb = Arbiter::with_policy(3, ArbitrationPolicy::Fcfs);
+        // All three raised BREQ at cycle 10: ties break by index.
+        assert_eq!(
+            arb.grant_stamped(&[true, true, true], &[10, 10, 10]),
+            Some(MasterId(0))
+        );
+        assert_eq!(
+            arb.grant_stamped(&[false, true, true], &[10, 10, 10]),
+            Some(MasterId(1))
+        );
+        assert_eq!(
+            arb.grant_stamped(&[false, false, true], &[10, 10, 10]),
+            Some(MasterId(2))
+        );
+    }
+
+    #[test]
+    fn fcfs_staggered_requests_grant_oldest_first() {
+        let mut arb = Arbiter::with_policy(3, ArbitrationPolicy::Fcfs);
+        // Master 2 asked at cycle 5, master 0 at 7, master 1 at 9.
+        assert_eq!(
+            arb.grant_stamped(&[true, true, true], &[7, 9, 5]),
+            Some(MasterId(2))
+        );
+        assert_eq!(
+            arb.grant_stamped(&[true, true, false], &[7, 9, 5]),
+            Some(MasterId(0))
+        );
+        // Master 2 re-requests later (cycle 20) — it now queues behind 1.
+        assert_eq!(
+            arb.grant_stamped(&[false, true, true], &[7, 9, 20]),
+            Some(MasterId(1))
+        );
+        assert_eq!(
+            arb.grant_stamped(&[false, false, true], &[7, 9, 20]),
+            Some(MasterId(2))
+        );
+    }
+
+    #[test]
+    fn fcfs_no_requests_no_grant() {
+        let mut arb = Arbiter::with_policy(2, ArbitrationPolicy::Fcfs);
+        assert_eq!(arb.grant_stamped(&[false, false], &[0, 0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "stamp vector width mismatch")]
+    fn fcfs_missing_stamps_panics() {
+        let mut arb = Arbiter::with_policy(2, ArbitrationPolicy::Fcfs);
+        let _ = arb.grant(&[true, true]);
+    }
+
+    #[test]
+    fn non_fcfs_policies_ignore_stamps() {
+        let mut arb = Arbiter::new(2);
+        // Stamps favour master 1, but round-robin still rotates from 0.
+        assert_eq!(
+            arb.grant_stamped(&[true, true], &[100, 1]),
+            Some(MasterId(0))
+        );
+        let mut fp = Arbiter::with_policy(2, ArbitrationPolicy::FixedPriority);
+        assert_eq!(
+            fp.grant_stamped(&[true, true], &[100, 1]),
+            Some(MasterId(0))
+        );
     }
 }

@@ -132,6 +132,10 @@ struct MasterPort {
     /// double as the master's *write-back buffers*: the platform must ARTRY
     /// any remote access to a line held here.
     drains: VecDeque<([u32; LINE_WORDS as usize], Addr)>,
+    /// Cycle the port last transitioned from idle to requesting — the
+    /// FCFS queue position. Refreshed on an ARTRY kill (the retry is a
+    /// *new* request and queues behind younger first-timers).
+    stamp: u64,
 }
 
 impl MasterPort {
@@ -172,6 +176,20 @@ pub struct Bus {
     /// Reused arbitration request mask — rebuilding it per cycle would
     /// allocate on the hot path.
     req_mask: Vec<bool>,
+    /// Reused FCFS stamp vector, filled alongside `req_mask`.
+    stamp_mask: Vec<u64>,
+    /// Grants per master (including drain grants and re-grants after
+    /// ARTRY) — the numerator of the fairness studies' grant shares.
+    /// Kept outside [`BusStats`] so the aggregate struct stays `Copy`.
+    grants_per_master: Vec<u64>,
+    /// Segment each master port is attached to. Single-segment fabrics
+    /// map every master to segment 0.
+    segment_map: Vec<usize>,
+    /// Number of bus segments in the fabric (≥ 1).
+    segments: usize,
+    /// Extra data-phase cycles a transaction pays when its data crosses
+    /// the snooping bridge between segments.
+    bridge_latency: u64,
     /// Maintained count of queued (not yet granted) drains across all
     /// ports — kept at transition points so [`Bus::queued_drains`] is
     /// O(1) instead of a per-cycle port scan.
@@ -181,6 +199,8 @@ pub struct Bus {
     grant_block: u64,
     /// Retry-escalation policy (disabled by default).
     recovery: RecoveryPolicy,
+    /// Per-master recovery overrides; `None` falls back to `recovery`.
+    recovery_overrides: Vec<Option<RecoveryPolicy>>,
     /// Consecutive ARTRY kills per master, reset when a CPU transaction
     /// of that master proceeds.
     consecutive_retries: Vec<u32>,
@@ -203,9 +223,15 @@ impl Bus {
             stats: BusStats::default(),
             retry_backoff: 0,
             req_mask: vec![false; masters],
+            stamp_mask: vec![0; masters],
+            grants_per_master: vec![0; masters],
+            segment_map: vec![0; masters],
+            segments: 1,
+            bridge_latency: 0,
             queued_drain_count: 0,
             grant_block: 0,
             recovery: RecoveryPolicy::default(),
+            recovery_overrides: vec![None; masters],
             consecutive_retries: vec![0; masters],
             quarantined: vec![false; masters],
         }
@@ -240,6 +266,100 @@ impl Bus {
     /// The active retry-escalation policy.
     pub fn recovery(&self) -> RecoveryPolicy {
         self.recovery
+    }
+
+    /// Overrides the retry-escalation policy for one master. Masters
+    /// without an override use the bus-wide [`Bus::set_recovery`] policy.
+    pub fn set_master_recovery(&mut self, master: MasterId, policy: RecoveryPolicy) {
+        self.recovery_overrides[master.index()] = Some(policy);
+    }
+
+    /// The retry-escalation policy governing `master` (its override, or
+    /// the bus-wide default).
+    pub fn recovery_for(&self, master: MasterId) -> RecoveryPolicy {
+        self.recovery_overrides[master.index()].unwrap_or(self.recovery)
+    }
+
+    /// `true` when any master (via override or the bus-wide default) has
+    /// an armed recovery policy.
+    pub fn recovery_armed(&self) -> bool {
+        self.recovery.enabled()
+            || self
+                .recovery_overrides
+                .iter()
+                .flatten()
+                .any(|p| p.enabled())
+    }
+
+    /// Partitions the masters over bus segments joined by the snooping
+    /// bridge. `segment_map[i]` is master *i*'s home segment; `segments`
+    /// is the fabric's segment count; `bridge_latency` is the extra
+    /// data-phase cost of a transaction whose data crosses the bridge.
+    ///
+    /// The bridge forwards every address phase combinationally, so the
+    /// fabric remains **one arbitration domain** — one transaction in
+    /// flight fabric-wide, every cache snooping every address. Only data
+    /// movement pays the crossing penalty (see [`Bus::bridge_penalty`]).
+    /// A single-segment fabric (the default) never pays it, which keeps
+    /// the flat-bus configurations byte-identical to the pre-fabric bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_map` is not one entry per master, `segments`
+    /// is zero, or any entry names a segment out of range.
+    pub fn set_segments(&mut self, segment_map: &[usize], segments: usize, bridge_latency: u64) {
+        assert_eq!(
+            segment_map.len(),
+            self.ports.len(),
+            "segment map width mismatch"
+        );
+        assert!(segments >= 1, "a fabric needs at least one segment");
+        assert!(
+            segment_map.iter().all(|&s| s < segments),
+            "segment index out of range"
+        );
+        self.segment_map.copy_from_slice(segment_map);
+        self.segments = segments;
+        self.bridge_latency = bridge_latency;
+    }
+
+    /// Number of bus segments in the fabric.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The segment `master` is attached to.
+    pub fn segment_of(&self, master: MasterId) -> usize {
+        self.segment_map[master.index()]
+    }
+
+    /// Configured bridge crossing latency in bus cycles.
+    pub fn bridge_latency(&self) -> u64 {
+        self.bridge_latency
+    }
+
+    /// Extra data-phase cycles `master`'s transaction pays for its data
+    /// source: `supplier` is the cache-to-cache supplier's master index,
+    /// or `None` when memory (homed on segment 0, alongside the lock
+    /// register and other slaves) serves the data. Zero on a
+    /// single-segment fabric or when source and requester share a
+    /// segment.
+    pub fn bridge_penalty(&self, master: MasterId, supplier: Option<usize>) -> u64 {
+        if self.segments <= 1 {
+            return 0;
+        }
+        let home = self.segment_map[master.index()];
+        let source = supplier.map_or(0, |s| self.segment_map[s]);
+        if home == source {
+            0
+        } else {
+            self.bridge_latency
+        }
+    }
+
+    /// Grants per master so far (drains and retry re-grants included).
+    pub fn master_grants(&self) -> &[u64] {
+        &self.grants_per_master
     }
 
     /// Suppresses arbitration for the next `cycles` bus cycles (an
@@ -323,6 +443,9 @@ impl Bus {
             port.fresh.is_none() && port.retrying.as_ref().is_none_or(|&(_, _, d)| d),
             "{master} already has an outstanding CPU transaction"
         );
+        if !port.wants_bus() {
+            port.stamp = now.as_u64();
+        }
         port.fresh = Some((op, addr));
         obs.on_event(
             now,
@@ -346,7 +469,11 @@ impl Bus {
         obs: &mut impl Observer,
     ) {
         let line = addr.line_base();
-        self.ports[master.index()].drains.push_back((data, line));
+        let port = &mut self.ports[master.index()];
+        if !port.wants_bus() {
+            port.stamp = now.as_u64();
+        }
+        port.drains.push_back((data, line));
         self.queued_drain_count += 1;
         obs.on_event(
             now,
@@ -465,8 +592,12 @@ impl Bus {
         }
         for i in 0..self.ports.len() {
             self.req_mask[i] = self.ports[i].backoff == 0 && self.wants_bus_effective(i);
+            self.stamp_mask[i] = self.ports[i].stamp;
         }
-        let master = self.arbiter.grant(&self.req_mask)?;
+        let master = self
+            .arbiter
+            .grant_stamped(&self.req_mask, &self.stamp_mask)?;
+        self.grants_per_master[master.index()] += 1;
         let quarantined = self.quarantined[master.index()];
         let port = &mut self.ports[master.index()];
         // A quarantined master's non-drain retry stays parked; only its
@@ -566,15 +697,18 @@ impl Bus {
                 let mut backoff = self.retry_backoff;
                 // Escalation counts only CPU transactions: a drain retried
                 // behind a busy line is normal protocol traffic.
-                if !t.is_drain && self.recovery.enabled() {
+                let recovery = self.recovery_for(t.master);
+                if !t.is_drain && recovery.enabled() {
                     let n = &mut self.consecutive_retries[t.master.index()];
                     *n = n.saturating_add(1);
-                    if self.recovery.retry_budget > 0 && *n >= self.recovery.retry_budget {
-                        backoff = backoff.max(self.recovery.escalation_backoff);
+                    if recovery.retry_budget > 0 && *n >= recovery.retry_budget {
+                        backoff = backoff.max(recovery.escalation_backoff);
                     }
                 }
                 let port = &mut self.ports[t.master.index()];
                 port.backoff = backoff;
+                // The retry is a fresh BREQ as far as FCFS is concerned.
+                port.stamp = now.as_u64();
                 if t.is_drain {
                     let BusOp::WriteLine(data) = t.op else {
                         unreachable!("drains are always line writes");
@@ -1134,6 +1268,164 @@ mod tests {
         assert!(bus.try_grant(Cycle::ZERO, &mut NullObserver).is_none());
         assert_eq!(bus.next_event(), None);
         assert!(bus.cpu_txn_outstanding(MasterId(0)), "txn parked, not lost");
+    }
+
+    #[test]
+    fn fcfs_on_the_bus_grants_in_arrival_order() {
+        let mut bus = Bus::new(3);
+        bus.set_arbitration(ArbitrationPolicy::Fcfs);
+        // Master 2 asks first (cycle 1), then 0 (cycle 3), then 1 (cycle 4).
+        bus.submit(
+            MasterId(2),
+            BusOp::ReadWord,
+            Addr::new(0x8),
+            Cycle::new(1),
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadWord,
+            Addr::new(0x0),
+            Cycle::new(3),
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadWord,
+            Addr::new(0x4),
+            Cycle::new(4),
+            &mut NullObserver,
+        );
+        let mut order = Vec::new();
+        for now in 5..8 {
+            let g = bus.try_grant(Cycle::new(now), &mut NullObserver).unwrap();
+            order.push(g.master.index());
+            bus.resolve(proceed(0), Cycle::new(now), &mut NullObserver);
+        }
+        assert_eq!(order, vec![2, 0, 1], "oldest outstanding request first");
+    }
+
+    #[test]
+    fn fcfs_retry_requeues_at_the_back() {
+        let mut bus = Bus::new(2);
+        bus.set_arbitration(ArbitrationPolicy::Fcfs);
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::new(1),
+            &mut NullObserver,
+        );
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x80),
+            Cycle::new(2),
+            &mut NullObserver,
+        );
+        // Master 1 wins (older) but is ARTRY-killed at cycle 5: its retry
+        // is a fresh request stamped 5 and now queues behind master 0.
+        let g = bus.try_grant(Cycle::new(5), &mut NullObserver).unwrap();
+        assert_eq!(g.master, MasterId(1));
+        bus.resolve(AddressOutcome::Retry, Cycle::new(5), &mut NullObserver);
+        let g = bus.try_grant(Cycle::new(6), &mut NullObserver).unwrap();
+        assert_eq!(g.master, MasterId(0), "killed master lost its queue slot");
+    }
+
+    #[test]
+    fn per_master_grant_counts_accumulate() {
+        let mut bus = Bus::new(2);
+        for _ in 0..3 {
+            bus.submit(
+                MasterId(0),
+                BusOp::ReadWord,
+                Addr::new(0x0),
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+            bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+            bus.resolve(proceed(0), Cycle::ZERO, &mut NullObserver);
+        }
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadWord,
+            Addr::new(0x4),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(proceed(0), Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.master_grants(), &[3, 1]);
+        assert_eq!(bus.stats().grants, 4, "aggregate stays in sync");
+    }
+
+    #[test]
+    fn bridge_penalty_applies_only_across_segments() {
+        let mut bus = Bus::new(4);
+        assert_eq!(bus.segments(), 1);
+        assert_eq!(bus.bridge_penalty(MasterId(3), None), 0, "flat bus is free");
+        bus.set_segments(&[0, 0, 1, 1], 2, 6);
+        assert_eq!(bus.segments(), 2);
+        assert_eq!(bus.segment_of(MasterId(1)), 0);
+        assert_eq!(bus.segment_of(MasterId(2)), 1);
+        assert_eq!(bus.bridge_latency(), 6);
+        // Memory is homed on segment 0: remote masters pay the crossing.
+        assert_eq!(bus.bridge_penalty(MasterId(0), None), 0);
+        assert_eq!(bus.bridge_penalty(MasterId(2), None), 6);
+        // Cache-to-cache within a segment is free; across it pays.
+        assert_eq!(bus.bridge_penalty(MasterId(2), Some(3)), 0);
+        assert_eq!(bus.bridge_penalty(MasterId(2), Some(0)), 6);
+        assert_eq!(bus.bridge_penalty(MasterId(0), Some(1)), 0);
+        assert_eq!(bus.bridge_penalty(MasterId(0), Some(3)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment index out of range")]
+    fn bad_segment_map_panics() {
+        Bus::new(2).set_segments(&[0, 2], 2, 4);
+    }
+
+    #[test]
+    fn per_master_recovery_override_escalates_independently() {
+        let mut bus = Bus::new(2);
+        // No bus-wide policy; master 1 alone gets a tight budget.
+        bus.set_master_recovery(
+            MasterId(1),
+            RecoveryPolicy {
+                retry_budget: 1,
+                escalation_backoff: 40,
+                quarantine_after: 0,
+            },
+        );
+        assert!(!bus.recovery().enabled());
+        assert!(bus.recovery_for(MasterId(1)).enabled());
+        assert!(bus.recovery_armed());
+        // Master 0 retries without escalation.
+        bus.submit(
+            MasterId(0),
+            BusOp::ReadLine,
+            Addr::new(0x40),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.consecutive_retries(MasterId(0)), 0, "not tracked");
+        assert_eq!(bus.next_event(), Some(1), "no BOFF for master 0");
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(proceed(0), Cycle::ZERO, &mut NullObserver);
+        // Master 1's first kill already escalates its BOFF.
+        bus.submit(
+            MasterId(1),
+            BusOp::ReadLine,
+            Addr::new(0x80),
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        bus.try_grant(Cycle::ZERO, &mut NullObserver).unwrap();
+        bus.resolve(AddressOutcome::Retry, Cycle::ZERO, &mut NullObserver);
+        assert_eq!(bus.consecutive_retries(MasterId(1)), 1);
+        assert_eq!(bus.next_event(), Some(40), "override BOFF armed");
     }
 
     #[test]

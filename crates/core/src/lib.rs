@@ -49,6 +49,6 @@ mod wrapper;
 
 pub use platform_class::{classify_platform, CoherenceSupport, PlatformClass};
 pub use policy::{derive_policy, SharedSignalPolicy, WrapperPolicy};
-pub use reduction::{reduce, ReduceError};
+pub use reduction::{reduce, reduce_segments, ReduceError};
 pub use snoop_logic::SnoopLogic;
 pub use wrapper::Wrapper;

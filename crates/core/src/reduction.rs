@@ -85,6 +85,67 @@ pub fn reduce(protocols: &[ProtocolKind]) -> Result<ProtocolKind, ReduceError> {
         .expect("non-empty"))
 }
 
+/// Per-segment GCS reduction for a segmented fabric: computes the meet
+/// of each segment's coherent processors separately, then the fabric-wide
+/// meet across the snooping bridge.
+///
+/// `protocols[i]` is master *i*'s native protocol (`None` for
+/// non-coherent processors behind TAG CAMs — they contribute nothing to
+/// reduction); `segment_map[i]` is its home segment. A segment with no
+/// coherent master reduces to `None` (the PF1 situation, locally).
+///
+/// Because the lattice is a chain, the fabric meet equals the flat
+/// [`reduce`] over all coherent masters — the per-segment view exists so
+/// a bridge implementation can run each segment's wrappers at the widest
+/// protocol its *local* masters allow while the bridge endpoint snoops at
+/// the fabric-wide meet.
+///
+/// # Errors
+///
+/// Propagates [`ReduceError::SiNotAProcessorProtocol`]; an entirely
+/// non-coherent fabric yields `(vec![None; segments], None)` rather than
+/// [`ReduceError::Empty`].
+///
+/// # Panics
+///
+/// Panics if `segment_map` and `protocols` differ in length or a segment
+/// index is out of range.
+pub fn reduce_segments(
+    protocols: &[Option<ProtocolKind>],
+    segment_map: &[usize],
+    segments: usize,
+) -> Result<(Vec<Option<ProtocolKind>>, Option<ProtocolKind>), ReduceError> {
+    assert_eq!(protocols.len(), segment_map.len(), "map width mismatch");
+    assert!(
+        segment_map.iter().all(|&s| s < segments),
+        "segment index out of range"
+    );
+    let mut per_segment = Vec::with_capacity(segments);
+    let mut scratch = Vec::new();
+    for seg in 0..segments {
+        scratch.clear();
+        scratch.extend(
+            protocols
+                .iter()
+                .zip(segment_map)
+                .filter(|&(_, &s)| s == seg)
+                .filter_map(|(p, _)| *p),
+        );
+        per_segment.push(match reduce(&scratch) {
+            Ok(p) => Some(p),
+            Err(ReduceError::Empty) => None,
+            Err(e) => return Err(e),
+        });
+    }
+    let fabric: Vec<ProtocolKind> = per_segment.iter().copied().flatten().collect();
+    let fabric = match reduce(&fabric) {
+        Ok(p) => Some(p),
+        Err(ReduceError::Empty) => None,
+        Err(e) => return Err(e),
+    };
+    Ok((per_segment, fabric))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +215,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn segmented_reduction_per_segment_and_fabric_meet() {
+        // Segment 0: MOESI+MESI → MESI; segment 1: MSI alone → MSI;
+        // fabric meet: MSI.
+        let (per_seg, fabric) =
+            reduce_segments(&[Some(Moesi), Some(Mesi), Some(Msi)], &[0, 0, 1], 2).unwrap();
+        assert_eq!(per_seg, vec![Some(Mesi), Some(Msi)]);
+        assert_eq!(fabric, Some(Msi));
+    }
+
+    #[test]
+    fn segmented_reduction_handles_non_coherent_masters() {
+        // A CAM-guarded master (None) contributes nothing; a segment of
+        // only such masters reduces to None while the fabric meet still
+        // reflects the coherent side.
+        let (per_seg, fabric) = reduce_segments(&[Some(Mesi), None, None], &[0, 1, 1], 2).unwrap();
+        assert_eq!(per_seg, vec![Some(Mesi), None]);
+        assert_eq!(fabric, Some(Mesi));
+        // An entirely non-coherent fabric (PF1) is not an error.
+        let (per_seg, fabric) = reduce_segments(&[None, None], &[0, 0], 1).unwrap();
+        assert_eq!(per_seg, vec![None]);
+        assert_eq!(fabric, None);
+    }
+
+    #[test]
+    fn segmented_fabric_meet_equals_flat_reduce() {
+        // The chain lattice makes the bridge transparent to reduction:
+        // any segment assignment yields the same fabric-wide meet.
+        let protocols = [Some(Moesi), Some(Mei), Some(Mesi), Some(Msi)];
+        let flat = reduce(&[Moesi, Mei, Mesi, Msi]).unwrap();
+        for map in [[0, 0, 1, 1], [0, 1, 0, 1], [1, 1, 0, 0], [0, 0, 0, 0]] {
+            let segments = map.iter().max().unwrap() + 1;
+            let (_, fabric) = reduce_segments(&protocols, &map, segments).unwrap();
+            assert_eq!(fabric, Some(flat), "map {map:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_reduction_rejects_si() {
+        assert_eq!(
+            reduce_segments(&[Some(Si)], &[0], 1).unwrap_err(),
+            ReduceError::SiNotAProcessorProtocol
+        );
     }
 
     #[test]

@@ -188,6 +188,7 @@ mod tests {
             addr: Addr::new(0x40),
             kind: InvariantKind::MultipleWriters,
             holders: vec![(0, LineState::Modified), (1, LineState::Modified)],
+            segments: vec![0],
         });
         assert_eq!(classify(&r), Detector::Invariant, "invariant beats all");
     }

@@ -334,6 +334,7 @@ impl<O: Observer> System<O> {
 
         let mut phase = std::mem::take(&mut self.phase_scratch);
         phase.reset();
+        let mut supplier: Option<usize> = None;
         for j in 0..self.nodes.len() {
             if j == txn.master.index() {
                 continue;
@@ -349,13 +350,16 @@ impl<O: Observer> System<O> {
                 self.now,
                 &mut self.obs,
             );
+            if matches!(verdict, SnoopVerdict::Supply { .. }) {
+                supplier = Some(j);
+            }
             phase.absorb(j, verdict, &mut self.counters);
         }
         for &(j, data) in phase.drains() {
             self.bus
                 .submit_drain(MasterId(j), data, addr, self.now, &mut self.obs);
         }
-        let outcome = if let Some(cause) = phase.retry_cause() {
+        let mut outcome = if let Some(cause) = phase.retry_cause() {
             self.emit_retry(txn, cause);
             AddressOutcome::Retry
         } else {
@@ -365,6 +369,15 @@ impl<O: Observer> System<O> {
                 self.mem.line_fill_latency().as_u64(),
             )
         };
+        // Data that crosses the snooping bridge (requester and its data
+        // source on different segments) pays the bridge's store-and-forward
+        // latency in extra data-phase cycles; address forwarding itself is
+        // combinational, and upgrades move no data.
+        if let AddressOutcome::Proceed { data_cycles, .. } = &mut outcome {
+            if *data_cycles > 0 {
+                *data_cycles += self.bus.bridge_penalty(txn.master, supplier);
+            }
+        }
         self.phase_scratch = phase;
         outcome
     }

@@ -207,7 +207,15 @@ pub fn layout(
     lock_kind: LockKind,
     cacheable_locks: bool,
 ) -> (MemLayout, MemoryMap) {
-    let lay = MemLayout::default();
+    let mut lay = MemLayout::default();
+    // More than four private windows overrun the classic shared-window
+    // base; relocate the shared and lock windows just above the private
+    // space. Platforms of up to four masters keep the default bases.
+    let private_top = (cpus as u32) * MemLayout::PRIVATE_STRIDE;
+    if private_top > lay.shared_base.as_u32() {
+        lay.shared_base = Addr::new(private_top);
+        lay.lock_base = Addr::new(private_top + MemLayout::SHARED_BYTES);
+    }
     let mut map = MemoryMap::new();
     for i in 0..cpus {
         map.add(Region::new(
@@ -282,6 +290,17 @@ pub struct PlatformSpec {
     /// Retry-escalation and quarantine policy for the arbiter. Disabled
     /// by default; see [`hmp_bus::RecoveryPolicy`].
     pub recovery: hmp_bus::RecoveryPolicy,
+    /// Bus segment each CPU's master port sits on. Empty (the default)
+    /// puts everyone on one segment — the flat single-bus platforms.
+    /// Populated by [`crate::topology::Topology::spec`].
+    pub segment_map: Vec<usize>,
+    /// Extra data-phase cycles a transaction pays when its data crosses
+    /// the snooping bridge between segments (ignored on single-segment
+    /// fabrics).
+    pub bridge_latency: u64,
+    /// Per-master recovery-policy overrides (index-aligned with `cpus`;
+    /// `None` entries fall back to `recovery`). Empty means no overrides.
+    pub recovery_overrides: Vec<Option<hmp_bus::RecoveryPolicy>>,
 }
 
 impl PlatformSpec {
@@ -303,6 +322,9 @@ impl PlatformSpec {
             check_invariants: false,
             faults: None,
             recovery: hmp_bus::RecoveryPolicy::default(),
+            segment_map: Vec::new(),
+            bridge_latency: 0,
+            recovery_overrides: Vec::new(),
         }
     }
 }

@@ -62,6 +62,10 @@ pub struct InvariantViolation {
     pub kind: InvariantKind,
     /// Every cache holding the line valid, as `(master, state)`.
     pub holders: Vec<(usize, LineState)>,
+    /// Distinct fabric segments the valid holders sit on, ascending.
+    /// One entry on a flat bus; two or more mean the illegal state spans
+    /// the snooping bridge, implicating its forwarding path.
+    pub segments: Vec<usize>,
 }
 
 impl fmt::Display for InvariantViolation {
@@ -78,6 +82,13 @@ impl fmt::Display for InvariantViolation {
                 write!(f, ", ")?;
             }
             write!(f, "cpu{cpu}={state:?}")?;
+        }
+        if self.segments.len() > 1 {
+            write!(f, " (spans segments")?;
+            for s in &self.segments {
+                write!(f, " {s}")?;
+            }
+            write!(f, ")")?;
         }
         Ok(())
     }
@@ -128,6 +139,8 @@ pub struct InvariantObserver {
     scratch: [(usize, LineState); MAX_HOLDERS],
     violation: Option<InvariantViolation>,
     lines_checked: u64,
+    /// Master → fabric segment; empty means "flat bus, all segment 0".
+    segment_map: Vec<usize>,
 }
 
 impl InvariantObserver {
@@ -137,7 +150,20 @@ impl InvariantObserver {
             scratch: [(0, LineState::Invalid); MAX_HOLDERS],
             violation: None,
             lines_checked: 0,
+            segment_map: Vec::new(),
         }
+    }
+
+    /// Makes the checker segment-aware: latched violations will record
+    /// which fabric segments the offending holders sit on, so a break
+    /// that spans the snooping bridge is distinguishable from a local
+    /// one. The default (no map) treats every master as segment 0.
+    pub fn set_segment_map(&mut self, segment_map: &[usize]) {
+        self.segment_map = segment_map.to_vec();
+    }
+
+    fn segment_of(&self, master: usize) -> usize {
+        self.segment_map.get(master).copied().unwrap_or(0)
     }
 
     /// The first violation seen, if any. Once latched, later checks are
@@ -170,11 +196,19 @@ impl InvariantObserver {
             n += 1;
         }
         if let Some(kind) = classify(&self.scratch[..n]) {
+            let mut segments: Vec<usize> = self.scratch[..n]
+                .iter()
+                .filter(|&&(_, s)| s != LineState::Invalid)
+                .map(|&(m, _)| self.segment_of(m))
+                .collect();
+            segments.sort_unstable();
+            segments.dedup();
             self.violation = Some(InvariantViolation {
                 at,
                 addr: addr.line_base(),
                 kind,
                 holders: self.scratch[..n].to_vec(),
+                segments,
             });
         }
     }
@@ -271,6 +305,33 @@ mod tests {
         assert!(txt.contains("writer with live sharers"), "{txt}");
         assert!(txt.contains("cpu0=Modified"), "{txt}");
         assert!(txt.contains("cpu1=Shared"), "{txt}");
+    }
+
+    #[test]
+    fn segment_map_tags_bridge_spanning_violations() {
+        // Masters 0/1 on segment 0, masters 2/3 on segment 1.
+        let mut obs = InvariantObserver::new();
+        obs.set_segment_map(&[0, 0, 1, 1]);
+        obs.check_line(Cycle::new(3), Addr::new(0x40), [(0, Modified), (3, Shared)]);
+        let v = obs.violation().expect("latched");
+        assert_eq!(v.segments, vec![0, 1], "holders span the bridge");
+        assert!(v.to_string().contains("spans segments 0 1"), "{v}");
+        // A same-segment break records a single segment and no note.
+        let mut obs = InvariantObserver::new();
+        obs.set_segment_map(&[0, 0, 1, 1]);
+        obs.check_line(Cycle::new(4), Addr::new(0x80), [(2, Owned), (3, Owned)]);
+        let v = obs.violation().expect("latched");
+        assert_eq!(v.segments, vec![1]);
+        assert!(!v.to_string().contains("spans"), "{v}");
+        // Without a map every master is segment 0 (flat-bus default),
+        // and Invalid holders contribute no segment.
+        let mut obs = InvariantObserver::new();
+        obs.check_line(
+            Cycle::new(5),
+            Addr::new(0xC0),
+            [(0, Modified), (1, Invalid), (2, Modified)],
+        );
+        assert_eq!(obs.violation().unwrap().segments, vec![0]);
     }
 
     #[test]

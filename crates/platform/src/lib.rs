@@ -38,6 +38,7 @@ pub mod presets;
 mod report;
 mod result;
 mod system;
+pub mod topology;
 
 pub use checker::{CoherenceChecker, Violation};
 pub use coherence::{AddressPhase, CompletionAction, LineData, Pending, PendingKind, SnoopVerdict};
@@ -46,5 +47,6 @@ pub use invariant::{classify, InvariantKind, InvariantObserver, InvariantViolati
 pub use report::{CpuReport, Report};
 pub use result::{HangReport, RunOutcome, RunResult};
 pub use system::System;
+pub use topology::{Topology, TopologyMaster};
 
 pub use hmp_sim::Kernel;

@@ -1,8 +1,12 @@
 //! Named platforms from the paper's case studies.
+//!
+//! Every preset is expressed as a trivial (single-segment)
+//! [`Topology`], so the classic two-master platforms and the N-master
+//! fabrics share one construction path.
 
-use crate::{layout, CpuSpec, MemLayout, PlatformSpec, Strategy, System};
+use crate::{CpuSpec, MemLayout, PlatformSpec, Strategy, System, Topology};
 use hmp_cache::ProtocolKind;
-use hmp_cpu::{LockKind, LockLayout, Program};
+use hmp_cpu::{LockKind, Program};
 
 /// The paper's Figure 3 platform: PowerPC755 (MEI, 100 MHz) + ARM920T
 /// (no coherence hardware, 50 MHz) — platform class PF2. The evaluation
@@ -15,10 +19,11 @@ pub fn ppc_arm(
     lock_kind: LockKind,
     cacheable_locks: bool,
 ) -> (PlatformSpec, MemLayout) {
-    let (lay, map) = layout(2, strategy, lock_kind, cacheable_locks);
-    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
-    let spec = PlatformSpec::new(vec![CpuSpec::powerpc755(), CpuSpec::arm920t()], map, lock);
-    (spec, lay)
+    Topology::single_segment(vec![CpuSpec::powerpc755(), CpuSpec::arm920t()]).spec(
+        strategy,
+        lock_kind,
+        cacheable_locks,
+    )
 }
 
 /// The paper's Figure 2 platform: Intel486 (modified MESI) + PowerPC755
@@ -26,69 +31,75 @@ pub fn ppc_arm(
 /// expects it to outperform the PF2 platform "due to the absence of an
 /// interrupt service routine".
 pub fn i486_ppc(strategy: Strategy, lock_kind: LockKind) -> (PlatformSpec, MemLayout) {
-    let (lay, map) = layout(2, strategy, lock_kind, false);
-    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
-    let spec = PlatformSpec::new(vec![CpuSpec::intel486(), CpuSpec::powerpc755()], map, lock);
-    (spec, lay)
+    Topology::single_segment(vec![CpuSpec::intel486(), CpuSpec::powerpc755()])
+        .spec(strategy, lock_kind, false)
+}
+
+/// A generic PF3 platform with one bus-speed processor per protocol in
+/// `protocols` — the paper's "easily extended to platforms with more
+/// than two processors" (§2), on one flat bus segment.
+///
+/// # Panics
+///
+/// Panics if `protocols` is empty.
+pub fn protocol_set(
+    protocols: &[ProtocolKind],
+    strategy: Strategy,
+    lock_kind: LockKind,
+) -> (PlatformSpec, MemLayout) {
+    assert!(!protocols.is_empty(), "need at least one processor");
+    let cpus = protocols
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| CpuSpec::generic(&format!("cpu{i}-{p}"), p))
+        .collect();
+    Topology::single_segment(cpus).spec(strategy, lock_kind, false)
 }
 
 /// A generic PF3 pairing of two write-back protocols — used to exercise
-/// every combination of §2's reduction table.
+/// every combination of §2's reduction table. Thin wrapper over
+/// [`protocol_set`].
 pub fn protocol_pair(
     a: ProtocolKind,
     b: ProtocolKind,
     strategy: Strategy,
     lock_kind: LockKind,
 ) -> (PlatformSpec, MemLayout) {
-    let (lay, map) = layout(2, strategy, lock_kind, false);
-    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
-    let spec = PlatformSpec::new(
-        vec![
-            CpuSpec::generic(&format!("cpu0-{a}"), a),
-            CpuSpec::generic(&format!("cpu1-{b}"), b),
-        ],
-        map,
-        lock,
-    );
-    (spec, lay)
+    protocol_set(&[a, b], strategy, lock_kind)
 }
 
-/// A generic PF3 platform with one processor per protocol in `protocols`
-/// — the paper's "easily extended to platforms with more than two
-/// processors" (§2).
-///
-/// # Panics
-///
-/// Panics if `protocols` is empty.
+/// Alias of [`protocol_set`], kept for callers written against the older
+/// name.
 pub fn generic_many(
     protocols: &[ProtocolKind],
     strategy: Strategy,
     lock_kind: LockKind,
 ) -> (PlatformSpec, MemLayout) {
-    assert!(!protocols.is_empty(), "need at least one processor");
-    let (lay, map) = layout(protocols.len(), strategy, lock_kind, false);
-    let lock = LockLayout::new(lock_kind, lay.lock_base, protocols.len() as u32);
-    let cpus = protocols
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| CpuSpec::generic(&format!("cpu{i}-{p}"), p))
-        .collect();
-    let spec = PlatformSpec::new(cpus, map, lock);
-    (spec, lay)
+    protocol_set(protocols, strategy, lock_kind)
 }
 
-/// A PF1 platform: two processors with *no* coherence hardware, each
-/// behind its own TAG-CAM snoop logic ("The same methodology used in
-/// ARM920T can be employed in PF1", paper §3).
+/// A PF1 platform with `n` processors, *none* of which has coherence
+/// hardware — each sits behind its own TAG-CAM snoop logic ("The same
+/// methodology used in ARM920T can be employed in PF1", paper §3).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn pf1_many(n: usize, strategy: Strategy, lock_kind: LockKind) -> (PlatformSpec, MemLayout) {
+    assert!(n >= 1, "need at least one processor");
+    let cpus = (0..n)
+        .map(|i| {
+            let mut c = CpuSpec::arm920t();
+            c.name = format!("ARM920T-{i}");
+            c
+        })
+        .collect();
+    Topology::single_segment(cpus).spec(strategy, lock_kind, false)
+}
+
+/// The two-processor PF1 platform — [`pf1_many`] with `n = 2`.
 pub fn pf1_dual(strategy: Strategy, lock_kind: LockKind) -> (PlatformSpec, MemLayout) {
-    let (lay, map) = layout(2, strategy, lock_kind, false);
-    let lock = LockLayout::new(lock_kind, lay.lock_base, 2);
-    let mut a = CpuSpec::arm920t();
-    a.name = "ARM920T-0".into();
-    let mut b = CpuSpec::arm920t();
-    b.name = "ARM920T-1".into();
-    let spec = PlatformSpec::new(vec![a, b], map, lock);
-    (spec, lay)
+    pf1_many(2, strategy, lock_kind)
 }
 
 /// Instantiates a [`System`] for a spec under a strategy, enabling the
@@ -149,6 +160,32 @@ mod tests {
             let (spec, _) = protocol_pair(a, b, Strategy::Proposed, LockKind::Turn);
             let sys = System::new(&spec, vec![Program::empty(); 2]);
             assert_eq!(sys.system_protocol(), Some(want), "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn protocol_set_accepts_more_than_two() {
+        let (spec, _) = protocol_set(
+            &[ProtocolKind::Moesi, ProtocolKind::Mesi, ProtocolKind::Msi],
+            Strategy::Proposed,
+            LockKind::Turn,
+        );
+        assert_eq!(spec.cpus.len(), 3);
+        assert_eq!(spec.lock.parties, 3);
+        assert_eq!(spec.cpus[2].name, "cpu2-MSI");
+        let sys = System::new(&spec, vec![Program::empty(); 3]);
+        assert_eq!(sys.system_protocol(), Some(ProtocolKind::Msi));
+    }
+
+    #[test]
+    fn pf1_many_names_and_cams() {
+        let (spec, _) = pf1_many(3, Strategy::Proposed, LockKind::Turn);
+        assert_eq!(spec.cpus[0].name, "ARM920T-0");
+        assert_eq!(spec.cpus[2].name, "ARM920T-2");
+        let sys = System::new(&spec, vec![Program::empty(); 3]);
+        assert_eq!(sys.platform_class(), PlatformClass::Pf1);
+        for i in 0..3 {
+            assert!(sys.snoop_logic(i).is_some(), "cpu {i} behind a CAM");
         }
     }
 

@@ -223,6 +223,7 @@ mod tests {
             addr: Addr::new(0x40),
             kind: InvariantKind::WriterWithSharers,
             holders: vec![(0, LineState::Exclusive), (1, LineState::Shared)],
+            segments: vec![0],
         });
         assert!(!r.is_clean_completion());
         let s = r.to_string();

@@ -7,7 +7,8 @@ use crate::{CoherenceChecker, HangReport, PlatformSpec, RunOutcome, RunResult, W
 use hmp_bus::{AddressOutcome, Bus, BusDevice, BusPhase, LockRegister, MasterId};
 use hmp_cache::{DataCache, ProtocolKind};
 use hmp_core::{
-    classify_platform, reduce, CoherenceSupport, PlatformClass, SnoopLogic, Wrapper, WrapperPolicy,
+    classify_platform, reduce, reduce_segments, CoherenceSupport, PlatformClass, SnoopLogic,
+    Wrapper, WrapperPolicy,
 };
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
@@ -90,6 +91,9 @@ pub struct System<O: Observer = NullObserver> {
     pub(crate) now: Cycle,
     class: PlatformClass,
     system_protocol: Option<ProtocolKind>,
+    /// Per-segment GCS meets (index = segment; `None` = no coherent
+    /// master on that segment). One entry on flat-bus platforms.
+    segment_protocols: Vec<Option<ProtocolKind>>,
     pub(crate) snoop_logic_enabled: bool,
     kernel: Kernel,
     /// Number of nodes whose CPU is currently halted, maintained at the
@@ -142,6 +146,28 @@ impl<O: Observer> System<O> {
         } else {
             Some(reduce(&native).expect("native protocols reduce"))
         };
+        // Per-segment GCS meets. The bridge forwards every address phase,
+        // so wrappers integrate at the fabric-wide meet (== the flat
+        // reduction, the lattice being a chain); the per-segment view is
+        // kept for reporting and the fabric benchmarks.
+        let segment_map: Vec<usize> = if spec.segment_map.is_empty() {
+            vec![0; spec.cpus.len()]
+        } else {
+            assert_eq!(
+                spec.segment_map.len(),
+                spec.cpus.len(),
+                "one segment entry per CPU"
+            );
+            spec.segment_map.clone()
+        };
+        let segments = segment_map.iter().max().map_or(1, |&m| m + 1);
+        let per_cpu: Vec<Option<ProtocolKind>> = support.iter().map(|s| s.protocol()).collect();
+        let (segment_protocols, fabric_protocol) =
+            reduce_segments(&per_cpu, &segment_map, segments).expect("native protocols reduce");
+        debug_assert_eq!(
+            fabric_protocol, system_protocol,
+            "chain lattice: fabric meet equals flat reduction"
+        );
 
         let mut nodes = Vec::with_capacity(spec.cpus.len());
         for (i, (cs, program)) in spec.cpus.iter().zip(programs).enumerate() {
@@ -202,6 +228,22 @@ impl<O: Observer> System<O> {
         bus.set_arbitration(spec.arbitration);
         bus.set_retry_backoff(spec.retry_backoff);
         bus.set_recovery(spec.recovery);
+        if segments > 1 {
+            bus.set_segments(&segment_map, segments, spec.bridge_latency);
+        }
+        if !spec.recovery_overrides.is_empty() {
+            assert_eq!(
+                spec.recovery_overrides.len(),
+                cpu_count,
+                "one recovery-override slot per CPU"
+            );
+            for (i, policy) in spec.recovery_overrides.iter().enumerate() {
+                if let Some(p) = policy {
+                    bus.set_master_recovery(MasterId(i), *p);
+                }
+            }
+        }
+        let recovery_armed = bus.recovery_armed();
         let counters = CounterBank::new(nodes.len());
         let metrics = (spec.span_capacity > 0).then(|| {
             let event_capacity = if spec.trace_capacity > 0 {
@@ -230,18 +272,25 @@ impl<O: Observer> System<O> {
                 metrics,
                 inner: obs,
             },
-            invariants: spec.check_invariants.then(InvariantObserver::new),
+            invariants: spec.check_invariants.then(|| {
+                let mut inv = InvariantObserver::new();
+                if segments > 1 {
+                    inv.set_segment_map(&segment_map);
+                }
+                inv
+            }),
             faults: spec
                 .faults
                 .as_ref()
                 .filter(|p| !p.specs().is_empty())
                 .map(|p| Box::new(FaultEngine::new(p.clone(), cpu_count))),
-            recovery_armed: spec.recovery.enabled(),
+            recovery_armed,
             phase_scratch: AddressPhase::new(),
             cpu_names: spec.cpus.iter().map(|c| c.name.clone()).collect(),
             now: Cycle::ZERO,
             class,
             system_protocol,
+            segment_protocols,
             snoop_logic_enabled: true,
             kernel: Kernel::default(),
             halted_cpus: 0,
@@ -288,6 +337,24 @@ impl<O: Observer> System<O> {
     /// The reduced system protocol, if any processor is coherent.
     pub fn system_protocol(&self) -> Option<ProtocolKind> {
         self.system_protocol
+    }
+
+    /// Number of bus segments in the fabric (1 on flat-bus platforms).
+    pub fn segments(&self) -> usize {
+        self.segment_protocols.len()
+    }
+
+    /// The GCS meet of one segment's coherent masters (`None` when the
+    /// segment has none). The fabric-wide meet across the bridge equals
+    /// [`System::system_protocol`].
+    pub fn segment_protocol(&self, segment: usize) -> Option<ProtocolKind> {
+        self.segment_protocols[segment]
+    }
+
+    /// Grants per master so far (drains and retry re-grants included) —
+    /// the numerator of the fairness sweeps' grant shares.
+    pub fn master_grants(&self) -> &[u64] {
+        self.bus.master_grants()
     }
 
     /// A CPU, by master index.
@@ -640,11 +707,14 @@ impl<O: Observer> System<O> {
     /// survivors a fresh window. Returns `false` (stall stands) when the
     /// recovery policy is disarmed or nothing was left to quarantine.
     fn escalate_stall(&mut self) -> bool {
-        if self.bus.recovery().quarantine_after == 0 {
-            return false;
-        }
         let mut any = false;
         for i in 0..self.nodes.len() {
+            // Each master is judged by its own policy (override or the
+            // bus-wide default); a master without quarantine armed rides
+            // out the stall.
+            if self.bus.recovery_for(MasterId(i)).quarantine_after == 0 {
+                continue;
+            }
             if self.nodes[i].pending.is_some() && self.bus.quarantine(MasterId(i)) {
                 any = true;
                 self.obs
@@ -660,7 +730,7 @@ impl<O: Observer> System<O> {
     /// Retry-budget escalation: once a master's consecutive ARTRY count
     /// crosses the policy's quarantine threshold, park it for good.
     fn maybe_quarantine(&mut self, master: MasterId) {
-        let policy = self.bus.recovery();
+        let policy = self.bus.recovery_for(master);
         if policy.quarantine_after == 0
             || self.bus.consecutive_retries(master) < policy.quarantine_after
         {

@@ -1,0 +1,308 @@
+//! N-master fabric topologies.
+//!
+//! The paper's two-master wrapper scheme "can be easily extended to
+//! platforms with more than two masters" (§2); this module is that
+//! extension's platform description. A [`Topology`] names N masters —
+//! each with its own protocol, wrapper configuration, clock ratio, and
+//! (optionally) its own recovery policy — attached to one or more bus
+//! segments joined by a **snooping bridge**.
+//!
+//! # The bridge model
+//!
+//! The bridge forwards every address phase combinationally: each cache
+//! snoops every transaction on the fabric regardless of segment, so the
+//! fabric arbitrates as a single domain and the coherence argument is
+//! unchanged from the flat bus. What the bridge *does* cost is data
+//! movement — a transaction whose data crosses it (requester and data
+//! source on different segments) pays [`Topology::bridge_latency`] extra
+//! data-phase cycles. Memory and the other slaves are homed on
+//! segment 0. A single-segment topology is therefore byte-identical to
+//! the pre-fabric flat bus by construction.
+//!
+//! # Protocol reduction
+//!
+//! [`Topology::reductions`] computes the per-segment GCS meet and the
+//! fabric-wide meet via [`hmp_core::reduce_segments`]. Because the
+//! reduction lattice is a chain, the fabric meet equals the flat
+//! [`hmp_core::reduce`] over every coherent master — the per-segment
+//! view documents how much protocol width each segment gives up to the
+//! bridge.
+
+use crate::{layout, CpuSpec, MemLayout, PlatformSpec, Strategy};
+use hmp_bus::RecoveryPolicy;
+use hmp_cache::ProtocolKind;
+use hmp_core::{reduce_segments, ReduceError};
+use hmp_cpu::{LockKind, LockLayout};
+
+/// One master of the fabric: a processor, its home segment, and an
+/// optional per-master recovery override.
+#[derive(Debug, Clone)]
+pub struct TopologyMaster {
+    /// The processor (protocol, cache geometry, clock ratio, ISR/CAM).
+    pub cpu: CpuSpec,
+    /// Bus segment the master's port is attached to.
+    pub segment: usize,
+    /// Recovery override for this master; `None` uses the platform-wide
+    /// [`PlatformSpec::recovery`] policy.
+    pub recovery: Option<RecoveryPolicy>,
+}
+
+impl TopologyMaster {
+    /// A master on segment 0 with no recovery override.
+    pub fn new(cpu: CpuSpec) -> Self {
+        TopologyMaster {
+            cpu,
+            segment: 0,
+            recovery: None,
+        }
+    }
+
+    /// Same master on a different segment.
+    #[must_use]
+    pub fn on_segment(mut self, segment: usize) -> Self {
+        self.segment = segment;
+        self
+    }
+
+    /// Same master with its own recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+}
+
+/// A fabric of N masters over one or more bridged bus segments.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The masters, in bus-master order.
+    pub masters: Vec<TopologyMaster>,
+    /// Number of bus segments (≥ 1).
+    pub segments: usize,
+    /// Extra data-phase cycles paid when data crosses the bridge.
+    pub bridge_latency: u64,
+}
+
+impl Topology {
+    /// Default bridge crossing cost in bus cycles — one address forward
+    /// plus a short store-and-forward of the critical word.
+    pub const DEFAULT_BRIDGE_LATENCY: u64 = 4;
+
+    /// A trivial topology: every CPU on one segment, no bridge. This is
+    /// how the classic two-master presets are expressed.
+    pub fn single_segment(cpus: Vec<CpuSpec>) -> Self {
+        Topology {
+            masters: cpus.into_iter().map(TopologyMaster::new).collect(),
+            segments: 1,
+            bridge_latency: 0,
+        }
+    }
+
+    /// A homogeneous fabric: `n` generic processors speaking `protocol`
+    /// at bus speed, split contiguously over `segments` segments with
+    /// the default bridge latency. The symmetric shape the fairness
+    /// sweeps measure (equal load → grant shares should approach 1/N
+    /// under round-robin and FCFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `segments` is zero or exceeds `n`.
+    pub fn uniform(protocol: ProtocolKind, n: usize, segments: usize) -> Self {
+        assert!(n >= 1, "a fabric needs at least one master");
+        assert!(
+            (1..=n).contains(&segments),
+            "need 1..=n segments so each is populated"
+        );
+        let masters = (0..n)
+            .map(|i| {
+                TopologyMaster::new(CpuSpec::generic(&format!("cpu{i}-{protocol}"), protocol))
+                    .on_segment(i * segments / n)
+            })
+            .collect();
+        Topology {
+            masters,
+            segments,
+            bridge_latency: Self::DEFAULT_BRIDGE_LATENCY,
+        }
+    }
+
+    /// Number of masters.
+    pub fn len(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// `true` when the topology has no masters (always invalid).
+    pub fn is_empty(&self) -> bool {
+        self.masters.is_empty()
+    }
+
+    /// Master → segment, in bus-master order.
+    pub fn segment_map(&self) -> Vec<usize> {
+        self.masters.iter().map(|m| m.segment).collect()
+    }
+
+    /// Each master's native protocol (`None` for CAM-guarded processors).
+    pub fn native_protocols(&self) -> Vec<Option<ProtocolKind>> {
+        self.masters
+            .iter()
+            .map(|m| m.cpu.coherence.protocol())
+            .collect()
+    }
+
+    /// Checks structural validity: at least one master, every master's
+    /// segment in range, every segment populated.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first problem found.
+    pub fn validate(&self) {
+        assert!(!self.is_empty(), "a topology needs at least one master");
+        assert!(self.segments >= 1, "a fabric needs at least one segment");
+        for (i, m) in self.masters.iter().enumerate() {
+            assert!(
+                m.segment < self.segments,
+                "master {i} ({}) on segment {} of a {}-segment fabric",
+                m.cpu.name,
+                m.segment,
+                self.segments
+            );
+        }
+        for seg in 0..self.segments {
+            assert!(
+                self.masters.iter().any(|m| m.segment == seg),
+                "segment {seg} has no masters"
+            );
+        }
+    }
+
+    /// Per-segment GCS meets and the fabric-wide meet across the bridge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReduceError`] from [`reduce_segments`] (only SI can
+    /// actually fail; all-CAM segments reduce to `None`).
+    #[allow(clippy::type_complexity)]
+    pub fn reductions(
+        &self,
+    ) -> Result<(Vec<Option<ProtocolKind>>, Option<ProtocolKind>), ReduceError> {
+        reduce_segments(&self.native_protocols(), &self.segment_map(), self.segments)
+    }
+
+    /// Builds the platform spec and memory layout for this topology on
+    /// the standard address map: per-CPU private windows, one shared
+    /// window, one lock window sized to N lock parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology fails [`Topology::validate`].
+    pub fn spec(
+        &self,
+        strategy: Strategy,
+        lock_kind: LockKind,
+        cacheable_locks: bool,
+    ) -> (PlatformSpec, MemLayout) {
+        self.validate();
+        let n = self.masters.len();
+        let (lay, map) = layout(n, strategy, lock_kind, cacheable_locks);
+        let lock = LockLayout::new(lock_kind, lay.lock_base, n as u32);
+        let cpus = self.masters.iter().map(|m| m.cpu.clone()).collect();
+        let mut spec = PlatformSpec::new(cpus, map, lock);
+        spec.segment_map = self.segment_map();
+        spec.bridge_latency = if self.segments > 1 {
+            self.bridge_latency
+        } else {
+            0
+        };
+        if self.masters.iter().any(|m| m.recovery.is_some()) {
+            spec.recovery_overrides = self.masters.iter().map(|m| m.recovery).collect();
+        }
+        (spec, lay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_mem::MemAttr;
+    use ProtocolKind::*;
+
+    #[test]
+    fn single_segment_is_trivial() {
+        let topo = Topology::single_segment(vec![CpuSpec::powerpc755(), CpuSpec::arm920t()]);
+        topo.validate();
+        assert_eq!(topo.len(), 2);
+        assert_eq!(topo.segment_map(), vec![0, 0]);
+        assert_eq!(topo.native_protocols(), vec![Some(Mei), None]);
+        let (spec, _) = topo.spec(Strategy::Proposed, LockKind::Turn, false);
+        assert!(spec.segment_map.iter().all(|&s| s == 0));
+        assert_eq!(spec.bridge_latency, 0, "no bridge on a flat bus");
+        assert!(spec.recovery_overrides.is_empty());
+    }
+
+    #[test]
+    fn uniform_splits_contiguously() {
+        let topo = Topology::uniform(Mesi, 6, 2);
+        topo.validate();
+        assert_eq!(topo.segment_map(), vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(topo.bridge_latency, Topology::DEFAULT_BRIDGE_LATENCY);
+        let topo = Topology::uniform(Mesi, 3, 2);
+        assert_eq!(topo.segment_map(), vec![0, 0, 1]);
+        let topo = Topology::uniform(Mesi, 8, 1);
+        assert!(topo.segment_map().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn spec_scales_layout_and_lock_parties() {
+        let topo = Topology::uniform(Moesi, 4, 2);
+        let (spec, lay) = topo.spec(Strategy::Proposed, LockKind::Turn, false);
+        assert_eq!(spec.cpus.len(), 4);
+        assert_eq!(spec.lock.parties, 4);
+        assert_eq!(spec.segment_map, vec![0, 0, 1, 1]);
+        assert_eq!(spec.bridge_latency, Topology::DEFAULT_BRIDGE_LATENCY);
+        // Every CPU gets its own private window.
+        for i in 0..4 {
+            assert_eq!(spec.map.classify(lay.private(i)), MemAttr::CachedWriteBack);
+        }
+    }
+
+    #[test]
+    fn per_master_recovery_reaches_the_spec() {
+        let policy = RecoveryPolicy {
+            retry_budget: 3,
+            escalation_backoff: 32,
+            quarantine_after: 9,
+        };
+        let mut topo = Topology::uniform(Mesi, 3, 1);
+        topo.masters[2] = topo.masters[2].clone().with_recovery(policy);
+        let (spec, _) = topo.spec(Strategy::Proposed, LockKind::Turn, false);
+        assert_eq!(spec.recovery_overrides, vec![None, None, Some(policy)]);
+    }
+
+    #[test]
+    fn reductions_per_segment_and_fabric() {
+        let mut topo = Topology::uniform(Moesi, 4, 2);
+        topo.masters[3].cpu = CpuSpec::generic("cpu3-mei", Mei);
+        let (per_seg, fabric) = topo.reductions().unwrap();
+        assert_eq!(per_seg, vec![Some(Moesi), Some(Mei)]);
+        assert_eq!(fabric, Some(Mei), "fabric meet equals flat reduce");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no masters")]
+    fn empty_segment_rejected() {
+        let mut topo = Topology::single_segment(vec![CpuSpec::powerpc755()]);
+        topo.segments = 2;
+        topo.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "of a 1-segment fabric")]
+    fn out_of_range_segment_rejected() {
+        let topo = Topology {
+            masters: vec![TopologyMaster::new(CpuSpec::powerpc755()).on_segment(1)],
+            segments: 1,
+            bridge_latency: 0,
+        };
+        topo.validate();
+    }
+}

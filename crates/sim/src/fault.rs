@@ -235,6 +235,16 @@ impl FaultPlan {
         &self.specs
     }
 
+    /// Rewrites every spec to target master `target` — used by chaos
+    /// cells that aim a whole sampled batch at one specific endpoint
+    /// (e.g. the master behind a fabric bridge) instead of the random
+    /// targets [`FaultPlan::sample`] drew.
+    pub fn retarget(&mut self, target: u32) {
+        for spec in &mut self.specs {
+            spec.target = target;
+        }
+    }
+
     /// Number of specs not yet consumed.
     pub fn remaining(&self) -> usize {
         self.specs.len() - self.cursor

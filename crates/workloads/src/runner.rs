@@ -1,10 +1,10 @@
 //! One-call microbenchmark execution.
 
-use crate::{build_programs, scenario_lock_kind, MicrobenchParams, Scenario};
-use hmp_bus::RecoveryPolicy;
+use crate::{build_programs_for, scenario_lock_kind, MicrobenchParams, Scenario};
+use hmp_bus::{ArbitrationPolicy, RecoveryPolicy};
 use hmp_cache::ProtocolKind;
 use hmp_mem::LatencyModel;
-use hmp_platform::{presets, Kernel, RunResult, Strategy, System};
+use hmp_platform::{presets, Kernel, RunResult, Strategy, System, Topology};
 use hmp_sim::{FaultKind, FaultPlan};
 
 /// Which hardware platform to run on.
@@ -18,6 +18,17 @@ pub enum PlatformPick {
     Pf1Dual,
     /// Two generic processors with the given protocols (PF3).
     Pair(ProtocolKind, ProtocolKind),
+    /// An N-master homogeneous fabric ([`Topology::uniform`]): `masters`
+    /// generic processors speaking `protocol`, split contiguously over
+    /// `segments` bridged bus segments.
+    Fabric {
+        /// Protocol every master speaks.
+        protocol: ProtocolKind,
+        /// Number of masters (≥ 2 — the workloads need a peer).
+        masters: u8,
+        /// Number of bus segments (1 = flat bus, no bridge).
+        segments: u8,
+    },
 }
 
 /// A seed-reproducible fault batch, sampled into a concrete
@@ -40,6 +51,10 @@ pub struct FaultDirective {
     /// Class-specific knob (blackout/delay length, armed retry count,
     /// forced SHARED value).
     pub param: u64,
+    /// Pin every sampled fault on one bus master instead of spreading
+    /// targets pseudo-randomly — used by the bridge chaos cells to aim
+    /// at a specific bridge endpoint.
+    pub target: Option<u32>,
 }
 
 impl FaultDirective {
@@ -54,13 +69,21 @@ impl FaultDirective {
             to: 4_000,
             addr_lines: 8,
             param: 50,
+            target: None,
         }
+    }
+
+    /// Same directive with every fault pinned on one master.
+    #[must_use]
+    pub fn aimed_at(mut self, target: u32) -> Self {
+        self.target = Some(target);
+        self
     }
 
     /// Samples the concrete plan for a platform with `masters` masters
     /// and its shared window at `addr_base`.
     pub fn sample(&self, masters: u32, addr_base: u64) -> FaultPlan {
-        FaultPlan::sample(
+        let mut plan = FaultPlan::sample(
             self.seed,
             self.kind,
             self.count,
@@ -70,7 +93,11 @@ impl FaultDirective {
             addr_base,
             self.addr_lines,
             self.param,
-        )
+        );
+        if let Some(target) = self.target {
+            plan.retarget(target);
+        }
+        plan
     }
 }
 
@@ -103,6 +130,8 @@ pub struct RunSpec {
     pub kernel: Kernel,
     /// Seed-reproducible fault injection (`None` = fault-free).
     pub faults: Option<FaultDirective>,
+    /// Bus arbitration discipline (default round-robin, the paper's ASB).
+    pub arbitration: ArbitrationPolicy,
     /// Arbiter retry-escalation / quarantine policy.
     pub recovery: RecoveryPolicy,
     /// Watchdog stall window override in bus cycles (0 keeps the
@@ -126,6 +155,7 @@ impl RunSpec {
             check_invariants: false,
             kernel: Kernel::FastForward,
             faults: None,
+            arbitration: ArbitrationPolicy::RoundRobin,
             recovery: RecoveryPolicy::default(),
             watchdog_window: 0,
         }
@@ -173,6 +203,13 @@ impl RunSpec {
         self
     }
 
+    /// Same spec under a different bus arbitration discipline.
+    #[must_use]
+    pub fn with_arbitration(mut self, arbitration: ArbitrationPolicy) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
     /// Same spec with a recovery policy armed.
     #[must_use]
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
@@ -198,7 +235,17 @@ pub fn prepare(spec: &RunSpec) -> System {
         PlatformPick::I486Ppc => presets::i486_ppc(spec.strategy, lock_kind),
         PlatformPick::Pf1Dual => presets::pf1_dual(spec.strategy, lock_kind),
         PlatformPick::Pair(a, b) => presets::protocol_pair(a, b, spec.strategy, lock_kind),
+        PlatformPick::Fabric {
+            protocol,
+            masters,
+            segments,
+        } => Topology::uniform(protocol, masters as usize, segments as usize).spec(
+            spec.strategy,
+            lock_kind,
+            spec.cacheable_locks,
+        ),
     };
+    pspec.arbitration = spec.arbitration;
     pspec.latency = LatencyModel::scaled_to_burst(spec.burst_penalty);
     pspec.span_capacity = spec.span_capacity;
     pspec.check_invariants = spec.check_invariants;
@@ -210,7 +257,13 @@ pub fn prepare(spec: &RunSpec) -> System {
         pspec.faults =
             Some(directive.sample(pspec.cpus.len() as u32, u64::from(lay.shared_base.as_u32())));
     }
-    let programs = build_programs(spec.scenario, spec.strategy, &spec.params, &lay);
+    let programs = build_programs_for(
+        spec.scenario,
+        spec.strategy,
+        &spec.params,
+        &lay,
+        pspec.cpus.len(),
+    );
     let mut sys = presets::instantiate(&pspec, spec.strategy, programs);
     sys.set_kernel(spec.kernel);
     sys
@@ -318,6 +371,74 @@ mod tests {
                 .on(PlatformPick::Pair(a, b)));
             assert!(r.is_clean_completion(), "{a}+{b}: {r}");
         }
+    }
+
+    #[test]
+    fn fabric_platforms_run_wcs() {
+        for (masters, segments) in [(3u8, 1u8), (4, 2), (6, 2)] {
+            let r = run(
+                &RunSpec::new(Scenario::Worst, Strategy::Proposed, small()).on(
+                    PlatformPick::Fabric {
+                        protocol: ProtocolKind::Mesi,
+                        masters,
+                        segments,
+                    },
+                ),
+            );
+            assert!(r.is_clean_completion(), "{masters}x{segments}: {r}");
+        }
+    }
+
+    #[test]
+    fn fabric_kernels_agree_under_every_arbitration() {
+        let pick = PlatformPick::Fabric {
+            protocol: ProtocolKind::Mesi,
+            masters: 4,
+            segments: 2,
+        };
+        for arb in [
+            ArbitrationPolicy::RoundRobin,
+            ArbitrationPolicy::FixedPriority,
+            ArbitrationPolicy::Fcfs,
+        ] {
+            let mut spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, small())
+                .on(pick)
+                .with_arbitration(arb);
+            if arb == ArbitrationPolicy::FixedPriority {
+                // Fixed priority starves the low-priority masters out of
+                // the turn lock entirely — the run never completes, which
+                // is itself the behaviour the fairness sweep measures.
+                // Cap it and compare the truncated trajectories.
+                spec.max_cycles = 100_000;
+            }
+            let step = run(&spec.with_kernel(Kernel::Step));
+            let ff = run(&spec.with_kernel(Kernel::FastForward));
+            if arb != ArbitrationPolicy::FixedPriority {
+                assert!(step.is_clean_completion(), "{arb:?}: {step}");
+            }
+            assert_eq!(step, ff, "{arb:?}: kernels diverged");
+        }
+    }
+
+    #[test]
+    fn bridge_latency_costs_cycles() {
+        let base = RunSpec::new(Scenario::Worst, Strategy::Proposed, small());
+        let flat = run(&base.on(PlatformPick::Fabric {
+            protocol: ProtocolKind::Mesi,
+            masters: 4,
+            segments: 1,
+        }));
+        let bridged = run(&base.on(PlatformPick::Fabric {
+            protocol: ProtocolKind::Mesi,
+            masters: 4,
+            segments: 2,
+        }));
+        assert!(
+            bridged.cycles_u64() > flat.cycles_u64(),
+            "bridge crossings should cost data cycles: flat {} vs bridged {}",
+            flat.cycles_u64(),
+            bridged.cycles_u64()
+        );
     }
 
     #[test]
