@@ -1,0 +1,162 @@
+//! `bench_compare` — the cross-run benchmark regression gate.
+//!
+//! ```text
+//! cargo run -p hmp-bench --release --bin bench_compare -- \
+//!     --baseline baselines --current artifacts [--tolerance 0.02]
+//! ```
+//!
+//! Compares every `BENCH_*.json` in the baseline directory against the
+//! file of the same name in the current directory (see
+//! [`hmp_bench::compare`]): documents must carry matching
+//! `schema_version`s, and any value drift beyond the tolerance is a
+//! regression. Machine-dependent numbers (`*_ns` wall timings, `*_cps`
+//! rates, `speedup`) are excluded, so the gate is stable across hosts.
+//!
+//! Exit status: 0 when every pair matches, 1 on any regression or
+//! missing file, 2 for a usage error.
+
+use hmp_bench::compare::{compare_docs, DEFAULT_TOLERANCE};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+bench_compare — diff current BENCH_*.json output against a committed baseline
+
+USAGE:
+  bench_compare --baseline <DIR> --current <DIR> [--tolerance <REL>]
+
+OPTIONS:
+  --baseline <DIR>   directory holding the committed baseline BENCH_*.json files
+  --current <DIR>    directory holding the freshly generated BENCH_*.json files
+  --tolerance <REL>  allowed relative numeric drift                [default: 0]
+  -h, --help         print this help
+";
+
+struct Cli {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+}
+
+fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a value")?),
+            "--current" => current = Some(args.next().ok_or("--current needs a value")?),
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance: bad value {v:?}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err(format!("--tolerance: {tolerance} outside [0, 1)"));
+                }
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Cli {
+        baseline: PathBuf::from(baseline.ok_or("--baseline is required")?),
+        current: PathBuf::from(current.ok_or("--current is required")?),
+        tolerance,
+    })
+}
+
+/// `BENCH_*.json` file names in a directory, sorted for a stable report.
+fn bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+fn main() {
+    let cli = match parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let names = bench_files(&cli.baseline).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        std::process::exit(2);
+    });
+    if names.is_empty() {
+        eprintln!(
+            "bench_compare: no BENCH_*.json files in baseline {}",
+            cli.baseline.display()
+        );
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    for name in &names {
+        let base_path = cli.baseline.join(name);
+        let cur_path = cli.current.join(name);
+        let base = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", base_path.display()));
+        let cur = match std::fs::read_to_string(&cur_path) {
+            Ok(s) => s,
+            Err(_) => {
+                println!("FAIL {name}: baseline exists but current run did not produce it");
+                failures += 1;
+                continue;
+            }
+        };
+        match compare_docs(&base, &cur, cli.tolerance) {
+            Ok(findings) if findings.is_empty() => println!("ok   {name}"),
+            Ok(findings) => {
+                println!("FAIL {name}: {} difference(s)", findings.len());
+                for f in findings.iter().take(20) {
+                    println!("       {f}");
+                }
+                if findings.len() > 20 {
+                    println!("       ... and {} more", findings.len() - 20);
+                }
+                failures += 1;
+            }
+            Err(e) => {
+                println!("FAIL {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    // New benches in the current run are informational — they become
+    // gated once their baseline is committed.
+    if let Ok(current_names) = bench_files(&cli.current) {
+        for name in current_names {
+            if !names.contains(&name) {
+                println!("note {name}: no committed baseline yet (not compared)");
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} of {} document(s) regressed (tolerance {})",
+            names.len(),
+            cli.tolerance
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_compare: {} document(s) match the baseline (tolerance {})",
+        names.len(),
+        cli.tolerance
+    );
+}

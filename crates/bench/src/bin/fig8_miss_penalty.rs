@@ -119,7 +119,10 @@ fn main() {
     let pf3 = measure(PlatformPick::I486Ppc);
     print_cells(&pf3);
 
-    let mut json = String::from(r#"{"figure":"fig8_miss_penalty","baseline":"software","#);
+    let mut json = format!(
+        r#"{{"schema_version":{},"figure":"fig8_miss_penalty","baseline":"software","#,
+        hmp_sim::export::SCHEMA_VERSION
+    );
     cells_json("pf2_ppc_arm", &pf2, &mut json);
     json.push(',');
     cells_json("pf3_i486_ppc", &pf3, &mut json);

@@ -19,7 +19,8 @@
 use hmp_bus::ArbitrationPolicy;
 use hmp_cache::ProtocolKind;
 use hmp_platform::Strategy;
-use hmp_sim::export::{chrome_trace, metrics_json, validate_json};
+use hmp_sim::export::{chrome_trace_with_series, metrics_json, timeseries_json, validate_json};
+use hmp_sim::{exposition, TimeSeriesSpec};
 use hmp_workloads::{prepare, MicrobenchParams, PlatformPick, RunSpec, Scenario};
 
 const USAGE: &str = "\
@@ -45,7 +46,15 @@ OPTIONS:
   --invariants         enforce line invariants live (fail fast)
   --trace-out <FILE>   Chrome trace-event output                   [default: hmp_trace.json]
   --metrics-out <FILE> metrics snapshot output                     [default: hmp_metrics.json]
+  --timeseries-out <FILE>   windowed telemetry JSON (arms the registry)
+  --exposition-out <FILE>   Prometheus-style text exposition (arms the registry)
+  --ts-window <N>      telemetry window width in bus cycles        [default: 8192]
+  --profile            record the kernel self-profile (wall-time split)
   -h, --help           print this help
+
+With the telemetry registry armed (either output flag), the Chrome
+trace also carries per-window counter tracks: bus utilization, grants
+per master, per-segment busy cycles, retries and completions.
 ";
 
 struct Cli {
@@ -63,6 +72,10 @@ struct Cli {
     invariants: bool,
     trace_out: String,
     metrics_out: String,
+    timeseries_out: Option<String>,
+    exposition_out: Option<String>,
+    ts_window: u64,
+    profile: bool,
 }
 
 impl Default for Cli {
@@ -82,6 +95,10 @@ impl Default for Cli {
             invariants: false,
             trace_out: "hmp_trace.json".to_string(),
             metrics_out: "hmp_metrics.json".to_string(),
+            timeseries_out: None,
+            exposition_out: None,
+            ts_window: 8192,
+            profile: false,
         }
     }
 }
@@ -177,12 +194,19 @@ fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--invariants" => cli.invariants = true,
             "--trace-out" => cli.trace_out = num(&arg, args.next())?,
             "--metrics-out" => cli.metrics_out = num(&arg, args.next())?,
+            "--timeseries-out" => cli.timeseries_out = Some(num(&arg, args.next())?),
+            "--exposition-out" => cli.exposition_out = Some(num(&arg, args.next())?),
+            "--ts-window" => cli.ts_window = num(&arg, args.next())?,
+            "--profile" => cli.profile = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if cli.spans == 0 {
         return Err("--spans must be at least 1 (the exporters need the span ring)".into());
+    }
+    if cli.ts_window == 0 {
+        return Err("--ts-window must be at least 1 cycle".into());
     }
     Ok(cli)
 }
@@ -215,16 +239,24 @@ fn main() {
     if cli.invariants {
         spec = spec.with_invariants();
     }
+    let telemetry = cli.timeseries_out.is_some() || cli.exposition_out.is_some();
+    if telemetry {
+        spec = spec.with_timeseries(TimeSeriesSpec::with_window(cli.ts_window));
+    }
+    if cli.profile {
+        spec = spec.with_profile();
+    }
     spec.max_cycles = cli.max_cycles;
 
     let mut sys = prepare(&spec);
     let result = sys.run(spec.max_cycles);
     let metrics = sys.metrics().expect("span capacity > 0 enables metrics");
 
-    let trace = chrome_trace(
+    let trace = chrome_trace_with_series(
         metrics.spans().iter(),
         metrics.events().iter(),
         sys.cpu_names(),
+        result.timeseries.as_ref(),
     );
     validate_json(&trace).expect("exporter produced invalid trace JSON");
     std::fs::write(&cli.trace_out, &trace)
@@ -234,6 +266,24 @@ fn main() {
     validate_json(&mjson).expect("exporter produced invalid metrics JSON");
     std::fs::write(&cli.metrics_out, &mjson)
         .unwrap_or_else(|e| panic!("write {}: {e}", cli.metrics_out));
+
+    if let Some(path) = &cli.timeseries_out {
+        let snap = result.timeseries.as_ref().expect("registry was armed");
+        let tsjson = timeseries_json(snap, result.profile.as_ref());
+        validate_json(&tsjson).expect("exporter produced invalid timeseries JSON");
+        std::fs::write(path, &tsjson).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "timeseries: {path} ({} bytes, {} windows)",
+            tsjson.len(),
+            snap.samples()
+        );
+    }
+    if let Some(path) = &cli.exposition_out {
+        let snap = result.timeseries.as_ref().expect("registry was armed");
+        let text = exposition(snap, result.profile.as_ref());
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("exposition: {path} ({} bytes)", text.len());
+    }
 
     println!(
         "{} / {} on {:?}: lines={} exec={} iters={} seed={}",

@@ -268,10 +268,13 @@ pub fn chaos_json(reduced: bool, cells: &[ChaosCell], rows: &[CoverageRow]) -> S
     let _ = write!(
         out,
         concat!(
-            r#""bench":"chaos_sweep","reduced":{},"scenario":"Worst","#,
+            r#""schema_version":{},"bench":"chaos_sweep","reduced":{},"scenario":"Worst","#,
             r#""watchdog_window":{},"max_cycles":{},"cells":["#
         ),
-        reduced, CHAOS_WATCHDOG_WINDOW, CHAOS_MAX_CYCLES,
+        hmp_sim::export::SCHEMA_VERSION,
+        reduced,
+        CHAOS_WATCHDOG_WINDOW,
+        CHAOS_MAX_CYCLES,
     );
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {

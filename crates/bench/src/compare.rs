@@ -1,0 +1,222 @@
+//! Cross-run regression comparison of `BENCH_*.json` documents.
+//!
+//! The `bench_compare` binary diffs the benchmark JSON a fresh run just
+//! produced against a committed baseline (`baselines/` in the repo) and
+//! fails on any drift beyond tolerance. The comparison is structural: a
+//! deterministic walk over both parsed documents, value by value.
+//!
+//! Machine-dependent numbers — wall-clock phase timings (`*_ns`),
+//! cycles-per-second gauges (`*_cps`, `cycles_per_sec`) and their
+//! derived `speedup` — are skipped: they vary run to run on the same
+//! commit and would make the gate flaky. Everything else in these
+//! documents is deterministic (simulated cycles, grant counts, ratios,
+//! shares), so the default tolerance only needs to absorb float
+//! formatting, not noise.
+
+use hmp_sim::export::{parse_json, JsonValue, SCHEMA_VERSION};
+
+/// Default relative tolerance for numeric drift. The compared numbers
+/// are deterministic, so this mostly guards against benign float
+/// re-formatting; pass `--tolerance` to loosen it deliberately.
+pub const DEFAULT_TOLERANCE: f64 = 0.0;
+
+/// Keys whose values are machine-dependent and excluded from comparison.
+pub const IGNORED_KEYS: [&str; 2] = ["cycles_per_sec", "speedup"];
+
+/// Key suffixes excluded from comparison (wall-clock phase timings and
+/// cycles-per-second rates).
+pub const IGNORED_KEY_SUFFIXES: [&str; 2] = ["_ns", "_cps"];
+
+/// Whether a JSON object key holds a machine-dependent value that the
+/// regression gate must not compare.
+pub fn is_ignored_key(key: &str) -> bool {
+    IGNORED_KEYS.contains(&key) || IGNORED_KEY_SUFFIXES.iter().any(|s| key.ends_with(s))
+}
+
+/// One detected difference, rendered ready to print.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// JSON-path-ish location of the difference (e.g. `cells[3].cycles`).
+    pub path: String,
+    /// Human-readable description of the difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+fn numbers_differ(base: f64, cur: f64, rel_tol: f64) -> Option<f64> {
+    let diff = (base - cur).abs();
+    if diff == 0.0 {
+        return None;
+    }
+    let scale = base.abs().max(cur.abs());
+    // Absolute epsilon absorbs float-formatting wobble around zero.
+    if diff <= 1e-9 + rel_tol * scale {
+        return None;
+    }
+    Some(if scale == 0.0 { 0.0 } else { diff / scale })
+}
+
+fn walk(path: &str, base: &JsonValue, cur: &JsonValue, rel_tol: f64, out: &mut Vec<Finding>) {
+    match (base, cur) {
+        (JsonValue::Obj(b), JsonValue::Obj(c)) => {
+            for (key, bv) in b {
+                if is_ignored_key(key) {
+                    continue;
+                }
+                let sub = format!("{path}.{key}");
+                match cur.get(key) {
+                    Some(cv) => walk(&sub, bv, cv, rel_tol, out),
+                    None => out.push(Finding {
+                        path: sub,
+                        detail: "present in baseline, missing in current".into(),
+                    }),
+                }
+            }
+            for (key, _) in c {
+                if !is_ignored_key(key) && base.get(key).is_none() {
+                    out.push(Finding {
+                        path: format!("{path}.{key}"),
+                        detail: "new key not in baseline".into(),
+                    });
+                }
+            }
+        }
+        (JsonValue::Arr(b), JsonValue::Arr(c)) => {
+            if b.len() != c.len() {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("array length {} -> {}", b.len(), c.len()),
+                });
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                walk(&format!("{path}[{i}]"), bv, cv, rel_tol, out);
+            }
+        }
+        (JsonValue::Num(b), JsonValue::Num(c)) => {
+            if let Some(rel) = numbers_differ(*b, *c, rel_tol) {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!(
+                        "{b} -> {c} ({:+.2}% vs tolerance {:.2}%)",
+                        100.0 * rel,
+                        100.0 * rel_tol
+                    ),
+                });
+            }
+        }
+        (JsonValue::Str(b), JsonValue::Str(c)) => {
+            if b != c {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("{b:?} -> {c:?}"),
+                });
+            }
+        }
+        (JsonValue::Bool(b), JsonValue::Bool(c)) => {
+            if b != c {
+                out.push(Finding {
+                    path: path.to_string(),
+                    detail: format!("{b} -> {c}"),
+                });
+            }
+        }
+        (JsonValue::Null, JsonValue::Null) => {}
+        _ => out.push(Finding {
+            path: path.to_string(),
+            detail: format!("type changed: {} -> {}", base.kind(), cur.kind()),
+        }),
+    }
+}
+
+/// Parses and compares one baseline/current document pair.
+///
+/// Both documents must parse, carry a top-level `schema_version`, and
+/// agree on it — an unversioned or version-skewed document is an error,
+/// not a finding, because the shapes cannot be compared meaningfully.
+/// Returns the (possibly empty) list of differences beyond `rel_tol`.
+pub fn compare_docs(baseline: &str, current: &str, rel_tol: f64) -> Result<Vec<Finding>, String> {
+    let base = parse_json(baseline).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let cur = parse_json(current).map_err(|e| format!("current does not parse: {e}"))?;
+    let version = |doc: &JsonValue, which: &str| -> Result<f64, String> {
+        doc.get("schema_version")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{which} document has no schema_version"))
+    };
+    let bv = version(&base, "baseline")?;
+    let cv = version(&cur, "current")?;
+    if bv != cv {
+        return Err(format!(
+            "schema_version skew: baseline {bv} vs current {cv}"
+        ));
+    }
+    if cv != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {cv} does not match this binary's {SCHEMA_VERSION}"
+        ));
+    }
+    let mut findings = Vec::new();
+    walk("$", &base, &cur, rel_tol, &mut findings);
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_docs_have_no_findings() {
+        let doc = r#"{"schema_version":1,"cycles":100,"rows":[{"a":1},{"a":2}]}"#;
+        assert_eq!(compare_docs(doc, doc, 0.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn numeric_drift_is_caught_and_tolerance_absorbs_it() {
+        let base = r#"{"schema_version":1,"cycles":100}"#;
+        let cur = r#"{"schema_version":1,"cycles":103}"#;
+        let findings = compare_docs(base, cur, 0.0).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "$.cycles");
+        assert!(findings[0].detail.contains("100 -> 103"), "{}", findings[0]);
+        assert!(compare_docs(base, cur, 0.05).unwrap().is_empty());
+    }
+
+    #[test]
+    fn machine_dependent_keys_are_ignored() {
+        let base = r#"{"schema_version":1,"step_cps":1.0,"wall_ns":5,"speedup":2.0,"cycles_per_sec":9.0,"cycles":7}"#;
+        let cur = r#"{"schema_version":1,"step_cps":99.0,"wall_ns":50,"speedup":1.0,"cycles_per_sec":1.0,"cycles":7}"#;
+        assert!(compare_docs(base, cur, 0.0).unwrap().is_empty());
+        assert!(is_ignored_key("plan_ns"));
+        assert!(is_ignored_key("fast_cps"));
+        assert!(!is_ignored_key("cycles"));
+        assert!(!is_ignored_key("utilization"));
+    }
+
+    #[test]
+    fn shape_changes_are_findings() {
+        let base = r#"{"schema_version":1,"rows":[1,2],"name":"a","flag":true}"#;
+        let cur = r#"{"schema_version":1,"rows":[1,2,3],"name":"b","flag":false,"extra":0}"#;
+        let findings = compare_docs(base, cur, 0.0).unwrap();
+        let paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"$.rows"), "{paths:?}");
+        assert!(paths.contains(&"$.name"), "{paths:?}");
+        assert!(paths.contains(&"$.flag"), "{paths:?}");
+        assert!(paths.contains(&"$.extra"), "{paths:?}");
+    }
+
+    #[test]
+    fn unversioned_documents_are_rejected() {
+        let ok = r#"{"schema_version":1}"#;
+        let bad = r#"{"cycles":1}"#;
+        assert!(compare_docs(bad, ok, 0.0).is_err());
+        assert!(compare_docs(ok, bad, 0.0).is_err());
+        let skew = r#"{"schema_version":2}"#;
+        assert!(compare_docs(ok, skew, 0.0).unwrap_err().contains("skew"));
+        assert!(compare_docs("{", ok, 0.0).is_err());
+    }
+}

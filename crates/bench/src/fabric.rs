@@ -14,6 +14,7 @@ use crate::sweep::par_map;
 use hmp_bus::ArbitrationPolicy;
 use hmp_cache::ProtocolKind;
 use hmp_platform::{Kernel, RunResult, Strategy};
+use hmp_sim::TimeSeriesSpec;
 use hmp_workloads::{prepare, MicrobenchParams, PlatformPick, RunSpec, Scenario};
 use std::fmt::Write as _;
 
@@ -21,6 +22,17 @@ use std::fmt::Write as _;
 /// masters out of the turn lock and never complete; the budget bounds
 /// them while leaving fair disciplines room to finish.
 pub const FABRIC_MAX_CYCLES: u64 = 2_000_000;
+
+/// Base telemetry window for fabric runs. At the 2M-cycle budget the
+/// registry decimates a couple of times, landing on a few dozen windows
+/// — enough resolution to see per-window grant shares without growing
+/// the JSON unreasonably.
+pub const FABRIC_TS_WINDOW: u64 = 8192;
+
+/// A window must carry at least this many grants *per master* before
+/// its shares count toward windowed fairness: the startup ramp and the
+/// completion tail have too few grants for shares to be meaningful.
+pub const FABRIC_WINDOW_MIN_GRANTS_PER_MASTER: u64 = 16;
 
 /// Master counts the sweep covers; the reduced (CI smoke) grid keeps the
 /// two-and-four-master columns.
@@ -75,7 +87,8 @@ pub fn fabric_spec(masters: u8, segments: u8, arbitration: ArbitrationPolicy) ->
             segments,
         })
         .with_arbitration(arbitration)
-        .with_spans(64);
+        .with_spans(64)
+        .with_timeseries(TimeSeriesSpec::with_window(FABRIC_TS_WINDOW));
     spec.max_cycles = FABRIC_MAX_CYCLES;
     spec
 }
@@ -129,6 +142,56 @@ impl FabricCell {
         }
         (self.result.bus.grants + self.result.bus.data_cycles) as f64 / cycles as f64
     }
+
+    /// The grant threshold below which a window's shares are ignored.
+    pub fn window_min_grants(&self) -> u64 {
+        FABRIC_WINDOW_MIN_GRANTS_PER_MASTER * self.grants.len() as u64
+    }
+
+    /// Windows whose grant shares the fairness check judges: every
+    /// window that cleared [`Self::window_min_grants`], minus the final
+    /// busy window when there is more than one. Masters complete at
+    /// different cycles, so the drain window at the end of a run is
+    /// *inherently* skewed — one task's tail runs unopposed — and says
+    /// nothing about arbitration fairness. With a single busy window the
+    /// windowed check degenerates to the whole-run share check, which
+    /// already covers the drain.
+    fn judged_windows(&self) -> Vec<usize> {
+        let Some(snap) = &self.result.timeseries else {
+            return Vec::new();
+        };
+        let mut busy: Vec<usize> = (0..snap.samples())
+            .filter(|&i| snap.window_grants(i) >= self.window_min_grants())
+            .collect();
+        if busy.len() > 1 {
+            busy.pop();
+        }
+        busy
+    }
+
+    /// Telemetry windows the fairness check judges (see
+    /// [`Self::judged_windows`]).
+    pub fn busy_windows(&self) -> usize {
+        self.judged_windows().len()
+    }
+
+    /// *Windowed* fairness: the largest deviation of any master's grant
+    /// share from the fair 1/N inside any judged window. Whole-run
+    /// shares can hide transient starvation that averages out; this
+    /// can't.
+    pub fn max_windowed_share_error(&self) -> f64 {
+        let Some(snap) = &self.result.timeseries else {
+            return 0.0;
+        };
+        let fair = 1.0 / self.grants.len() as f64;
+        let mut worst = 0.0f64;
+        for i in self.judged_windows() {
+            for s in snap.grant_shares(i) {
+                worst = worst.max((s - fair).abs());
+            }
+        }
+        worst
+    }
 }
 
 /// Runs one cell under both kernels and compares them.
@@ -172,10 +235,13 @@ pub fn fabric_json(reduced: bool, cells: &[FabricCell]) -> String {
     let _ = write!(
         out,
         concat!(
-            r#""bench":"fabric_sweep","reduced":{},"scenario":"Worst","#,
-            r#""strategy":"proposed","max_cycles":{},"cells":["#
+            r#""schema_version":{},"bench":"fabric_sweep","reduced":{},"scenario":"Worst","#,
+            r#""strategy":"proposed","max_cycles":{},"ts_window":{},"cells":["#
         ),
-        reduced, FABRIC_MAX_CYCLES,
+        hmp_sim::export::SCHEMA_VERSION,
+        reduced,
+        FABRIC_MAX_CYCLES,
+        FABRIC_TS_WINDOW,
     );
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
@@ -186,7 +252,8 @@ pub fn fabric_json(reduced: bool, cells: &[FabricCell]) -> String {
             concat!(
                 r#"{{"masters":{},"segments":{},"arbitration":"{}","outcome":"{}","#,
                 r#""cycles":{},"kernels_agree":{},"utilization":{:.6},"#,
-                r#""max_share_error":{:.6},"grants":["#
+                r#""max_share_error":{:.6},"max_windowed_share_error":{:.6},"#,
+                r#""busy_windows":{},"grants":["#
             ),
             c.masters,
             c.segments,
@@ -196,6 +263,8 @@ pub fn fabric_json(reduced: bool, cells: &[FabricCell]) -> String {
             c.kernels_agree,
             c.utilization(),
             c.max_share_error(),
+            c.max_windowed_share_error(),
+            c.busy_windows(),
         );
         for (j, g) in c.grants.iter().enumerate() {
             if j > 0 {
@@ -211,6 +280,36 @@ pub fn fabric_json(reduced: bool, cells: &[FabricCell]) -> String {
             let _ = write!(out, "{s:.6}");
         }
         out.push_str("],");
+        match &c.result.timeseries {
+            Some(snap) => {
+                let _ = write!(
+                    out,
+                    r#""windows":{{"window_cycles":{},"series":["#,
+                    snap.effective_window()
+                );
+                for i in 0..snap.samples() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        r#"{{"start":{},"grants":{},"utilization":{:.6},"shares":["#,
+                        snap.window_start(i),
+                        snap.window_grants(i),
+                        snap.utilization(i),
+                    );
+                    for (j, s) in snap.grant_shares(i).iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{s:.6}");
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]},");
+            }
+            None => out.push_str(r#""windows":null,"#),
+        }
         if let Some(m) = &c.result.metrics {
             let h = &m.acquire_wait;
             let _ = write!(
@@ -281,6 +380,8 @@ mod tests {
             hang: None,
             invariant: None,
             faults_injected: 0,
+            timeseries: None,
+            profile: None,
         }
     }
 
@@ -294,11 +395,26 @@ mod tests {
             "FCFS fabric should finish: {}",
             cell.result
         );
+        let snap = cell
+            .result
+            .timeseries
+            .as_ref()
+            .expect("fabric cells run with telemetry armed");
+        assert!(snap.samples() > 0);
+        assert!(cell.busy_windows() > 0, "no window cleared the grant floor");
+        assert!(
+            cell.max_windowed_share_error() < 0.5,
+            "windowed share error {:.4} is not a share deviation",
+            cell.max_windowed_share_error()
+        );
         let json = fabric_json(true, std::slice::from_ref(&cell));
         validate_json(&json).expect("fabric JSON must parse");
+        assert!(json.starts_with(r#"{"schema_version":1,"#), "{json}");
         assert!(json.contains(r#""arbitration":"fcfs""#), "{json}");
         assert!(json.contains(r#""kernels_agree":true"#), "{json}");
         assert!(json.contains(r#""acquire_wait":{"#), "{json}");
+        assert!(json.contains(r#""windows":{"window_cycles":"#), "{json}");
+        assert!(json.contains(r#""max_windowed_share_error":"#), "{json}");
     }
 
     #[test]

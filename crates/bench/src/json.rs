@@ -9,6 +9,7 @@
 //! checked against [`hmp_sim::export::validate_json`] in tests.
 
 use crate::RatioRow;
+use hmp_sim::export::SCHEMA_VERSION;
 use hmp_workloads::Scenario;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -27,7 +28,11 @@ pub fn figure_rows_json(figure: &str, scenario: Scenario, rows: &[RatioRow]) -> 
     let mut out = String::from("{");
     let _ = write!(
         out,
-        r#""figure":"{figure}","scenario":"{scenario:?}","baseline":"cache_disabled","rows":["#
+        concat!(
+            r#""schema_version":{},"figure":"{}","scenario":"{:?}","#,
+            r#""baseline":"cache_disabled","rows":["#
+        ),
+        SCHEMA_VERSION, figure, scenario,
     );
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
@@ -108,6 +113,7 @@ mod tests {
     fn figure_rows_json_is_valid_and_complete() {
         let json = figure_rows_json("fig5_wcs", Scenario::Worst, &rows());
         validate_json(&json).expect("figure JSON must parse");
+        assert!(json.starts_with(r#"{"schema_version":1,"#), "{json}");
         assert!(json.contains(r#""figure":"fig5_wcs""#), "{json}");
         assert!(json.contains(r#""scenario":"Worst""#), "{json}");
         assert!(json.contains(r#""lines":32"#), "{json}");

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod compare;
 pub mod fabric;
 pub mod json;
 pub mod perf;

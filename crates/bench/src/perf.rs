@@ -27,6 +27,7 @@
 use crate::{figure_params, sweep};
 use hmp_cache::ProtocolKind;
 use hmp_platform::{Kernel, RunResult, Strategy};
+use hmp_sim::KernelProfile;
 use hmp_workloads::{prepare, PlatformPick, RunSpec, Scenario};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -59,6 +60,10 @@ pub struct PerfCell {
     pub fast_cps: f64,
     /// Whether the two kernels produced equal [`RunResult`]s.
     pub equivalent: bool,
+    /// Kernel self-profile from one profiled fast-forward run: where the
+    /// run loop's wall time went (plan/warp/step split) plus the
+    /// deterministic step mix.
+    pub profile: Option<KernelProfile>,
 }
 
 impl PerfCell {
@@ -108,6 +113,10 @@ pub fn measure_cell(
         "{scenario}/{}: {step_result}",
         platform.0
     );
+    // One extra self-profiled fast-forward run (outside the timed
+    // comparison above — the profiling clock reads would dilute it).
+    let prof_spec = spec.with_kernel(Kernel::FastForward).with_profile();
+    let profile = prepare(&prof_spec).run(prof_spec.max_cycles).profile;
     PerfCell {
         scenario,
         platform: platform.0,
@@ -115,6 +124,7 @@ pub fn measure_cell(
         step_cps,
         fast_cps,
         equivalent: step_result == fast_result,
+        profile,
     }
 }
 
@@ -206,8 +216,10 @@ pub fn measure_fig8_sweep() -> SweepPerf {
 
 /// Renders the perf measurements as the `BENCH_PERF.json` document.
 pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
-    let mut out =
-        String::from(r#"{"figure":"perf","unit":"simulated_cycles_per_wall_second","cells":["#);
+    let mut out = format!(
+        r#"{{"schema_version":{},"figure":"perf","unit":"simulated_cycles_per_wall_second","cells":["#,
+        hmp_sim::export::SCHEMA_VERSION
+    );
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -216,7 +228,7 @@ pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
             out,
             concat!(
                 r#"{{"scenario":"{:?}","platform":"{}","cycles":{},"#,
-                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{}}}"#
+                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{},"#
             ),
             c.scenario,
             c.platform,
@@ -226,6 +238,29 @@ pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
             c.speedup(),
             c.equivalent,
         );
+        match &c.profile {
+            Some(p) => {
+                let _ = write!(
+                    out,
+                    concat!(
+                        r#""profile":{{"wall_ns":{},"plan_ns":{},"warp_ns":{},"step_ns":{},"#,
+                        r#""cpu_only_ns":{},"cycles_per_sec":{:.1},"iterations":{},"#,
+                        r#""full_steps":{},"cpu_only_steps":{},"warped_cycles":{}}}}}"#
+                    ),
+                    p.wall_ns,
+                    p.plan_ns,
+                    p.warp_ns,
+                    p.step_ns,
+                    p.cpu_only_ns,
+                    p.cycles_per_sec,
+                    p.iterations,
+                    p.full_steps,
+                    p.cpu_only_steps,
+                    p.warped_cycles,
+                );
+            }
+            None => out.push_str(r#""profile":null}"#),
+        }
     }
     out.push(']');
     for s in sweeps {
@@ -261,6 +296,14 @@ mod tests {
         assert!(cell.cycles > 0);
         assert!(cell.step_cps > 0.0);
         assert!(cell.fast_cps > 0.0);
+        let profile = cell.profile.expect("profiled run attaches a profile");
+        assert_eq!(profile.kernel, Kernel::FastForward);
+        assert!(profile.wall_ns > 0);
+        assert!(profile.iterations > 0);
+        assert!(
+            profile.warped_cycles + profile.full_steps + profile.cpu_only_steps > 0,
+            "{profile:?}"
+        );
     }
 
     #[test]
@@ -272,6 +315,12 @@ mod tests {
             step_cps: 1_000_000.0,
             fast_cps: 4_000_000.0,
             equivalent: true,
+            profile: Some(KernelProfile {
+                kernel: Kernel::FastForward,
+                wall_ns: 1_000,
+                warped_cycles: 5,
+                ..Default::default()
+            }),
         };
         let sweeps = [
             SweepPerf {
@@ -300,5 +349,8 @@ mod tests {
         assert!(json.contains(r#""fig8_sweep""#), "{json}");
         assert!(json.contains(r#""burst_penalty":96"#), "{json}");
         assert!(json.contains(r#""equivalent":true"#), "{json}");
+        assert!(json.starts_with(r#"{"schema_version":1,"#), "{json}");
+        assert!(json.contains(r#""profile":{"wall_ns":1000"#), "{json}");
+        assert!(json.contains(r#""warped_cycles":5"#), "{json}");
     }
 }

@@ -8,6 +8,7 @@
 
 use hmp_bench::figure_params;
 use hmp_platform::Strategy;
+use hmp_sim::TimeSeriesSpec;
 use hmp_workloads::{run, RunSpec, Scenario};
 
 /// (scenario, strategy, cycles, bus grants, bus retries, bus drains).
@@ -65,5 +66,39 @@ fn figure_workloads_cycle_totals_are_pinned() {
             (cycles, grants, retries, drains),
             "{scenario}/{strategy} drifted from the pre-refactor golden"
         );
+    }
+}
+
+#[test]
+fn telemetry_does_not_move_a_cycle() {
+    // Arming the windowed telemetry registry and the kernel self-profile
+    // is pure observation: every golden total must stay byte-identical,
+    // and the registry's own busy series must reconcile exactly with the
+    // bus statistics it mirrors.
+    for &(scenario, strategy, cycles, grants, retries, drains) in GOLDEN {
+        let spec = RunSpec::new(scenario, strategy, figure_params(32, 1))
+            .with_timeseries(TimeSeriesSpec::with_window(1024))
+            .with_profile();
+        let r = run(&spec);
+        assert!(r.is_clean_completion(), "{scenario}/{strategy}: {r}");
+        assert_eq!(
+            (r.cycles_u64(), r.bus.grants, r.bus.retries, r.bus.drains),
+            (cycles, grants, retries, drains),
+            "{scenario}/{strategy}: telemetry moved a pinned total"
+        );
+        let snap = r.timeseries.as_ref().expect("registry was armed");
+        assert_eq!(
+            snap.total(&snap.busy),
+            r.bus.grants + r.bus.data_cycles,
+            "{scenario}/{strategy}: windowed busy cycles must reconcile \
+             with the bus grant + data-cycle totals"
+        );
+        assert_eq!(
+            snap.total(&snap.retries),
+            r.bus.retries,
+            "{scenario}/{strategy}: windowed retries must reconcile"
+        );
+        let profile = r.profile.as_ref().expect("profiling was armed");
+        assert!(profile.wall_ns > 0, "{scenario}/{strategy}: no wall time");
     }
 }

@@ -280,6 +280,53 @@ fn fault_free_chaos_spec_matches_plain_spec() {
 }
 
 #[test]
+fn telemetry_armed_runs_agree_and_the_mix_is_excluded() {
+    // The deterministic windowed series take part in result equality;
+    // the kernel self-profile (wall times and the warp/cpu-only/full
+    // mix) is kernel-dependent by construction and must not.
+    let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+        .with_spans(256)
+        .with_timeseries(hmp_sim::TimeSeriesSpec {
+            window: 256,
+            capacity: 8,
+        })
+        .with_profile();
+    let step = run(&spec.with_kernel(Kernel::Step));
+    let fast = run(&spec.with_kernel(Kernel::FastForward));
+    assert_eq!(step, fast, "telemetry-armed kernel divergence");
+
+    let s = step.timeseries.as_ref().expect("registry armed");
+    let f = fast.timeseries.as_ref().expect("registry armed");
+    assert_eq!(s, f, "windowed series must be kernel-neutral");
+    assert!(s.samples() > 1, "the run spans several windows");
+    assert_eq!(
+        s.total(&s.busy),
+        step.bus.grants + step.bus.data_cycles,
+        "busy series reconciles with bus stats"
+    );
+
+    let sp = step.profile.as_ref().expect("profiling armed");
+    let fp = fast.profile.as_ref().expect("profiling armed");
+    assert_eq!(sp.kernel, Kernel::Step);
+    assert_eq!(fp.kernel, Kernel::FastForward);
+    assert!(fp.warped_cycles > 0, "WCS has warpable gaps: {fp:?}");
+
+    // The mixes differ by construction — which is exactly why they live
+    // outside the compared snapshot.
+    let smix = sp.mix.as_ref().expect("mix rides with the registry");
+    let fmix = fp.mix.as_ref().expect("mix rides with the registry");
+    let total = |xs: &[u64]| xs.iter().sum::<u64>();
+    assert_eq!(total(&smix.warped), 0, "the step kernel never warps");
+    assert_eq!(total(&smix.full), step.cycles_u64());
+    assert_eq!(total(&fmix.warped), fp.warped_cycles);
+    assert_eq!(
+        total(&fmix.warped) + total(&fmix.cpu_only) + total(&fmix.full),
+        fast.cycles_u64(),
+        "every advanced cycle lands in exactly one mix bucket"
+    );
+}
+
+#[test]
 fn cycle_limit_runs_agree() {
     // A budget that expires mid-flight: the fast-forward kernel must not
     // warp past the limit, and the truncated results must still match.

@@ -1,0 +1,103 @@
+//! Long-haul soak for the windowed telemetry registry.
+//!
+//! A 10M+-cycle fabric run with the full registry armed must stay
+//! O(capacity) in memory: the ring never exceeds its configured sample
+//! count because decimation-by-merging halves resolution instead of
+//! growing storage, and the per-window totals stay exact through every
+//! merge. The workload is deliberately warp-friendly — four masters
+//! ping-pong one shared line across the bridge, each write followed by
+//! a long compute delay — so the fast-forward kernel skips the dead
+//! windows and the soak finishes in seconds even in debug builds while
+//! still covering thousands of window rollovers and decimation merges.
+
+use hmp_cache::ProtocolKind;
+use hmp_cpu::{LockKind, ProgramBuilder};
+use hmp_platform::{Strategy, System, Topology};
+use hmp_sim::TimeSeriesSpec;
+
+#[test]
+fn ten_million_cycle_fabric_soak_stays_bounded() {
+    let ts = TimeSeriesSpec {
+        window: 4096,
+        capacity: 32,
+    };
+    let topo = Topology::uniform(ProtocolKind::Mesi, 4, 2);
+    let (mut spec, lay) = topo.spec(Strategy::Proposed, LockKind::Turn, false);
+    spec.arbitration = hmp_bus::ArbitrationPolicy::Fcfs;
+    spec.timeseries = Some(ts);
+    spec.profile = true;
+
+    // Each master writes the same shared line, then computes for 5 000
+    // cycles: ownership ping-pongs across the bridge while the delays
+    // leave long event-free windows for the kernel to warp.
+    let a = lay.shared_base;
+    let task = |v: u32| {
+        let mut b = ProgramBuilder::new();
+        for i in 0..2_200 {
+            b = b.write(a, v + i).delay(5_000);
+        }
+        b.build()
+    };
+    let mut sys = System::new(&spec, (0..4).map(|i| task(i * 10_000)).collect::<Vec<_>>());
+    sys.set_kernel(hmp_sim::Kernel::FastForward);
+
+    let r = sys.run(40_000_000);
+    assert!(r.is_clean_completion(), "{r}");
+    assert!(
+        r.cycles_u64() >= 10_000_000,
+        "soak must cover 10M+ cycles, got {}",
+        r.cycles_u64()
+    );
+
+    let snap = r.timeseries.as_ref().expect("registry armed");
+    // O(capacity): the ring never outgrows its configured sample count,
+    // no matter how long the run.
+    assert!(
+        snap.samples() <= ts.capacity,
+        "{} samples exceed the capacity of {}",
+        snap.samples(),
+        ts.capacity
+    );
+    assert!(
+        snap.scale >= 6,
+        "a 10M+-cycle run over 4096-cycle base windows must decimate \
+         many times, got scale {}",
+        snap.scale
+    );
+    // Full-width coverage: the windows tile the whole run.
+    assert_eq!(snap.end_cycle, r.cycles_u64());
+    assert!(snap.window_start(snap.samples() - 1) <= snap.end_cycle);
+
+    // The series still reconcile exactly after all that merging.
+    assert_eq!(
+        snap.total(&snap.busy),
+        r.bus.grants + r.bus.data_cycles,
+        "busy cycles reconcile after decimation"
+    );
+    assert_eq!(snap.total(&snap.retries), r.bus.retries);
+    assert!(
+        snap.total(&snap.bridge_crossings) > 0,
+        "ping-ponging one line across a bridged fabric must cross"
+    );
+    assert!(
+        snap.grants.iter().all(|g| snap.total(g) > 0),
+        "every master won grants"
+    );
+
+    // The kernel profile confirms the warp-heavy execution that makes
+    // this soak cheap: most cycles were skipped, not stepped.
+    let p = r.profile.as_ref().expect("profiling armed");
+    assert!(
+        p.warped_cycles > r.cycles_u64() / 2,
+        "warps must dominate a delay-heavy soak: {p:?}"
+    );
+    let mix = p.mix.as_ref().expect("mix rides with the registry");
+    assert_eq!(
+        mix.warped.iter().sum::<u64>()
+            + mix.cpu_only.iter().sum::<u64>()
+            + mix.full.iter().sum::<u64>(),
+        r.cycles_u64(),
+        "every advanced cycle lands in exactly one mix bucket"
+    );
+    assert!(p.wall_ns > 0 && p.cycles_per_sec > 0.0);
+}

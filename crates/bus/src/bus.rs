@@ -345,21 +345,35 @@ impl Bus {
     /// single-segment fabric or when source and requester share a
     /// segment.
     pub fn bridge_penalty(&self, master: MasterId, supplier: Option<usize>) -> u64 {
+        if self.crosses_bridge(master, supplier) {
+            self.bridge_latency
+        } else {
+            0
+        }
+    }
+
+    /// `true` when `master`'s data source sits across the bridge —
+    /// i.e. [`Bus::bridge_penalty`] would apply (even if the configured
+    /// latency is zero). Telemetry counts these crossings per window.
+    pub fn crosses_bridge(&self, master: MasterId, supplier: Option<usize>) -> bool {
         if self.segments <= 1 {
-            return 0;
+            return false;
         }
         let home = self.segment_map[master.index()];
         let source = supplier.map_or(0, |s| self.segment_map[s]);
-        if home == source {
-            0
-        } else {
-            self.bridge_latency
-        }
+        home != source
     }
 
     /// Grants per master so far (drains and retry re-grants included).
     pub fn master_grants(&self) -> &[u64] {
         &self.grants_per_master
+    }
+
+    /// The master whose granted transaction currently owns the bus
+    /// (`None` outside an active transaction). Telemetry uses this to
+    /// attribute data-phase cycles to the driving master's segment.
+    pub fn active_master(&self) -> Option<MasterId> {
+        self.active.as_ref().map(|a| a.txn.master)
     }
 
     /// Suppresses arbitration for the next `cycles` bus cycles (an

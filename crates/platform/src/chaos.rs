@@ -164,6 +164,8 @@ mod tests {
             hang: None,
             invariant: None,
             faults_injected: 2,
+            timeseries: None,
+            profile: None,
         }
     }
 

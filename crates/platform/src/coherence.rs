@@ -374,8 +374,11 @@ impl<O: Observer> System<O> {
         // latency in extra data-phase cycles; address forwarding itself is
         // combinational, and upgrades move no data.
         if let AddressOutcome::Proceed { data_cycles, .. } = &mut outcome {
-            if *data_cycles > 0 {
-                *data_cycles += self.bus.bridge_penalty(txn.master, supplier);
+            if *data_cycles > 0 && self.bus.crosses_bridge(txn.master, supplier) {
+                *data_cycles += self.bus.bridge_latency();
+                if let Some(ts) = &mut self.obs.series {
+                    ts.record_bridge_crossing(self.now);
+                }
             }
         }
         self.phase_scratch = phase;

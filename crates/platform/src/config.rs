@@ -301,6 +301,14 @@ pub struct PlatformSpec {
     /// Per-master recovery-policy overrides (index-aligned with `cpus`;
     /// `None` entries fall back to `recovery`). Empty means no overrides.
     pub recovery_overrides: Vec<Option<hmp_bus::RecoveryPolicy>>,
+    /// Windowed-telemetry registry configuration. `None` (the default)
+    /// leaves the whole timeseries path unallocated; a run with
+    /// telemetry armed is still byte-identical on every compared field.
+    pub timeseries: Option<hmp_sim::TimeSeriesSpec>,
+    /// Measure the kernel's wall-time split (plan/warp/step) and surface
+    /// it as [`crate::RunResult::profile`]. Off by default — the two
+    /// `Instant` reads per loop iteration are cheap but not free.
+    pub profile: bool,
 }
 
 impl PlatformSpec {
@@ -325,6 +333,8 @@ impl PlatformSpec {
             segment_map: Vec::new(),
             bridge_latency: 0,
             recovery_overrides: Vec::new(),
+            timeseries: None,
+            profile: false,
         }
     }
 }

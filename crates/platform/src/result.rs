@@ -4,7 +4,7 @@ use crate::{InvariantViolation, Violation};
 use core::fmt;
 use hmp_bus::BusStats;
 use hmp_cpu::CpuCounters;
-use hmp_sim::{Cycle, MetricsSnapshot, Span, Stats};
+use hmp_sim::{Cycle, KernelProfile, MetricsSnapshot, Span, Stats, TimeSeriesSnapshot};
 
 /// Why the run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,11 +92,15 @@ impl fmt::Display for HangReport {
 
 /// Everything a finished run reports.
 ///
-/// `PartialEq` compares every field — outcome, cycles, bus stats, CPU
-/// counters, platform counters, violations, metrics snapshot, hang and
-/// invariant reports — which is exactly what the kernel-equivalence suite
-/// pins: two kernels agree only if their whole results agree.
-#[derive(Debug, Clone, PartialEq)]
+/// `PartialEq` compares every *deterministic* field — outcome, cycles,
+/// bus stats, CPU counters, platform counters, violations, metrics and
+/// timeseries snapshots, hang and invariant reports — which is exactly
+/// what the kernel-equivalence suite pins: two kernels agree only if
+/// their whole simulated results agree. The one exclusion is
+/// [`RunResult::profile`]: wall-clock timing and the step/warp mix are
+/// kernel- and machine-dependent by construction, so the manual
+/// `PartialEq` below skips that field.
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// How the run ended.
     pub outcome: RunOutcome,
@@ -123,6 +127,31 @@ pub struct RunResult {
     /// Faults the platform's fault engine injected (0 for fault-free
     /// runs, which carry no engine at all).
     pub faults_injected: u64,
+    /// Windowed telemetry series (when the platform ran with a
+    /// [`hmp_sim::TimeSeriesSpec`]). Fully deterministic — both kernels
+    /// must produce the identical snapshot.
+    pub timeseries: Option<TimeSeriesSnapshot>,
+    /// Kernel self-profile: wall-time split and step mix (when the spec
+    /// armed profiling or telemetry). **Excluded** from `PartialEq`.
+    pub profile: Option<KernelProfile>,
+}
+
+impl PartialEq for RunResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcome == other.outcome
+            && self.cycles == other.cycles
+            && self.bus == other.bus
+            && self.cpus == other.cpus
+            && self.stats == other.stats
+            && self.violations == other.violations
+            && self.metrics == other.metrics
+            && self.hang == other.hang
+            && self.invariant == other.invariant
+            && self.faults_injected == other.faults_injected
+            && self.timeseries == other.timeseries
+        // `profile` deliberately omitted: wall time and warp mix differ
+        // across kernels and machines.
+    }
 }
 
 impl RunResult {
@@ -173,6 +202,24 @@ impl fmt::Display for RunResult {
         if let Some(m) = &self.metrics {
             writeln!(f, "{m}")?;
         }
+        if let Some(p) = &self.profile {
+            if p.wall_ns > 0 {
+                writeln!(
+                    f,
+                    "kernel:     {} — {:.1} Mcyc/s (plan {}us, warp {}us, step {}us, \
+                     cpu-only {}us; {} warped, {} full, {} cpu-only)",
+                    p.kernel,
+                    p.cycles_per_sec / 1e6,
+                    p.plan_ns / 1000,
+                    p.warp_ns / 1000,
+                    p.step_ns / 1000,
+                    p.cpu_only_ns / 1000,
+                    p.warped_cycles,
+                    p.full_steps,
+                    p.cpu_only_steps,
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -196,7 +243,37 @@ mod tests {
             hang: None,
             invariant: None,
             faults_injected: 0,
+            timeseries: None,
+            profile: None,
         }
+    }
+
+    #[test]
+    fn profile_is_excluded_from_equality() {
+        let a = result(RunOutcome::Completed);
+        let mut b = result(RunOutcome::Completed);
+        b.profile = Some(KernelProfile {
+            kernel: hmp_sim::Kernel::FastForward,
+            wall_ns: 12345,
+            ..Default::default()
+        });
+        assert_eq!(a, b, "profile must not take part in result equality");
+        let mut c = result(RunOutcome::Completed);
+        c.timeseries = Some(TimeSeriesSnapshot {
+            window: 8192,
+            scale: 0,
+            end_cycle: 100,
+            masters: 2,
+            segments: 1,
+            busy: vec![1],
+            retries: vec![0],
+            quarantines: vec![0],
+            bridge_crossings: vec![0],
+            completions: vec![0],
+            grants: vec![vec![1], vec![0]],
+            occupancy: vec![vec![1]],
+        });
+        assert_ne!(a, c, "timeseries is a compared field");
     }
 
     #[test]

@@ -13,9 +13,10 @@ use hmp_core::{
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
 use hmp_sim::{
-    ClockDomain, CounterBank, Cycle, Kernel, MetricsObserver, NullObserver, Observer, RetryCause,
-    SimEvent, Stats, TraceObserver, Watchdog, WatchdogVerdict,
+    ClockDomain, CounterBank, Cycle, Kernel, KernelProfile, MetricsObserver, MetricsRegistry,
+    NullObserver, Observer, RetryCause, SimEvent, Stats, TraceObserver, Watchdog, WatchdogVerdict,
 };
+use std::time::Instant;
 
 /// The platform's internal event sink: fans every [`SimEvent`] out to the
 /// optional metrics layer before the user's observer.
@@ -27,6 +28,12 @@ use hmp_sim::{
 /// against a concrete `O`.
 pub(crate) struct SystemSink<O: Observer> {
     pub(crate) metrics: Option<Box<MetricsObserver>>,
+    /// Windowed time-series registry, armed by `PlatformSpec::timeseries`.
+    /// Grant/retry/completion/quarantine events arrive through the fan-out
+    /// below; data-phase busy spans, bridge crossings and the kernel mix
+    /// are recorded by direct calls from the cycle loop (the bus emits no
+    /// per-data-cycle events — that is the point of the warp kernel).
+    pub(crate) series: Option<Box<MetricsRegistry>>,
     pub(crate) inner: O,
 }
 
@@ -36,8 +43,26 @@ impl<O: Observer> Observer for SystemSink<O> {
         if let Some(m) = &mut self.metrics {
             m.on_event(at, event);
         }
+        if let Some(s) = &mut self.series {
+            s.on_event(at, event);
+        }
         self.inner.on_event(at, event);
     }
+}
+
+/// Wall-time and step-mix accumulators for the kernel self-profile.
+/// Plain counters (always present, trivially small) so the profiled run
+/// loop can bump them while `self` methods are borrowed.
+#[derive(Default)]
+struct ProfCounters {
+    plan_ns: u64,
+    warp_ns: u64,
+    step_ns: u64,
+    cpu_only_ns: u64,
+    iterations: u64,
+    full_steps: u64,
+    cpu_only_steps: u64,
+    warped_cycles: u64,
 }
 
 pub(crate) struct Node {
@@ -100,6 +125,10 @@ pub struct System<O: Observer = NullObserver> {
     /// transition points in [`System::step_cpus`] so [`System::finished`]
     /// needs no per-cycle node scan.
     halted_cpus: usize,
+    /// Whether [`System::run`] measures the kernel's wall-time split.
+    profile: bool,
+    /// Self-profile accumulators (only written on the profiled path).
+    prof: ProfCounters,
 }
 
 impl System {
@@ -257,6 +286,10 @@ impl<O: Observer> System<O> {
                 event_capacity,
             ))
         });
+        let series = spec.timeseries.map(|ts| {
+            let map: Vec<u8> = segment_map.iter().map(|&s| s as u8).collect();
+            Box::new(MetricsRegistry::new(nodes.len(), segments, &map, ts))
+        });
         System {
             bus,
             nodes,
@@ -270,6 +303,7 @@ impl<O: Observer> System<O> {
             counters,
             obs: SystemSink {
                 metrics,
+                series,
                 inner: obs,
             },
             invariants: spec.check_invariants.then(|| {
@@ -294,6 +328,8 @@ impl<O: Observer> System<O> {
             snoop_logic_enabled: true,
             kernel: Kernel::default(),
             halted_cpus: 0,
+            profile: spec.profile,
+            prof: ProfCounters::default(),
         }
     }
 
@@ -454,6 +490,9 @@ impl<O: Observer> System<O> {
     /// Advances the platform by one bus cycle.
     pub fn step(&mut self) {
         self.now.tick();
+        if let Some(ts) = &mut self.obs.series {
+            ts.record_full_step(self.now);
+        }
         self.fire_faults();
         self.step_bus();
         self.step_cpus();
@@ -536,6 +575,15 @@ impl<O: Observer> System<O> {
     /// `cycles` event-free bus cycles. Caller must have established via
     /// [`System::plan`] that no event falls in the window.
     fn warp(&mut self, cycles: u64) {
+        if let Some(ts) = &mut self.obs.series {
+            // The warped window covers cycles now+1 ..= now+cycles — the
+            // same stamps the step kernel's per-cycle hooks would use. A
+            // bus mid-data-phase streams one busy cycle on each of them
+            // (`Bus::warp` bulk-credits `data_cycles` identically).
+            let busy = matches!(self.bus.phase(), BusPhase::Data { .. });
+            let master = self.bus.active_master().map(MasterId::index);
+            ts.record_warp(self.now.as_u64() + 1, cycles, busy, master);
+        }
         self.now += Cycle::new(cycles);
         self.bus.warp(cycles);
         for node in &mut self.nodes {
@@ -551,6 +599,13 @@ impl<O: Observer> System<O> {
     /// one-cycle warp.
     fn step_cpu_only(&mut self, active: u64) {
         self.now.tick();
+        if let Some(ts) = &mut self.obs.series {
+            ts.record_cpu_only_step(self.now);
+            if matches!(self.bus.phase(), BusPhase::Data { .. }) {
+                let master = self.bus.active_master().map(MasterId::index);
+                ts.record_busy_span(self.now.as_u64(), 1, master);
+            }
+        }
         self.fire_faults();
         self.bus.warp(1);
         for i in 0..self.nodes.len() {
@@ -576,6 +631,33 @@ impl<O: Observer> System<O> {
         } else {
             self.step_cpu_only(active);
         }
+    }
+
+    /// [`System::ff_iteration`] with the kernel self-profile armed:
+    /// identical simulation semantics, plus wall-time attribution of the
+    /// plan / warp / step phases and the step-mix counters.
+    fn profiled_ff_iteration(&mut self, limit: u64) {
+        let t0 = Instant::now();
+        let (skip, active, full) = self.plan(limit);
+        let t1 = Instant::now();
+        self.prof.plan_ns += (t1 - t0).as_nanos() as u64;
+        let mut t2 = t1;
+        if skip > 0 {
+            self.warp(skip);
+            self.prof.warped_cycles += skip;
+            t2 = Instant::now();
+            self.prof.warp_ns += (t2 - t1).as_nanos() as u64;
+        }
+        if full {
+            self.step();
+            self.prof.full_steps += 1;
+            self.prof.step_ns += t2.elapsed().as_nanos() as u64;
+        } else {
+            self.step_cpu_only(active);
+            self.prof.cpu_only_steps += 1;
+            self.prof.cpu_only_ns += t2.elapsed().as_nanos() as u64;
+        }
+        self.prof.iterations += 1;
     }
 
     /// Advances up to `cycles` bus cycles with the configured kernel,
@@ -605,6 +687,7 @@ impl<O: Observer> System<O> {
     /// invariant/watchdog checks happen only on stepped cycles; warped
     /// cycles are provably event-free, so those polls would be no-ops.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let wall_start = self.profile.then(Instant::now);
         let outcome = loop {
             if self.finished() {
                 break RunOutcome::Completed;
@@ -629,9 +712,17 @@ impl<O: Observer> System<O> {
                 }
                 break RunOutcome::CycleLimit;
             }
-            match self.kernel {
-                Kernel::FastForward => self.ff_iteration(max_cycles),
-                Kernel::Step => self.step(),
+            match (self.kernel, self.profile) {
+                (Kernel::FastForward, false) => self.ff_iteration(max_cycles),
+                (Kernel::FastForward, true) => self.profiled_ff_iteration(max_cycles),
+                (Kernel::Step, false) => self.step(),
+                (Kernel::Step, true) => {
+                    let t = Instant::now();
+                    self.step();
+                    self.prof.step_ns += t.elapsed().as_nanos() as u64;
+                    self.prof.full_steps += 1;
+                    self.prof.iterations += 1;
+                }
             }
             if self.invariant_violation().is_some() {
                 break RunOutcome::InvariantViolation;
@@ -657,6 +748,28 @@ impl<O: Observer> System<O> {
                 open_spans,
             }
         });
+        let timeseries = self.obs.series.as_mut().map(|s| s.snapshot(self.now));
+        let profile = (self.profile || self.obs.series.is_some()).then(|| {
+            let wall_ns = wall_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            KernelProfile {
+                kernel: self.kernel,
+                wall_ns,
+                plan_ns: self.prof.plan_ns,
+                warp_ns: self.prof.warp_ns,
+                step_ns: self.prof.step_ns,
+                cpu_only_ns: self.prof.cpu_only_ns,
+                iterations: self.prof.iterations,
+                full_steps: self.prof.full_steps,
+                cpu_only_steps: self.prof.cpu_only_steps,
+                warped_cycles: self.prof.warped_cycles,
+                cycles_per_sec: if wall_ns > 0 {
+                    self.now.as_u64() as f64 / (wall_ns as f64 / 1e9)
+                } else {
+                    0.0
+                },
+                mix: self.obs.series.as_mut().map(|s| s.snapshot_mix(self.now)),
+            }
+        });
         RunResult {
             outcome,
             cycles: self.now,
@@ -676,7 +789,14 @@ impl<O: Observer> System<O> {
                 .and_then(|i| i.violation())
                 .cloned(),
             faults_injected: self.faults.as_ref().map_or(0, |e| e.fired),
+            timeseries,
+            profile,
         }
+    }
+
+    /// The timeseries registry, when the spec armed it.
+    pub fn timeseries(&self) -> Option<&MetricsRegistry> {
+        self.obs.series.as_deref()
     }
 
     /// `true` once the *surviving* platform has finished: at least one
@@ -772,6 +892,12 @@ impl<O: Observer> System<O> {
                 }
             }
             BusPhase::Data { .. } => {
+                if let Some(ts) = &mut self.obs.series {
+                    // Capture the driving master before `advance_data` —
+                    // a completing phase clears the active transaction.
+                    let master = self.bus.active_master().map(MasterId::index);
+                    ts.record_busy_span(self.now.as_u64(), 1, master);
+                }
                 if let Some(done) = self.bus.advance_data(self.now, &mut self.obs) {
                     self.complete_txn(done);
                 }

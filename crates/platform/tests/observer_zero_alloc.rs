@@ -331,4 +331,72 @@ fn steady_state_stepping_with_null_observer_does_not_allocate() {
         "every master won grants: {:?}",
         sys.master_grants()
     );
+
+    // Phase 6: the windowed telemetry registry armed on the same fabric.
+    // Every registry structure is preallocated at construction and
+    // decimation merges adjacent windows in place, so a steady state full
+    // of grants, data-phase spans and window rollovers — including the
+    // fast-forward kernel's bulk warp recording — must stay at zero
+    // allocations. The window is deliberately tiny so the measured span
+    // crosses many boundaries and several decimation merges.
+    let topo = hmp_platform::Topology::uniform(ProtocolKind::Mesi, 4, 2);
+    let (mut spec, lay) = topo.spec(Strategy::Proposed, LockKind::Turn, false);
+    spec.check_coherence = false;
+    spec.span_capacity = 256;
+    spec.arbitration = hmp_bus::ArbitrationPolicy::Fcfs;
+    spec.timeseries = Some(hmp_sim::TimeSeriesSpec {
+        window: 64,
+        capacity: 16,
+    });
+    let a = lay.shared_base;
+    let pingpong = |v: u32| {
+        let mut b = ProgramBuilder::new();
+        for i in 0..2_000 {
+            b = b.write(a, v + i).delay(20);
+        }
+        b.build()
+    };
+    let mut sys = System::new(
+        &spec,
+        (0..4).map(|i| pingpong(i * 10_000)).collect::<Vec<_>>(),
+    );
+
+    for _ in 0..500 {
+        sys.step();
+    }
+    let warm_busy = sys
+        .timeseries()
+        .expect("telemetry registry armed")
+        .recorded_busy();
+    assert!(warm_busy > 0, "warm-up must have recorded busy cycles");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        sys.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state stepping with the telemetry registry must not allocate"
+    );
+
+    // Fast-forward over the same machine: warps bulk-record into the
+    // registry and window merges fire, still without allocating.
+    sys.set_kernel(hmp_sim::Kernel::FastForward);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sys.advance(20_000);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "fast-forward advancement with the telemetry registry must not allocate"
+    );
+
+    let reg = sys.timeseries().unwrap();
+    assert!(reg.recorded_busy() > warm_busy, "traffic during the window");
+    assert!(
+        reg.scale() > 0,
+        "the measured window must have forced at least one decimation merge"
+    );
 }

@@ -22,6 +22,11 @@
 //! * [`Hist`] — allocation-free log2-bucketed latency histograms.
 //! * [`MetricsObserver`] / [`MetricsSnapshot`] — the all-in-one metrics
 //!   sink: spans, histograms, per-CPU counters, hot retry addresses.
+//! * [`MetricsRegistry`] / [`TimeSeriesSnapshot`] — streaming windowed
+//!   time series (utilization, grant share, occupancy, retries) with
+//!   decimation-by-merging so memory stays O(capacity) over arbitrarily
+//!   long runs, plus [`KernelProfile`] wall-time self-profiling and a
+//!   Prometheus-style text [`exposition`].
 //! * [`export`] — Chrome/Perfetto trace-event JSON rendering of a run.
 //! * [`Watchdog`] — forward-progress detection, used to turn the paper's
 //!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
@@ -60,6 +65,7 @@ mod metrics;
 mod rng;
 mod span;
 mod stats;
+mod timeseries;
 mod watchdog;
 
 pub use clock::{ClockDomain, CoreCycle, Cycle};
@@ -75,4 +81,7 @@ pub use metrics::{MetricsObserver, MetricsSnapshot};
 pub use rng::SplitMix64;
 pub use span::{Span, SpanTracker};
 pub use stats::Stats;
+pub use timeseries::{
+    exposition, KernelMix, KernelProfile, MetricsRegistry, TimeSeriesSnapshot, TimeSeriesSpec,
+};
 pub use watchdog::{Watchdog, WatchdogVerdict};

@@ -5,7 +5,7 @@ use hmp_bus::{ArbitrationPolicy, RecoveryPolicy};
 use hmp_cache::ProtocolKind;
 use hmp_mem::LatencyModel;
 use hmp_platform::{presets, Kernel, RunResult, Strategy, System, Topology};
-use hmp_sim::{FaultKind, FaultPlan};
+use hmp_sim::{FaultKind, FaultPlan, TimeSeriesSpec};
 
 /// Which hardware platform to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +137,10 @@ pub struct RunSpec {
     /// Watchdog stall window override in bus cycles (0 keeps the
     /// platform default).
     pub watchdog_window: u64,
+    /// Windowed-telemetry registry configuration (`None` = off).
+    pub timeseries: Option<TimeSeriesSpec>,
+    /// Measure the kernel's wall-time split into the result's profile.
+    pub profile: bool,
 }
 
 impl RunSpec {
@@ -158,6 +162,8 @@ impl RunSpec {
             arbitration: ArbitrationPolicy::RoundRobin,
             recovery: RecoveryPolicy::default(),
             watchdog_window: 0,
+            timeseries: None,
+            profile: false,
         }
     }
 
@@ -224,6 +230,20 @@ impl RunSpec {
         self.watchdog_window = cycles;
         self
     }
+
+    /// Same spec with the windowed-telemetry registry armed.
+    #[must_use]
+    pub fn with_timeseries(mut self, ts: TimeSeriesSpec) -> Self {
+        self.timeseries = Some(ts);
+        self
+    }
+
+    /// Same spec with kernel wall-time self-profiling on.
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
 }
 
 /// Builds the platform and programs for `spec` without running — useful
@@ -250,6 +270,8 @@ pub fn prepare(spec: &RunSpec) -> System {
     pspec.span_capacity = spec.span_capacity;
     pspec.check_invariants = spec.check_invariants;
     pspec.recovery = spec.recovery;
+    pspec.timeseries = spec.timeseries;
+    pspec.profile = spec.profile;
     if spec.watchdog_window > 0 {
         pspec.watchdog_window = spec.watchdog_window;
     }
