@@ -33,7 +33,7 @@ pub mod perf;
 pub mod sweep;
 
 use hmp_platform::Strategy;
-use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Scenario};
+use hmp_workloads::{run, MicrobenchParams, PlatformPick, RunSpec, Runner, Scenario};
 
 /// Workload size used by the figure binaries: enough critical-section
 /// entries for the startup transient to wash out of the ratios.
@@ -96,6 +96,33 @@ pub fn cycles_on(
     result.cycles_u64()
 }
 
+/// [`cycles_on`] through a reused [`Runner`]: byte-identical cycles, but
+/// the platform's allocations are carried from cell to cell instead of
+/// rebuilt — the sweep paths' steady state is allocation-free.
+///
+/// # Panics
+///
+/// Panics if the run does not complete cleanly.
+pub fn cycles_on_with(
+    runner: &mut Runner,
+    platform: PlatformPick,
+    scenario: Scenario,
+    strategy: Strategy,
+    lines: u32,
+    exec_time: u32,
+    burst_penalty: u64,
+) -> u64 {
+    let spec = RunSpec::new(scenario, strategy, figure_params(lines, exec_time))
+        .on(platform)
+        .with_burst_penalty(burst_penalty);
+    let result = runner.run(&spec);
+    assert!(
+        result.is_clean_completion(),
+        "{scenario}/{strategy} lines={lines} exec={exec_time}: {result}"
+    );
+    result.cycles_u64()
+}
+
 /// One row of a Figures 5–7 table: execution-time ratios of the software
 /// solution and the proposed approach relative to the cache-disabled
 /// baseline (the y-axis of the paper's figures).
@@ -116,12 +143,48 @@ pub struct RatioRow {
 impl RatioRow {
     /// Measures one row.
     pub fn measure(scenario: Scenario, lines: u32, exec_time: u32) -> Self {
+        RatioRow::measure_with(&mut Runner::new(), scenario, lines, exec_time)
+    }
+
+    /// [`RatioRow::measure`] through a reused [`Runner`] — the sweep
+    /// workers thread one runner through their whole slice of the grid.
+    pub fn measure_with(
+        runner: &mut Runner,
+        scenario: Scenario,
+        lines: u32,
+        exec_time: u32,
+    ) -> Self {
+        let pick = PlatformPick::PpcArm;
         RatioRow {
             lines,
             exec_time,
-            disabled: cycles_for(scenario, Strategy::CacheDisabled, lines, exec_time, 13),
-            software: cycles_for(scenario, Strategy::SoftwareDrain, lines, exec_time, 13),
-            proposed: cycles_for(scenario, Strategy::Proposed, lines, exec_time, 13),
+            disabled: cycles_on_with(
+                runner,
+                pick,
+                scenario,
+                Strategy::CacheDisabled,
+                lines,
+                exec_time,
+                13,
+            ),
+            software: cycles_on_with(
+                runner,
+                pick,
+                scenario,
+                Strategy::SoftwareDrain,
+                lines,
+                exec_time,
+                13,
+            ),
+            proposed: cycles_on_with(
+                runner,
+                pick,
+                scenario,
+                Strategy::Proposed,
+                lines,
+                exec_time,
+                13,
+            ),
         }
     }
 

@@ -25,10 +25,11 @@
 //!   dominate and the event-driven kernel pays off in full.
 
 use crate::{figure_params, sweep};
+use hmp_bus::ArbitrationPolicy;
 use hmp_cache::ProtocolKind;
 use hmp_platform::{Kernel, RunResult, Strategy};
 use hmp_sim::KernelProfile;
-use hmp_workloads::{prepare, PlatformPick, RunSpec, Scenario};
+use hmp_workloads::{PlatformPick, RunSpec, Runner, Scenario};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -77,14 +78,19 @@ impl PerfCell {
 /// of simulation time has accumulated (and at least 3 repetitions),
 /// returning cycles/sec and the run's result. Only [`hmp_platform::System::run`] is
 /// timed; each repetition's platform is prepared outside the clock.
-fn cycles_per_sec(spec: &RunSpec, kernel: Kernel, min_wall: Duration) -> (f64, RunResult) {
+fn cycles_per_sec(
+    runner: &mut Runner,
+    spec: &RunSpec,
+    kernel: Kernel,
+    min_wall: Duration,
+) -> (f64, RunResult) {
     let spec = spec.with_kernel(kernel);
-    let first = prepare(&spec).run(spec.max_cycles);
+    let first = runner.run(&spec);
     let mut sim_cycles = 0u64;
     let mut reps = 0u32;
     let mut timed = Duration::ZERO;
     while reps < 3 || timed < min_wall {
-        let mut sys = prepare(&spec);
+        let sys = runner.prepare(&spec);
         let start = Instant::now();
         let r = sys.run(spec.max_cycles);
         timed += start.elapsed();
@@ -92,6 +98,38 @@ fn cycles_per_sec(spec: &RunSpec, kernel: Kernel, min_wall: Duration) -> (f64, R
         reps += 1;
     }
     (sim_cycles as f64 / timed.as_secs_f64(), first)
+}
+
+/// Measures an arbitrary spec under both kernels, labelled `platform` in
+/// the output document. All repetitions of both kernels (and the final
+/// profiled run) share one reset-don't-drop [`Runner`].
+///
+/// # Panics
+///
+/// Panics if the run does not complete cleanly — a perf number for a
+/// deadlocked or incoherent run would be meaningless.
+pub fn measure_spec_cell(platform: &'static str, spec: RunSpec, min_wall: Duration) -> PerfCell {
+    let mut runner = Runner::new();
+    let (step_cps, step_result) = cycles_per_sec(&mut runner, &spec, Kernel::Step, min_wall);
+    let (fast_cps, fast_result) = cycles_per_sec(&mut runner, &spec, Kernel::FastForward, min_wall);
+    assert!(
+        step_result.is_clean_completion(),
+        "{}/{platform}: {step_result}",
+        spec.scenario
+    );
+    // One extra self-profiled fast-forward run (outside the timed
+    // comparison above — the profiling clock reads would dilute it).
+    let prof_spec = spec.with_kernel(Kernel::FastForward).with_profile();
+    let profile = runner.run(&prof_spec).profile;
+    PerfCell {
+        scenario: spec.scenario,
+        platform,
+        cycles: step_result.cycles_u64(),
+        step_cps,
+        fast_cps,
+        equivalent: step_result == fast_result,
+        profile,
+    }
 }
 
 /// Measures one cell under both kernels.
@@ -106,26 +144,7 @@ pub fn measure_cell(
     min_wall: Duration,
 ) -> PerfCell {
     let spec = RunSpec::new(scenario, Strategy::Proposed, figure_params(16, 4)).on(platform.1);
-    let (step_cps, step_result) = cycles_per_sec(&spec, Kernel::Step, min_wall);
-    let (fast_cps, fast_result) = cycles_per_sec(&spec, Kernel::FastForward, min_wall);
-    assert!(
-        step_result.is_clean_completion(),
-        "{scenario}/{}: {step_result}",
-        platform.0
-    );
-    // One extra self-profiled fast-forward run (outside the timed
-    // comparison above — the profiling clock reads would dilute it).
-    let prof_spec = spec.with_kernel(Kernel::FastForward).with_profile();
-    let profile = prepare(&prof_spec).run(prof_spec.max_cycles).profile;
-    PerfCell {
-        scenario,
-        platform: platform.0,
-        cycles: step_result.cycles_u64(),
-        step_cps,
-        fast_cps,
-        equivalent: step_result == fast_result,
-        profile,
-    }
+    measure_spec_cell(platform.0, spec, min_wall)
 }
 
 /// Measures every scenario × platform cell, in scenario-major order.
@@ -137,6 +156,28 @@ pub fn measure_cells(min_wall: Duration) -> Vec<PerfCell> {
         }
     }
     cells
+}
+
+/// The explicitly event-dense cells: the Figure-5 burst point at its
+/// densest corner (`exec_time = 1`, so nearly every cycle carries an
+/// instruction issue, a grant, or a completion) and a 4-master FCFS
+/// fabric, where arbitration pressure multiplies bus events. These are
+/// the cells the ≥2× event-dense target is measured on, and the ones CI
+/// gates: a fast-forward kernel slower than per-cycle stepping here means
+/// the planner's overhead outgrew its warp savings.
+pub fn event_dense_cells(min_wall: Duration) -> Vec<PerfCell> {
+    let burst = RunSpec::new(Scenario::Worst, Strategy::Proposed, figure_params(16, 1));
+    let fabric = RunSpec::new(Scenario::Worst, Strategy::Proposed, figure_params(8, 1))
+        .on(PlatformPick::Fabric {
+            protocol: ProtocolKind::Mesi,
+            masters: 4,
+            segments: 1,
+        })
+        .with_arbitration(ArbitrationPolicy::Fcfs);
+    vec![
+        measure_spec_cell("fig5_dense", burst, min_wall),
+        measure_spec_cell("fabric4_fcfs", fabric, min_wall),
+    ]
 }
 
 /// Aggregate timing of one full WCS grid — every strategy at every
@@ -158,6 +199,12 @@ pub struct SweepPerf {
     pub fast_cps: f64,
     /// Whether both passes simulated the same total cycle count.
     pub equivalent: bool,
+    /// Aggregate kernel self-profile of one extra profiled fast-forward
+    /// pass over the same grid: phase nanoseconds and step-mix counters
+    /// summed across every cell. The counter fields (iterations, step
+    /// mix, warped cycles) are deterministic; the `_ns` fields are wall
+    /// clock and excluded from baseline comparison.
+    pub profile: Option<KernelProfile>,
 }
 
 impl SweepPerf {
@@ -167,7 +214,7 @@ impl SweepPerf {
     }
 }
 
-fn sweep_pass(kernel: Kernel, burst_penalty: u64) -> (u64, f64) {
+fn sweep_pass(runner: &mut Runner, kernel: Kernel, burst_penalty: u64) -> (u64, f64) {
     let grid = sweep::figure_grid(Scenario::Worst);
     let mut total = 0u64;
     let mut timed = Duration::ZERO;
@@ -176,7 +223,7 @@ fn sweep_pass(kernel: Kernel, burst_penalty: u64) -> (u64, f64) {
             let spec = RunSpec::new(p.scenario, strategy, figure_params(p.lines, p.exec_time))
                 .with_burst_penalty(burst_penalty)
                 .with_kernel(kernel);
-            let mut sys = prepare(&spec);
+            let sys = runner.prepare(&spec);
             let start = Instant::now();
             let r = sys.run(spec.max_cycles);
             timed += start.elapsed();
@@ -187,11 +234,56 @@ fn sweep_pass(kernel: Kernel, burst_penalty: u64) -> (u64, f64) {
     (total, total as f64 / timed.as_secs_f64())
 }
 
+/// One extra fast-forward pass with the kernel self-profile armed,
+/// summing each cell's phase split and step mix into one grid-wide
+/// profile.
+fn sweep_profile(runner: &mut Runner, burst_penalty: u64) -> Option<KernelProfile> {
+    let grid = sweep::figure_grid(Scenario::Worst);
+    let mut acc: Option<KernelProfile> = None;
+    for p in &grid {
+        for strategy in Strategy::ALL {
+            let spec = RunSpec::new(p.scenario, strategy, figure_params(p.lines, p.exec_time))
+                .with_burst_penalty(burst_penalty)
+                .with_kernel(Kernel::FastForward)
+                .with_profile();
+            let r = runner.run(&spec);
+            assert!(r.is_clean_completion(), "{}/{strategy}: {r}", p.scenario);
+            let cell = r.profile.expect("profiled run attaches a profile");
+            let agg = acc.get_or_insert_with(|| KernelProfile {
+                kernel: cell.kernel,
+                ..Default::default()
+            });
+            agg.wall_ns += cell.wall_ns;
+            agg.plan_ns += cell.plan_ns;
+            agg.warp_ns += cell.warp_ns;
+            agg.step_ns += cell.step_ns;
+            agg.cpu_only_ns += cell.cpu_only_ns;
+            agg.iterations += cell.iterations;
+            agg.full_steps += cell.full_steps;
+            agg.cpu_only_steps += cell.cpu_only_steps;
+            agg.warped_cycles += cell.warped_cycles;
+        }
+    }
+    if let Some(agg) = &mut acc {
+        let total = agg.warped_cycles + agg.full_steps + agg.cpu_only_steps;
+        agg.cycles_per_sec = if agg.wall_ns > 0 {
+            total as f64 / (agg.wall_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+    }
+    acc
+}
+
 /// Times one serial pass over the WCS grid under each kernel at the
-/// given burst penalty.
+/// given burst penalty, then takes a third, self-profiled fast-forward
+/// pass for the aggregate phase split. All three passes reuse one
+/// platform via the reset-don't-drop [`Runner`].
 pub fn measure_sweep(slug: &'static str, burst_penalty: u64) -> SweepPerf {
-    let (step_total, step_cps) = sweep_pass(Kernel::Step, burst_penalty);
-    let (fast_total, fast_cps) = sweep_pass(Kernel::FastForward, burst_penalty);
+    let mut runner = Runner::new();
+    let (step_total, step_cps) = sweep_pass(&mut runner, Kernel::Step, burst_penalty);
+    let (fast_total, fast_cps) = sweep_pass(&mut runner, Kernel::FastForward, burst_penalty);
+    let profile = sweep_profile(&mut runner, burst_penalty);
     SweepPerf {
         slug,
         burst_penalty,
@@ -200,6 +292,7 @@ pub fn measure_sweep(slug: &'static str, burst_penalty: u64) -> SweepPerf {
         step_cps,
         fast_cps,
         equivalent: step_total == fast_total,
+        profile,
     }
 }
 
@@ -238,29 +331,8 @@ pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
             c.speedup(),
             c.equivalent,
         );
-        match &c.profile {
-            Some(p) => {
-                let _ = write!(
-                    out,
-                    concat!(
-                        r#""profile":{{"wall_ns":{},"plan_ns":{},"warp_ns":{},"step_ns":{},"#,
-                        r#""cpu_only_ns":{},"cycles_per_sec":{:.1},"iterations":{},"#,
-                        r#""full_steps":{},"cpu_only_steps":{},"warped_cycles":{}}}}}"#
-                    ),
-                    p.wall_ns,
-                    p.plan_ns,
-                    p.warp_ns,
-                    p.step_ns,
-                    p.cpu_only_ns,
-                    p.cycles_per_sec,
-                    p.iterations,
-                    p.full_steps,
-                    p.cpu_only_steps,
-                    p.warped_cycles,
-                );
-            }
-            None => out.push_str(r#""profile":null}"#),
-        }
+        write_profile(&mut out, c.profile.as_ref());
+        out.push('}');
     }
     out.push(']');
     for s in sweeps {
@@ -268,7 +340,7 @@ pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
             out,
             concat!(
                 r#","{}":{{"burst_penalty":{},"points":{},"total_cycles":{},"#,
-                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{}}}"#
+                r#""step_cps":{:.1},"fast_cps":{:.1},"speedup":{:.3},"equivalent":{},"#
             ),
             s.slug,
             s.burst_penalty,
@@ -279,9 +351,39 @@ pub fn perf_json(cells: &[PerfCell], sweeps: &[SweepPerf]) -> String {
             s.speedup(),
             s.equivalent,
         );
+        write_profile(&mut out, s.profile.as_ref());
+        out.push('}');
     }
     out.push('}');
     out
+}
+
+/// Writes the `"profile":…` member (object or `null`) without a trailing
+/// brace — the caller closes its containing object.
+fn write_profile(out: &mut String, profile: Option<&KernelProfile>) {
+    match profile {
+        Some(p) => {
+            let _ = write!(
+                out,
+                concat!(
+                    r#""profile":{{"wall_ns":{},"plan_ns":{},"warp_ns":{},"step_ns":{},"#,
+                    r#""cpu_only_ns":{},"cycles_per_sec":{:.1},"iterations":{},"#,
+                    r#""full_steps":{},"cpu_only_steps":{},"warped_cycles":{}}}"#
+                ),
+                p.wall_ns,
+                p.plan_ns,
+                p.warp_ns,
+                p.step_ns,
+                p.cpu_only_ns,
+                p.cycles_per_sec,
+                p.iterations,
+                p.full_steps,
+                p.cpu_only_steps,
+                p.warped_cycles,
+            );
+        }
+        None => out.push_str(r#""profile":null"#),
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +433,12 @@ mod tests {
                 step_cps: 2_000_000.0,
                 fast_cps: 8_000_000.0,
                 equivalent: true,
+                profile: Some(KernelProfile {
+                    kernel: Kernel::FastForward,
+                    wall_ns: 9_000,
+                    iterations: 600,
+                    ..Default::default()
+                }),
             },
             SweepPerf {
                 slug: "fig8_sweep",
@@ -340,6 +448,7 @@ mod tests {
                 step_cps: 2_000_000.0,
                 fast_cps: 16_000_000.0,
                 equivalent: true,
+                profile: None,
             },
         ];
         let json = perf_json(std::slice::from_ref(&cell), &sweeps);
@@ -352,5 +461,22 @@ mod tests {
         assert!(json.starts_with(r#"{"schema_version":1,"#), "{json}");
         assert!(json.contains(r#""profile":{"wall_ns":1000"#), "{json}");
         assert!(json.contains(r#""warped_cycles":5"#), "{json}");
+        assert!(json.contains(r#""profile":{"wall_ns":9000"#), "{json}");
+        assert!(json.contains(r#""profile":null"#), "{json}");
+    }
+
+    #[test]
+    fn event_dense_cells_are_equivalent_and_profiled() {
+        for cell in event_dense_cells(Duration::ZERO) {
+            assert!(cell.equivalent, "{}", cell.platform);
+            assert!(cell.cycles > 0, "{}", cell.platform);
+            let p = cell.profile.expect("profiled run attaches a profile");
+            assert!(p.iterations > 0, "{}", cell.platform);
+            assert!(
+                p.full_steps + p.cpu_only_steps + p.warped_cycles > 0,
+                "{}: {p:?}",
+                cell.platform
+            );
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! scheduler interleaves the workers.
 
 use crate::RatioRow;
-use hmp_workloads::{MicrobenchParams, Scenario};
+use hmp_workloads::{MicrobenchParams, Runner, Scenario};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -31,10 +31,32 @@ where
     O: Send,
     F: Fn(&T) -> O + Sync,
 {
+    par_map_with(items, workers, || (), move |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch state: each thread calls `init`
+/// once and threads the value through every item it claims. The sweep
+/// paths use this to carry one reset-don't-drop
+/// [`hmp_workloads::Runner`] per worker, so a thousand-cell sweep pays
+/// the platform constructor once per thread instead of once per cell.
+/// Determinism is untouched — each run is independent and index-slotted,
+/// so results are identical no matter which worker's runner served a cell.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f` or `init`.
+pub fn par_map_with<T, O, S, I, F>(items: &[T], workers: usize, init: I, f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> O + Sync,
+{
     let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -43,13 +65,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let mut state = init();
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        produced.push((i, f(&items[i])));
+                        produced.push((i, f(&mut state, &items[i])));
                     }
                     produced
                 })
@@ -108,19 +131,21 @@ pub fn figure_grid(scenario: Scenario) -> Vec<SweepPoint> {
     points
 }
 
-/// Measures every point on the calling thread, in order.
+/// Measures every point on the calling thread, in order, through one
+/// reused platform.
 pub fn sweep_serial(points: &[SweepPoint]) -> Vec<RatioRow> {
+    let mut runner = Runner::new();
     points
         .iter()
-        .map(|p| RatioRow::measure(p.scenario, p.lines, p.exec_time))
+        .map(|p| RatioRow::measure_with(&mut runner, p.scenario, p.lines, p.exec_time))
         .collect()
 }
 
 /// Measures every point across `workers` threads; the returned rows are
 /// identical to [`sweep_serial`]'s, in the same order.
 pub fn sweep_parallel(points: &[SweepPoint], workers: usize) -> Vec<RatioRow> {
-    par_map(points, workers, |p| {
-        RatioRow::measure(p.scenario, p.lines, p.exec_time)
+    par_map_with(points, workers, Runner::new, |runner, p| {
+        RatioRow::measure_with(runner, p.scenario, p.lines, p.exec_time)
     })
 }
 

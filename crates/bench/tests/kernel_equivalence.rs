@@ -108,6 +108,13 @@ fn run_topology(
     pspec.arbitration = arbitration;
     pspec.span_capacity = 256;
     pspec.check_invariants = true;
+    // Windowed telemetry takes part in the compared result, so the
+    // fast-forward kernel's bulk warp recording is pinned to the step
+    // kernel's per-cycle recording, window for window.
+    pspec.timeseries = Some(hmp_sim::TimeSeriesSpec {
+        window: 256,
+        capacity: 8,
+    });
     let programs = build_programs_for(
         Scenario::Worst,
         Strategy::Proposed,
@@ -171,6 +178,110 @@ fn four_master_bridged_fcfs_topology_agrees() {
     topo.masters[3].cpu.clock_mult = 3;
     let r = topology_kernels_agree(&topo, ArbitrationPolicy::Fcfs, "4-master bridged FCFS");
     assert!(r.is_clean_completion(), "{r}");
+}
+
+#[test]
+fn n_master_fabrics_agree_across_the_planner_size_threshold() {
+    // The event planner answers "earliest" with a dense linear scan up to
+    // 8 nodes and a lazy binary heap beyond that. Sweeping the master
+    // count across that threshold — 6 (linear), 9 (just over), 12 (deep
+    // in the heap path) — pins the property that equivalence is
+    // insensitive to which query structure served the run. Grant counts
+    // and the windowed telemetry series are compared alongside the full
+    // result.
+    for (masters, segments, arbitration) in [
+        (6, 2, ArbitrationPolicy::RoundRobin),
+        (9, 3, ArbitrationPolicy::Fcfs),
+        (12, 2, ArbitrationPolicy::Fcfs),
+    ] {
+        let topo = Topology::uniform(ProtocolKind::Mesi, masters, segments);
+        let label = format!("{masters}-master/{segments}-segment fabric");
+        let r = topology_kernels_agree(&topo, arbitration, &label);
+        assert!(r.is_clean_completion(), "{label}: {r}");
+        let ts = r.timeseries.as_ref().expect("telemetry registry armed");
+        assert!(ts.samples() > 1, "{label}: run spans several windows");
+        assert_eq!(
+            ts.total(&ts.busy),
+            r.bus.grants + r.bus.data_cycles,
+            "{label}: busy series reconciles with bus stats"
+        );
+    }
+}
+
+/// Runs a prepared spec under one kernel, returning the full result plus
+/// the per-master grant counts (which [`RunResult`] does not carry).
+fn run_with_grants(spec: &RunSpec, kernel: Kernel) -> (RunResult, Vec<u64>) {
+    let mut sys = hmp_workloads::prepare(&spec.with_kernel(kernel));
+    let result = sys.run(spec.max_cycles);
+    (result, sys.master_grants().to_vec())
+}
+
+#[test]
+fn protocol_breaking_chaos_on_a_bridged_fabric_agrees() {
+    // The three protocol-breaking fault classes — a desynchronized TAG
+    // CAM, a suppressed SHARED response and a corrupted line state — all
+    // mutate coherence metadata mid-run. On a bridged 4-master fabric
+    // with telemetry armed, the injected runs must stay byte-identical
+    // between kernels: same grants per master, same windowed series, same
+    // (usually incoherent) outcome at the same cycle.
+    use hmp_sim::FaultKind;
+    let fabric = PlatformPick::Fabric {
+        protocol: ProtocolKind::Mesi,
+        masters: 4,
+        segments: 2,
+    };
+    for kind in [
+        FaultKind::CamDesync,
+        FaultKind::SharedCorrupt,
+        FaultKind::LineStateCorrupt,
+    ] {
+        assert!(kind.protocol_breaking(), "{kind} must break the protocol");
+        let spec = hmp_bench::chaos::chaos_spec(kind, fabric, Strategy::Proposed)
+            .with_spans(256)
+            .with_timeseries(hmp_sim::TimeSeriesSpec {
+                window: 256,
+                capacity: 8,
+            });
+        let (step, step_grants) = run_with_grants(&spec, Kernel::Step);
+        let (fast, fast_grants) = run_with_grants(&spec, Kernel::FastForward);
+        assert_eq!(step, fast, "kernel divergence on {kind} fabric chaos");
+        assert_eq!(step_grants, fast_grants, "grant divergence on {kind}");
+        assert!(step.faults_injected >= 1, "{kind}: no fault fired");
+        let ts = step.timeseries.as_ref().expect("telemetry registry armed");
+        assert_eq!(
+            Some(ts),
+            fast.timeseries.as_ref(),
+            "windowed series must be kernel-neutral under {kind}"
+        );
+    }
+}
+
+#[test]
+fn runner_reuse_preserves_equivalence_on_a_fabric() {
+    // The reset-don't-drop Runner feeds the sweeps; a reused platform
+    // must produce the same kernels-agree results as fresh construction,
+    // including across a kernel flip on the same reused machine.
+    let fabric = PlatformPick::Fabric {
+        protocol: ProtocolKind::Mesi,
+        masters: 4,
+        segments: 2,
+    };
+    let spec = RunSpec::new(Scenario::Worst, Strategy::Proposed, params())
+        .on(fabric)
+        .with_spans(256);
+    let mut runner = hmp_workloads::Runner::new();
+    let step_fresh = run(&spec.with_kernel(Kernel::Step));
+    let step_reused = runner.run(&spec.with_kernel(Kernel::Step));
+    let fast_reused = runner.run(&spec.with_kernel(Kernel::FastForward));
+    assert_eq!(step_fresh, step_reused, "reuse changed the step result");
+    assert_eq!(
+        step_reused, fast_reused,
+        "kernel divergence on the reused fabric"
+    );
+    assert!(
+        runner.reuses() >= 1,
+        "the second run must have reset, not rebuilt"
+    );
 }
 
 #[test]

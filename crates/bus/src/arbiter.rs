@@ -80,6 +80,12 @@ impl Arbiter {
         self.masters
     }
 
+    /// Cross-run reset: restores the grant rotation to its power-on
+    /// position (master 0 wins the first round). The policy stays.
+    pub fn reset(&mut self) {
+        self.last = self.masters - 1;
+    }
+
     /// The active policy.
     pub fn policy(&self) -> ArbitrationPolicy {
         self.policy

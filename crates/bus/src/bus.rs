@@ -242,6 +242,34 @@ impl Bus {
         self.arbiter = Arbiter::with_policy(self.ports.len(), policy);
     }
 
+    /// Cross-run reset: returns every port, the arbiter rotation, the
+    /// active transaction and all counters to their power-on state while
+    /// keeping every allocation (drain queues, masks, per-master vectors)
+    /// and the fabric topology (segments, bridge latency). Configuration
+    /// installed through the setters — arbitration, BOFF window, recovery
+    /// policy and per-master overrides — is preserved; callers that want
+    /// different knobs for the next run re-apply them afterwards.
+    pub fn reset(&mut self) {
+        self.arbiter.reset();
+        for p in &mut self.ports {
+            p.backoff = 0;
+            p.fresh = None;
+            p.retrying = None;
+            p.drains.clear();
+            p.stamp = 0;
+        }
+        self.phase = BusPhase::Idle;
+        self.active = None;
+        self.stats = BusStats::default();
+        self.req_mask.fill(false);
+        self.stamp_mask.fill(0);
+        self.grants_per_master.fill(0);
+        self.queued_drain_count = 0;
+        self.grant_block = 0;
+        self.consecutive_retries.fill(0);
+        self.quarantined.fill(false);
+    }
+
     /// Sets the BOFF window: a master whose transaction was killed by
     /// ARTRY deasserts its request for this many bus cycles before
     /// retrying. Zero (the default) retries immediately.

@@ -18,6 +18,10 @@ pub trait BusDevice: fmt::Debug {
 
     /// Services a single-word write.
     fn write_word(&mut self, addr: Addr, value: u32);
+
+    /// Cross-run reset: returns the device to its power-on state without
+    /// reallocating. The default is a no-op for stateless devices.
+    fn reset(&mut self) {}
 }
 
 /// The paper's hardware lock register (§3, second deadlock solution,
@@ -119,6 +123,12 @@ impl BusDevice for LockRegister {
     fn write_word(&mut self, addr: Addr, _value: u32) {
         let i = self.index(addr);
         self.bits[i] = false;
+    }
+
+    fn reset(&mut self) {
+        self.bits.fill(false);
+        self.acquisitions = 0;
+        self.contended_reads = 0;
     }
 }
 

@@ -133,7 +133,17 @@ pub struct DataCache {
     sets: Vec<CacheSet>,
     /// Index of the owning processor, carried in emitted [`SimEvent`]s.
     owner: usize,
+    /// Per-bucket valid-line counts for the occupancy filter
+    /// ([`DataCache::may_hold`]): maintained at the only insert point
+    /// ([`DataCache::fill`]) and every removal point, so a zero count is
+    /// a *guarantee* of absence for all lines hashing to that bucket.
+    occupancy: [u32; FILTER_BUCKETS],
+    /// Summary mask over `occupancy`: bit `b` set iff `occupancy[b] > 0`.
+    occupied: u64,
 }
+
+/// Bucket count of the cache occupancy filter (one summary-mask bit each).
+const FILTER_BUCKETS: usize = 64;
 
 impl DataCache {
     /// Creates an empty cache with the given geometry and (write-back)
@@ -165,7 +175,24 @@ impl DataCache {
             protocol,
             sets,
             owner: 0,
+            occupancy: [0; FILTER_BUCKETS],
+            occupied: 0,
         }
+    }
+
+    /// Empties the cache in place — every line invalid, LRU orders back
+    /// to construction state, occupancy filter zeroed — reusing all
+    /// storage. Dirty data is dropped without write-back: this is a
+    /// cross-run reset, not a coherence operation.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for way in &mut set.ways {
+                *way = None;
+            }
+            set.lru.reset();
+        }
+        self.occupancy = [0; FILTER_BUCKETS];
+        self.occupied = 0;
     }
 
     /// Tags the cache with its owning processor's index; the tag only
@@ -202,6 +229,35 @@ impl DataCache {
         }
     }
 
+    /// The occupancy-filter bucket a line hashes to.
+    fn filter_bucket(addr: Addr) -> usize {
+        (((addr.line_base().as_u32() / LINE_BYTES).wrapping_mul(0x9E37_79B9)) >> 26) as usize
+    }
+
+    fn filter_add(&mut self, addr: Addr) {
+        let b = Self::filter_bucket(addr);
+        self.occupancy[b] += 1;
+        self.occupied |= 1 << b;
+    }
+
+    fn filter_remove(&mut self, addr: Addr) {
+        let b = Self::filter_bucket(addr);
+        debug_assert!(self.occupancy[b] > 0, "filter underflow at {addr}");
+        self.occupancy[b] -= 1;
+        if self.occupancy[b] == 0 {
+            self.occupied &= !(1 << b);
+        }
+    }
+
+    /// O(1) absence filter for the snoop fast path: `false` *guarantees*
+    /// the cache does not hold the line containing `addr` (no tag lookup
+    /// needed); `true` means it might (hash-bucket occupancy, so false
+    /// positives occur, never false negatives).
+    #[inline]
+    pub fn may_hold(&self, addr: Addr) -> bool {
+        self.occupied & (1 << Self::filter_bucket(addr)) != 0
+    }
+
     fn find_way(&self, addr: Addr) -> Option<u32> {
         let tag = self.tag(addr);
         let set = &self.sets[self.set_index(addr)];
@@ -225,6 +281,7 @@ impl DataCache {
             .take()
             .expect("victim way is occupied when the set is full");
         let base = (line.tag * sets_count + si as u32) * LINE_BYTES;
+        self.filter_remove(Addr::new(base));
         Some(EvictedLine {
             addr: Addr::new(base),
             dirty: line.state.is_dirty(),
@@ -331,6 +388,7 @@ impl DataCache {
             write_through,
         });
         set.lru.touch(way);
+        self.filter_add(addr);
         obs.on_event(
             at,
             SimEvent::CacheFill {
@@ -421,6 +479,7 @@ impl DataCache {
         let set = &mut self.sets[si];
         if t.next == LineState::Invalid {
             set.ways[way as usize] = None;
+            self.filter_remove(addr);
         } else {
             set.ways[way as usize].as_mut().expect("found way").state = t.next;
         }
@@ -456,6 +515,7 @@ impl DataCache {
         let way = self.find_way(addr)?;
         let si = self.set_index(addr);
         let line = self.sets[si].ways[way as usize].take().expect("found way");
+        self.filter_remove(addr);
         Some((line.state.is_dirty(), line.data))
     }
 
@@ -473,6 +533,7 @@ impl DataCache {
                 !line.state.is_dirty(),
                 "invalidate_line would drop dirty data at {addr}"
             );
+            self.filter_remove(addr);
         }
     }
 
@@ -1008,5 +1069,124 @@ mod tests {
         );
         assert_eq!(c.line_state(a), Some(LineState::Shared));
         assert_eq!(c.probe_write(a, 2, false), WriteProbe::HitNeedsUpgrade);
+    }
+
+    /// `may_hold` must never report a false negative: every resident line
+    /// is claimed by the filter.
+    fn assert_filter_covers(c: &DataCache) {
+        for (base, _) in c.iter_lines() {
+            assert!(c.may_hold(base), "filter lost resident line {base}");
+        }
+    }
+
+    #[test]
+    fn filter_tracks_fills_and_evictions() {
+        let mut c = cache(ProtocolKind::Mesi);
+        let a = Addr::new(0x40);
+        assert!(!c.may_hold(a), "empty cache claims nothing");
+        // Fill three lines mapping to the same set (sets=4, so stride 0x80).
+        for i in 0..3u32 {
+            let addr = Addr::new(0x40 + i * 0x80);
+            // probe_read on a miss evicts to guarantee a free way.
+            let _ = c.probe_read(addr, false);
+            c.fill(
+                addr,
+                filled_line(i),
+                Access::Read,
+                false,
+                false,
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+            assert!(c.may_hold(addr));
+            assert_filter_covers(&c);
+        }
+        // Only two ways: the first line was evicted and its filter count
+        // dropped, so unless its bucket collides it is no longer claimed.
+        assert_eq!(c.valid_lines(), 2);
+        assert_filter_covers(&c);
+    }
+
+    #[test]
+    fn filter_clears_on_snoop_invalidate_flush_and_invalidate() {
+        let mut c = cache(ProtocolKind::Mesi);
+        let a = Addr::new(0x40);
+        let b = Addr::new(0x80);
+        let d = Addr::new(0xC0);
+        for (addr, v) in [(a, 1), (b, 2), (d, 3)] {
+            c.fill(
+                addr,
+                filled_line(v),
+                Access::Read,
+                false,
+                false,
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+        }
+        assert_filter_covers(&c);
+        // Snoop-to-Invalid removes `a` from the filter.
+        let reply = c.snoop(a, SnoopOp::Write, Cycle::ZERO, &mut NullObserver);
+        assert!(reply.is_some());
+        assert!(!c.contains(a));
+        assert!(!c.may_hold(a), "snoop invalidate must release the filter");
+        // flush_line removes `b`.
+        assert!(c.flush_line(b).is_some());
+        assert!(!c.may_hold(b), "flush must release the filter");
+        // invalidate_line removes `d` (clean, so no dirty-drop panic).
+        c.invalidate_line(d);
+        assert!(!c.may_hold(d), "invalidate must release the filter");
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn filter_survives_corruption_and_clear() {
+        let mut c = cache(ProtocolKind::Mesi);
+        let a = Addr::new(0x40);
+        c.fill(
+            a,
+            filled_line(7),
+            Access::Read,
+            false,
+            false,
+            Cycle::ZERO,
+            &mut NullObserver,
+        );
+        // corrupt_line_state flips state but preserves presence.
+        assert!(c.corrupt_line_state(a).is_some());
+        assert!(c.may_hold(a));
+        assert_filter_covers(&c);
+        c.clear();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.may_hold(a), "clear must empty the filter");
+    }
+
+    #[test]
+    fn filter_counts_collisions_without_false_negatives() {
+        // Two addresses in different sets may share a filter bucket; the
+        // counted filter must keep claiming the survivor after one leaves.
+        let mut c = DataCache::new(CacheConfig { sets: 8, ways: 2 }, ProtocolKind::Mesi);
+        let addrs: Vec<Addr> = (0..16u32).map(|i| Addr::new(i * 0x20)).collect();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let _ = c.probe_read(addr, false);
+            c.fill(
+                addr,
+                filled_line(i as u32),
+                Access::Read,
+                false,
+                false,
+                Cycle::ZERO,
+                &mut NullObserver,
+            );
+            assert_filter_covers(&c);
+        }
+        // Flush everything still resident; the filter must end empty-handed
+        // for every flushed line while never dropping a resident one.
+        let resident: Vec<Addr> = c.iter_lines().map(|(base, _)| base).collect();
+        for addr in resident {
+            assert!(c.flush_line(addr).is_some());
+            assert_filter_covers(&c);
+        }
+        assert_eq!(c.valid_lines(), 0);
     }
 }

@@ -41,6 +41,14 @@ impl LruOrder {
         self.order.len() as u32
     }
 
+    /// Restores the construction order in place (way 0 MRU, highest way
+    /// the first victim) without reallocating.
+    pub fn reset(&mut self) {
+        for (i, w) in self.order.iter_mut().enumerate() {
+            *w = i as u32;
+        }
+    }
+
     /// Marks `way` most recently used.
     ///
     /// # Panics

@@ -3,6 +3,38 @@
 use hmp_mem::{Addr, LINE_BYTES};
 use hmp_sim::{Cycle, Observer, SimEvent};
 use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Single-multiply hasher for CAM tags. Tags are 32-bit line bases —
+/// already well-distributed after one Fibonacci multiply — and the CAM
+/// is probed on every snooped fill/writeback, where the default
+/// DoS-resistant SipHash would dominate the lookup cost. Keys are
+/// simulator-internal addresses, so hash-flooding resistance buys
+/// nothing here.
+#[derive(Default)]
+pub(crate) struct TagHasher(u64);
+
+impl Hasher for TagHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback; the tag sets only ever hash u32 keys.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+    }
+}
+
+/// A `HashSet<u32>` keyed by [`TagHasher`].
+type TagSet = HashSet<u32, BuildHasherDefault<TagHasher>>;
 
 /// The external snooping assembly of paper §3 / Figure 3.
 ///
@@ -70,18 +102,26 @@ pub struct SnoopLogic {
     capacity_evictions: u64,
     /// Index of the owning processor, carried in emitted [`SimEvent`]s.
     owner: usize,
+    /// Counted occupancy filter over CAM membership: per-bucket tag counts
+    /// plus a one-bit-per-bucket summary. [`may_match`](SnoopLogic::may_match)
+    /// answering `false` guarantees the CAM holds no tag for the address,
+    /// letting the address phase skip the full lookup.
+    occupancy: [u32; FILTER_BUCKETS],
+    occupied: u64,
 }
+
+const FILTER_BUCKETS: usize = 64;
 
 #[derive(Debug, Clone)]
 enum Storage {
-    FullMap(HashSet<u32>),
+    FullMap(TagSet),
     Mirrored {
         sets: u32,
         ways: u32,
         /// Per set, tags most-recently-filled first.
         entries: Vec<Vec<u32>>,
         /// Tags evicted for capacity, awaiting their forced drain.
-        overflow: HashSet<u32>,
+        overflow: TagSet,
     },
 }
 
@@ -89,12 +129,14 @@ impl SnoopLogic {
     /// Creates unbounded (full-map) snoop logic.
     pub fn new() -> Self {
         SnoopLogic {
-            storage: Storage::FullMap(HashSet::new()),
+            storage: Storage::FullMap(TagSet::default()),
             pending: VecDeque::new(),
             remote_hits: 0,
             fills_observed: 0,
             capacity_evictions: 0,
             owner: 0,
+            occupancy: [0; FILTER_BUCKETS],
+            occupied: 0,
         }
     }
 
@@ -124,14 +166,67 @@ impl SnoopLogic {
                 entries: (0..sets)
                     .map(|_| Vec::with_capacity(ways as usize))
                     .collect(),
-                overflow: HashSet::new(),
+                overflow: TagSet::default(),
             },
             pending: VecDeque::new(),
             remote_hits: 0,
             fills_observed: 0,
             capacity_evictions: 0,
             owner: 0,
+            occupancy: [0; FILTER_BUCKETS],
+            occupied: 0,
         }
+    }
+
+    fn filter_bucket(line: u32) -> usize {
+        (((line / LINE_BYTES).wrapping_mul(0x9E37_79B9)) >> 26) as usize
+    }
+
+    fn filter_add(&mut self, line: u32) {
+        let b = Self::filter_bucket(line);
+        self.occupancy[b] += 1;
+        self.occupied |= 1 << b;
+    }
+
+    fn filter_remove(&mut self, line: u32) {
+        let b = Self::filter_bucket(line);
+        debug_assert!(self.occupancy[b] > 0, "CAM filter underflow");
+        self.occupancy[b] -= 1;
+        if self.occupancy[b] == 0 {
+            self.occupied &= !(1 << b);
+        }
+    }
+
+    /// Conservative membership filter: `false` guarantees no tag for
+    /// `addr`'s line is held (neither in the sets nor the overflow
+    /// buffer), so [`check_remote`](SnoopLogic::check_remote) would miss.
+    /// `true` says nothing — the full lookup decides.
+    #[inline]
+    pub fn may_match(&self, addr: Addr) -> bool {
+        self.occupied & (1 << Self::filter_bucket(addr.line_base().as_u32())) != 0
+    }
+
+    /// Empties the CAM for a cross-run reset, reusing every allocation:
+    /// storage, overflow, and pending queue are cleared in place and the
+    /// counters rebaselined to zero.
+    pub fn clear(&mut self) {
+        match &mut self.storage {
+            Storage::FullMap(tags) => tags.clear(),
+            Storage::Mirrored {
+                entries, overflow, ..
+            } => {
+                for set in entries {
+                    set.clear();
+                }
+                overflow.clear();
+            }
+        }
+        self.pending.clear();
+        self.remote_hits = 0;
+        self.fills_observed = 0;
+        self.capacity_evictions = 0;
+        self.occupancy = [0; FILTER_BUCKETS];
+        self.occupied = 0;
     }
 
     fn set_of(sets: u32, line: u32) -> usize {
@@ -144,6 +239,11 @@ impl SnoopLogic {
     pub fn observe_local_fill(&mut self, addr: Addr) {
         let line = addr.line_base().as_u32();
         self.fills_observed += 1;
+        // Capacity evictions move a tag into the overflow buffer, which
+        // still counts as held, so a fill only ever adds `line` itself.
+        if !self.holds(line) {
+            self.filter_add(line);
+        }
         match &mut self.storage {
             Storage::FullMap(tags) => {
                 tags.insert(line);
@@ -175,6 +275,9 @@ impl SnoopLogic {
     /// or ISR drain — both visible on the bus), pruning the CAM.
     pub fn observe_local_writeback(&mut self, addr: Addr) {
         let line = addr.line_base().as_u32();
+        if self.holds(line) {
+            self.filter_remove(line);
+        }
         match &mut self.storage {
             Storage::FullMap(tags) => {
                 tags.remove(&line);
@@ -451,6 +554,64 @@ mod tests {
         assert!(cam.nfiq());
         cam.ack(Addr::new(0x00));
         assert!(!cam.nfiq());
+    }
+
+    #[test]
+    fn filter_never_denies_a_held_tag() {
+        let mut cam = SnoopLogic::with_geometry(2, 1);
+        let addrs = [0x000u32, 0x020, 0x040, 0x060, 0x080];
+        for &a in &addrs {
+            cam.observe_local_fill(Addr::new(a));
+            // Every held tag (sets + overflow) must be claimed.
+            for &b in &addrs {
+                if cam.contains(Addr::new(b)) {
+                    assert!(cam.may_match(Addr::new(b)), "filter lost {b:#x}");
+                }
+            }
+        }
+        // Acks prune the filter along with the CAM.
+        while let Some(line) = cam.next_pending() {
+            cam.ack(line);
+        }
+        for &a in &addrs {
+            cam.observe_local_writeback(Addr::new(a));
+        }
+        assert!(cam.is_empty());
+        for &a in &addrs {
+            assert!(
+                !cam.may_match(Addr::new(a)),
+                "empty CAM must not claim {a:#x} (collision counts leaked)"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_miss_means_check_remote_misses() {
+        let mut cam = SnoopLogic::new();
+        cam.observe_local_fill(Addr::new(0x100));
+        cam.observe_local_writeback(Addr::new(0x100));
+        assert!(!cam.may_match(Addr::new(0x100)));
+        assert!(!cam.check_remote(Addr::new(0x100), Cycle::ZERO, &mut NullObserver));
+    }
+
+    #[test]
+    fn clear_reuses_allocations_and_rebaselines() {
+        let mut cam = SnoopLogic::with_geometry(2, 1);
+        cam.observe_local_fill(Addr::new(0x000));
+        cam.observe_local_fill(Addr::new(0x040)); // capacity interrupt
+        assert!(cam.check_remote(Addr::new(0x040), Cycle::ZERO, &mut NullObserver));
+        cam.clear();
+        assert!(cam.is_empty());
+        assert!(!cam.nfiq());
+        assert_eq!(cam.remote_hits(), 0);
+        assert_eq!(cam.fills_observed(), 0);
+        assert_eq!(cam.capacity_evictions(), 0);
+        assert!(!cam.may_match(Addr::new(0x000)));
+        assert!(!cam.check_remote(Addr::new(0x000), Cycle::ZERO, &mut NullObserver));
+        // Still usable after the reset.
+        cam.observe_local_fill(Addr::new(0x080));
+        assert!(cam.may_match(Addr::new(0x080)));
+        assert!(cam.check_remote(Addr::new(0x080), Cycle::ZERO, &mut NullObserver));
     }
 
     #[test]

@@ -60,6 +60,13 @@ impl Wrapper {
         Wrapper::new(protocol, derive_policy(protocol, system))
     }
 
+    /// Cross-run reset: rebaselines the activity counters. Protocol and
+    /// policy are configuration, not state, and stay as built.
+    pub fn reset(&mut self) {
+        self.reads_converted = 0;
+        self.shared_overridden = 0;
+    }
+
     /// The protocol of the wrapped processor.
     pub fn protocol(&self) -> ProtocolKind {
         self.protocol

@@ -249,6 +249,29 @@ impl Cpu {
         self.counters
     }
 
+    /// Reinitializes this CPU in place to run `program` from scratch
+    /// (same id, config and clock): execution state, lock machinery, ISR
+    /// context, counters and cycle counts all return to their
+    /// construction values. The streaming cursor's frame stack is reused,
+    /// so resetting with a pre-built program allocates nothing.
+    pub fn reset(&mut self, program: Program) {
+        self.cursor.reset(program);
+        self.exec = Exec::Ready;
+        self.lock = None;
+        self.pending_lock_step = None;
+        self.nfiq_line = None;
+        self.isr = None;
+        self.last_lock_read = None;
+        self.counters = CpuCounters::default();
+        self.committed = 0;
+        self.core_cycles = 0;
+    }
+
+    /// The currently latched nFIQ input (see [`Cpu::set_nfiq_line`]).
+    pub fn nfiq_line(&self) -> Option<Addr> {
+        self.nfiq_line
+    }
+
     /// Presents the level-triggered nFIQ input: `Some(line)` is the oldest
     /// line the TAG CAM wants drained, `None` deasserts.
     pub fn set_nfiq_line(&mut self, line: Option<Addr>) {

@@ -181,6 +181,19 @@ impl Cursor {
         }
     }
 
+    /// Rewinds the cursor onto a fresh program, reusing the frame stack's
+    /// allocation (the pushed root frame has an empty path, so resetting
+    /// with a pre-built program allocates nothing).
+    pub(crate) fn reset(&mut self, program: Program) {
+        self.program = program;
+        self.frames.clear();
+        self.frames.push(Frame {
+            path: Vec::new(),
+            index: 0,
+            remaining: 1,
+        });
+    }
+
     fn stmts_at<'a>(program: &'a Program, path: &[usize]) -> &'a [Stmt] {
         let mut stmts: &[Stmt] = program.body();
         for &i in path {

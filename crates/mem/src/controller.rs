@@ -133,6 +133,13 @@ impl MemoryController {
         self.latency = latency;
     }
 
+    /// Cross-run reset: zeroes the backing memory in place and installs
+    /// the next run's timing model. No allocation.
+    pub fn reset(&mut self, latency: LatencyModel) {
+        self.memory.reset();
+        self.latency = latency;
+    }
+
     /// Latency of a single-word access.
     pub fn word_latency(&self) -> Cycle {
         self.latency.single()

@@ -104,9 +104,23 @@ impl fmt::Display for Region {
 /// assert_eq!(map.classify(Addr::new(0x10)), MemAttr::CachedWriteBack);
 /// assert_eq!(map.classify(Addr::new(0x2000)), MemAttr::Uncached);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct MemoryMap {
     regions: Vec<Region>,
+}
+
+impl Clone for MemoryMap {
+    fn clone(&self) -> Self {
+        MemoryMap {
+            regions: self.regions.clone(),
+        }
+    }
+
+    /// Reuses the destination's region buffer — the cross-run reset path
+    /// re-applies a map of the same cardinality without allocating.
+    fn clone_from(&mut self, source: &Self) {
+        self.regions.clone_from(&source.regions);
+    }
 }
 
 /// Error returned by [`MemoryMap::add`].

@@ -41,6 +41,12 @@ impl Memory {
         }
     }
 
+    /// Zeroes every word in place for a cross-run reset, reusing the
+    /// backing allocation.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Total size in bytes.
     pub fn size_bytes(&self) -> u32 {
         (self.words.len() as u32) * crate::WORD_BYTES

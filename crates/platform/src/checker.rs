@@ -63,6 +63,14 @@ impl CoherenceChecker {
         }
     }
 
+    /// Cross-run reset: zeroes the golden image and forgets recorded
+    /// violations, reusing both allocations.
+    pub fn reset(&mut self) {
+        self.golden.fill(0);
+        self.violations.clear();
+        self.checked_reads = 0;
+    }
+
     /// Records a committed write of `value` to `addr`.
     pub fn on_write(&mut self, addr: Addr, value: u32) {
         self.golden[addr.word_index()] = value;

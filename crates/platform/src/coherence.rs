@@ -340,6 +340,19 @@ impl<O: Observer> System<O> {
                 continue;
             }
             let node = &mut self.nodes[j];
+            // Occupancy pre-filter: a coherent node whose cache provably
+            // lacks the line, or a CAM node whose TAG CAM provably holds
+            // no tag for it, cannot react — skip the snoop dispatch. The
+            // filters never report a false negative, so this is the same
+            // Miss verdict without the port round-trip.
+            let may_react = if node.wrapper.is_some() {
+                node.cache.may_hold(addr)
+            } else {
+                self.snoop_logic_enabled && node.cam.as_ref().is_some_and(|c| c.may_match(addr))
+            };
+            if !may_react {
+                continue;
+            }
             let verdict = snoop_node(
                 node.wrapper.as_mut(),
                 &mut node.cache,
@@ -352,6 +365,11 @@ impl<O: Observer> System<O> {
             );
             if matches!(verdict, SnoopVerdict::Supply { .. }) {
                 supplier = Some(j);
+            }
+            if verdict == SnoopVerdict::CamConflict {
+                // The CAM queued (or re-confirmed) a pending line: node
+                // `j`'s nFIQ delivery horizon may have moved.
+                self.sched.mark_dirty(j);
             }
             phase.absorb(j, verdict, &mut self.counters);
         }
@@ -394,10 +412,14 @@ impl<O: Observer> System<O> {
         inv.check_line(
             self.now,
             addr,
-            self.nodes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, n)| n.cache.line_state(addr).map(|s| (i, s))),
+            self.nodes.iter().enumerate().filter_map(|(i, n)| {
+                // Same occupancy pre-filter as the snoop loop: `may_hold`
+                // returning false guarantees `line_state` is `None`.
+                if !n.cache.may_hold(addr) {
+                    return None;
+                }
+                n.cache.line_state(addr).map(|s| (i, s))
+            }),
         );
     }
 
@@ -417,6 +439,9 @@ impl<O: Observer> System<O> {
     /// and executed.
     pub(crate) fn complete_txn(&mut self, done: CompletedTxn) {
         let m = done.master.index();
+        // Completions wake the master's CPU (or ack its CAM's pending
+        // line); its event horizon must be re-derived at the next plan.
+        self.sched.mark_dirty(m);
         if done.is_drain {
             let BusOp::WriteLine(data) = done.op else {
                 unreachable!("drains are line writes");
@@ -577,6 +602,10 @@ impl<O: Observer> System<O> {
     /// immediately; anything needing the bus submits a transaction and
     /// parks a [`Pending`] record.
     pub(crate) fn handle_request(&mut self, i: usize, req: MemRequest) {
+        // Every bus submission flows through here (directly or via the
+        // victim path), and a request can arrive from a CPU-only tick —
+        // the one mutation of the bus's event horizon outside a full step.
+        self.bus_sched_dirty = true;
         let attr = self.map.classify(req.addr);
         match req.kind {
             ReqKind::Read => match attr {

@@ -73,7 +73,7 @@ impl fmt::Display for WrapperMode {
 }
 
 /// One processor of the platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CpuSpec {
     /// Display name ("PowerPC755", "ARM920T", …).
     pub name: String,

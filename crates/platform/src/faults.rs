@@ -132,6 +132,10 @@ impl<O: Observer> System<O> {
             }
         }
         self.faults = Some(engine);
+        // Fired faults mutate arbitrary component state (nFIQ masks, CAM
+        // contents, cache lines); re-derive every node's event horizon.
+        self.sched.mark_all_dirty();
+        self.bus_sched_dirty = true;
     }
 
     /// Whether an armed fault kills this granted transaction with a

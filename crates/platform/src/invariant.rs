@@ -154,6 +154,13 @@ impl InvariantObserver {
         }
     }
 
+    /// Cross-run reset: drops the latched violation and the check count.
+    /// The segment map is platform shape, not run state, and stays.
+    pub fn reset(&mut self) {
+        self.violation = None;
+        self.lines_checked = 0;
+    }
+
     /// Makes the checker segment-aware: latched violations will record
     /// which fabric segments the offending holders sit on, so a break
     /// that spans the snooping bridge is distinguishable from a local

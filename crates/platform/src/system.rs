@@ -13,8 +13,9 @@ use hmp_core::{
 use hmp_cpu::{Cpu, CpuAction, CpuConfig, LockKind, Program};
 use hmp_mem::{Addr, Memory, MemoryController, MemoryMap};
 use hmp_sim::{
-    ClockDomain, CounterBank, Cycle, Kernel, KernelProfile, MetricsObserver, MetricsRegistry,
-    NullObserver, Observer, RetryCause, SimEvent, Stats, TraceObserver, Watchdog, WatchdogVerdict,
+    ClockDomain, CounterBank, Cycle, EventSchedule, Kernel, KernelProfile, MetricsObserver,
+    MetricsRegistry, NullObserver, Observer, RetryCause, SimEvent, Stats, TraceObserver, Watchdog,
+    WatchdogVerdict, NO_EVENT,
 };
 use std::time::Instant;
 
@@ -125,6 +126,26 @@ pub struct System<O: Observer = NullObserver> {
     /// transition points in [`System::step_cpus`] so [`System::finished`]
     /// needs no per-cycle node scan.
     halted_cpus: usize,
+    /// Incremental event schedule for the fast-forward planner: one
+    /// absolute next-event cycle per node, re-evaluated only for nodes
+    /// marked dirty at a state-transition point. [`System::plan`] drains
+    /// the dirty set instead of rescanning every node each iteration.
+    pub(crate) sched: EventSchedule,
+    /// Total instructions committed across all CPUs, bumped in
+    /// [`System::tick_node`] so the watchdog poll needs no per-iteration
+    /// node scan (commits only happen inside ticks, never warps).
+    progress: u64,
+    /// Cached absolute cycle of the bus's next self-generated event
+    /// ([`NO_EVENT`] = quiescent). The bus's event horizon is invariant
+    /// under warps and CPU-only ticks — it moves only inside a full step,
+    /// on a new submission, or when a fault/quarantine rewrites bus state
+    /// — so [`System::plan`] rescans the ports only when this is dirty.
+    bus_next_abs: u64,
+    /// Whether `bus_next_abs` must be recomputed at the next plan.
+    pub(crate) bus_sched_dirty: bool,
+    /// The construction spec, kept for [`System::try_reset`]'s shape
+    /// check (a reset must not change any allocation-bearing dimension).
+    spec: PlatformSpec,
     /// Whether [`System::run`] measures the kernel's wall-time split.
     profile: bool,
     /// Self-profile accumulators (only written on the profiled path).
@@ -328,9 +349,132 @@ impl<O: Observer> System<O> {
             snoop_logic_enabled: true,
             kernel: Kernel::default(),
             halted_cpus: 0,
+            sched: EventSchedule::new(cpu_count),
+            progress: 0,
+            bus_next_abs: NO_EVENT,
+            bus_sched_dirty: true,
+            spec: spec.clone(),
             profile: spec.profile,
             prof: ProfCounters::default(),
         }
+    }
+
+    /// Reset-don't-drop: rebuilds this platform for a fresh run of
+    /// `spec`, reusing every allocation the constructor made — nodes,
+    /// caches, CAM storage, the bus's drain queues and masks, the golden
+    /// memory image, metrics and timeseries rings, phase scratch and the
+    /// event schedule. Returns `false` (leaving the platform untouched)
+    /// when `spec` differs from the built one in *shape*: processor roster,
+    /// memory size, lock layout, wrapper mode, fabric topology, or which
+    /// observability layers are armed. Everything that doesn't change an
+    /// allocation — memory timing, the address map's attributes,
+    /// arbitration, BOFF window, watchdog window, recovery policy, fault
+    /// schedule, and the profile flag — may differ freely and is applied
+    /// in place.
+    ///
+    /// On success the platform is byte-identical to a freshly constructed
+    /// `System::with_observer(spec, programs, ..)` except for the user
+    /// observer, which is carried over untouched (reset it yourself if it
+    /// accumulates state — the sweep paths run unobserved). The kernel
+    /// selection and snoop-logic gate also return to their construction
+    /// defaults; re-apply [`System::set_kernel`] /
+    /// [`System::set_snoop_logic_enabled`] as the constructor's callers do.
+    ///
+    /// A fault schedule is the one exception to "no allocation": arming
+    /// one rebuilds the boxed fault engine, exactly as construction would.
+    /// Fault-free resets — the entire perf-sweep path — allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program count does not match the CPU count.
+    pub fn try_reset(&mut self, spec: &PlatformSpec, programs: Vec<Program>) -> bool {
+        assert_eq!(programs.len(), spec.cpus.len(), "one program per processor");
+        let built = &self.spec;
+        let same_shape = built.cpus == spec.cpus
+            && built.memory_bytes == spec.memory_bytes
+            && built.lock == spec.lock
+            && built.wrapper_mode == spec.wrapper_mode
+            && built.check_coherence == spec.check_coherence
+            && built.check_invariants == spec.check_invariants
+            && built.trace_capacity == spec.trace_capacity
+            && built.span_capacity == spec.span_capacity
+            && built.timeseries == spec.timeseries
+            && built.segment_map == spec.segment_map
+            && built.bridge_latency == spec.bridge_latency
+            && built.recovery_overrides == spec.recovery_overrides;
+        if !same_shape {
+            return false;
+        }
+        // Shape matched: record the run-to-run scalars so a later reset
+        // compares against what is actually in force.
+        self.spec.latency = spec.latency;
+        self.spec.arbitration = spec.arbitration;
+        self.spec.retry_backoff = spec.retry_backoff;
+        self.spec.watchdog_window = spec.watchdog_window;
+        self.spec.recovery = spec.recovery;
+        self.spec.profile = spec.profile;
+        self.spec.faults.clone_from(&spec.faults);
+        // The address map may differ in *attributes* (a strategy flip
+        // turns the shared window uncached) but never in region count for
+        // a same-roster platform; `clone_from` reuses the region buffer.
+        self.spec.map.clone_from(&spec.map);
+        self.map.clone_from(&spec.map);
+
+        for (node, program) in self.nodes.iter_mut().zip(programs) {
+            node.cpu.reset(program);
+            node.cache.clear();
+            if let Some(w) = &mut node.wrapper {
+                w.reset();
+            }
+            if let Some(cam) = &mut node.cam {
+                cam.clear();
+            }
+            node.pending = None;
+            node.was_halted = false;
+        }
+        self.bus.reset();
+        self.bus.set_arbitration(spec.arbitration);
+        self.bus.set_retry_backoff(spec.retry_backoff);
+        self.bus.set_recovery(spec.recovery);
+        // recovery_overrides are shape-checked equal above and preserved
+        // by Bus::reset, so recovery_armed only needs recomputing for the
+        // bus-wide policy change.
+        self.recovery_armed = self.bus.recovery_armed();
+        self.mem.reset(spec.latency);
+        for device in &mut self.devices {
+            device.reset();
+        }
+        if let Some(checker) = &mut self.checker {
+            checker.reset();
+        }
+        self.watchdog = Watchdog::new(Cycle::new(spec.watchdog_window));
+        self.counters.reset();
+        if let Some(metrics) = &mut self.obs.metrics {
+            metrics.reset();
+        }
+        if let Some(series) = &mut self.obs.series {
+            series.reset();
+        }
+        if let Some(inv) = &mut self.invariants {
+            inv.reset();
+        }
+        self.faults = spec
+            .faults
+            .as_ref()
+            .filter(|p| !p.specs().is_empty())
+            .map(|p| Box::new(FaultEngine::new(p.clone(), self.nodes.len())));
+        self.phase_scratch.reset();
+        self.now = Cycle::ZERO;
+        self.snoop_logic_enabled = true;
+        self.kernel = Kernel::default();
+        self.halted_cpus = 0;
+        self.sched.reset();
+        self.progress = 0;
+        self.bus_next_abs = NO_EVENT;
+        self.bus_sched_dirty = true;
+        self.profile = spec.profile;
+        self.prof = ProfCounters::default();
+        true
     }
 
     /// Disables the TAG-CAM snoop logic (used by the cache-disabled and
@@ -338,6 +482,9 @@ impl<O: Observer> System<O> {
     /// that hardware).
     pub fn set_snoop_logic_enabled(&mut self, enabled: bool) {
         self.snoop_logic_enabled = enabled;
+        // Pending-nFIQ visibility feeds every node's event horizon.
+        self.sched.mark_all_dirty();
+        self.bus_sched_dirty = true;
     }
 
     /// Selects how [`System::run`] and [`System::advance`] move time
@@ -346,6 +493,8 @@ impl<O: Observer> System<O> {
     /// fast-forward kernel is validated against).
     pub fn set_kernel(&mut self, kernel: Kernel) {
         self.kernel = kernel;
+        self.sched.mark_all_dirty();
+        self.bus_sched_dirty = true;
     }
 
     /// The configured simulation kernel.
@@ -489,6 +638,9 @@ impl<O: Observer> System<O> {
 
     /// Advances the platform by one bus cycle.
     pub fn step(&mut self) {
+        // A full step can grant, retry, complete, or submit — all of
+        // which move the bus's event horizon.
+        self.bus_sched_dirty = true;
         self.now.tick();
         if let Some(ts) = &mut self.obs.series {
             ts.record_full_step(self.now);
@@ -511,7 +663,7 @@ impl<O: Observer> System<O> {
     /// events are CPU-local runs through the cheaper
     /// [`System::step_cpu_only`], which ticks just the due CPUs (recorded
     /// in the `active` bitmask) and bulk-advances the rest.
-    fn plan(&self, max_cycles: u64) -> (u64, u64, bool) {
+    fn plan(&mut self, max_cycles: u64) -> (u64, u64, bool) {
         let now = self.now.as_u64();
         // Budget and watchdog horizons: the stepped cycle after the skip
         // must land on (or before) both.
@@ -526,49 +678,82 @@ impl<O: Observer> System<O> {
                 horizon = horizon.min(at.saturating_sub(now).max(1));
             }
         }
-        let bus_delta = self.bus.next_event();
-        if let Some(delta) = bus_delta {
-            horizon = horizon.min(delta);
+        // The bus's event horizon is rescanned only when a step, a
+        // submission, or a fault actually moved it; in absolute cycles
+        // it is invariant under warps and CPU-only ticks.
+        if self.bus_sched_dirty {
+            self.bus_next_abs = match self.bus.next_event() {
+                Some(delta) => now + delta,
+                None => NO_EVENT,
+            };
+            self.bus_sched_dirty = false;
         }
-        let mut active = 0u64;
-        for (i, node) in self.nodes.iter().enumerate() {
-            let cam_pending = self.snoop_logic_enabled
-                && node
-                    .cam
-                    .as_ref()
-                    .is_some_and(|c| c.next_pending().is_some());
-            // An injected nFIQ mask hides the pending interrupt from the
-            // CPU; the unmask cycle (if finite) becomes the node's event
-            // instead — the first tick that can see the line again.
-            let mask_until = self.faults.as_ref().map_or(0, |e| e.nfiq_mask_until[i]);
-            let masked = now < mask_until;
-            let nfiq_pending = cam_pending && !masked;
-            let mut node_delta = node.cpu.core_cycles_to_event(nfiq_pending).map(|core| {
-                // Core→bus cycle conversion; the multiplier is 1 or 2 on
-                // every modelled platform, so avoid a hardware divide.
-                match node.mult {
-                    1 => core,
-                    2 => (core + 1) >> 1,
-                    m => core.div_ceil(u64::from(m)),
-                }
-            });
-            if cam_pending && masked && mask_until != u64::MAX {
-                let unmask = mask_until - now;
-                node_delta = Some(node_delta.map_or(unmask, |d| d.min(unmask)));
-            }
-            if let Some(delta) = node_delta {
-                if delta < horizon {
-                    horizon = delta;
-                    active = 1 << i;
-                } else if delta == horizon {
-                    active |= 1 << i;
-                }
-            }
+        let bus_abs = self.bus_next_abs;
+        if bus_abs != NO_EVENT {
+            debug_assert!(bus_abs > now, "bus events are strictly in the future");
+            horizon = horizon.min(bus_abs - now);
+        }
+        // Incremental node horizon: re-evaluate only the nodes whose
+        // event inputs changed since the last plan (marked dirty at
+        // their state-transition points). Everyone else's absolute event
+        // cycle is invariant under warps and non-event ticks, so the
+        // recorded answer stands.
+        while let Some(i) = self.sched.pop_dirty() {
+            let abs = self.node_event_abs(i, now);
+            self.sched.record(i, abs);
+        }
+        let node_min = self.sched.earliest();
+        if node_min != NO_EVENT {
+            debug_assert!(node_min > now, "node events are strictly in the future");
+            horizon = horizon.min(node_min - now);
         }
         // The bitmask caps out at 64 CPUs; larger systems (none modelled)
         // conservatively full-step every event cycle.
-        let full = bus_delta.is_some_and(|d| d == horizon) || self.nodes.len() > 64;
+        let full = (bus_abs != NO_EVENT && bus_abs - now == horizon) || self.nodes.len() > 64;
+        let active = if !full && node_min != NO_EVENT && node_min - now == horizon {
+            self.sched.take_active(now + horizon)
+        } else {
+            0
+        };
         (horizon.saturating_sub(1), active, full)
+    }
+
+    /// Absolute bus cycle of node `i`'s next CPU-local event, or
+    /// [`NO_EVENT`] when it has none: a countdown expiry, an instruction
+    /// boundary, a pending-nFIQ delivery, or the unmask cycle of a
+    /// fault-masked interrupt.
+    fn node_event_abs(&self, i: usize, now: u64) -> u64 {
+        let node = &self.nodes[i];
+        let cam_pending = self.snoop_logic_enabled
+            && node
+                .cam
+                .as_ref()
+                .is_some_and(|c| c.next_pending().is_some());
+        // An injected nFIQ mask hides the pending interrupt from the
+        // CPU; the unmask cycle (if finite) becomes the node's event
+        // instead — the first tick that can see the line again.
+        let mask_until = self.faults.as_ref().map_or(0, |e| e.nfiq_mask_until[i]);
+        let masked = now < mask_until;
+        let nfiq_pending = cam_pending && !masked;
+        let mut node_delta = node.cpu.core_cycles_to_event(nfiq_pending).map(|core| {
+            // Core→bus cycle conversion; the multiplier is 1 or 2 on
+            // every modelled platform, so avoid a hardware divide.
+            match node.mult {
+                1 => core,
+                2 => (core + 1) >> 1,
+                m => core.div_ceil(u64::from(m)),
+            }
+        });
+        if cam_pending && masked && mask_until != u64::MAX {
+            let unmask = mask_until - now;
+            node_delta = Some(node_delta.map_or(unmask, |d| d.min(unmask)));
+        }
+        match node_delta {
+            // The event lands on a future tick; a zero delta (already
+            // due) still needs the next stepped cycle to deliver it.
+            Some(d) => now + d.max(1),
+            None => NO_EVENT,
+        }
     }
 
     /// Bulk-advances the clock and every component's countdowns by
@@ -610,6 +795,7 @@ impl<O: Observer> System<O> {
         self.bus.warp(1);
         for i in 0..self.nodes.len() {
             if active & (1 << i) != 0 {
+                self.sched.mark_dirty(i);
                 self.tick_node(i);
             } else {
                 let node = &mut self.nodes[i];
@@ -727,8 +913,7 @@ impl<O: Observer> System<O> {
             if self.invariant_violation().is_some() {
                 break RunOutcome::InvariantViolation;
             }
-            let progress: u64 = self.nodes.iter().map(|n| n.cpu.committed()).sum();
-            if self.watchdog.poll(self.now, progress) == WatchdogVerdict::Stalled
+            if self.watchdog.poll(self.now, self.progress) == WatchdogVerdict::Stalled
                 && !self.escalate_stall()
             {
                 break RunOutcome::Stalled;
@@ -843,6 +1028,10 @@ impl<O: Observer> System<O> {
         }
         if any {
             self.watchdog.rebaseline(self.now);
+            // Quarantines kill outstanding transactions; every node's
+            // event horizon may have moved.
+            self.sched.mark_all_dirty();
+            self.bus_sched_dirty = true;
         }
         any
     }
@@ -857,6 +1046,8 @@ impl<O: Observer> System<O> {
             return;
         }
         if self.bus.quarantine(master) {
+            self.sched.mark_all_dirty();
+            self.bus_sched_dirty = true;
             self.obs.on_event(
                 self.now,
                 SimEvent::MasterQuarantined {
@@ -911,8 +1102,21 @@ impl<O: Observer> System<O> {
     // ------------------------------------------------------------------
 
     fn step_cpus(&mut self) {
+        // A node is ticked when its recorded event is due or its state
+        // changed since the last plan (dirty); anyone else provably does
+        // nothing this cycle, so a one-cycle warp is byte-identical and
+        // skips the per-tick dispatch. Under [`Kernel::Step`] the planner
+        // never runs, every node stays dirty, and this degenerates to
+        // ticking everyone — the reference behavior.
+        let now = self.now.as_u64();
         for i in 0..self.nodes.len() {
-            self.tick_node(i);
+            if self.sched.is_dirty(i) || self.sched.next_of(i) <= now {
+                self.sched.mark_dirty(i);
+                self.tick_node(i);
+            } else {
+                let node = &mut self.nodes[i];
+                node.cpu.warp(u64::from(node.mult));
+            }
         }
     }
 
@@ -931,12 +1135,14 @@ impl<O: Observer> System<O> {
         };
         self.nodes[i].cpu.set_nfiq_line(nfiq);
         let mult = self.nodes[i].mult;
+        let committed_before = self.nodes[i].cpu.committed();
         for _ in 0..mult {
             match self.nodes[i].cpu.tick(self.now, &mut self.obs) {
                 CpuAction::Idle | CpuAction::Halted => {}
                 CpuAction::Issue(req) => self.handle_request(i, req),
             }
         }
+        self.progress += self.nodes[i].cpu.committed() - committed_before;
         // Halt transitions happen only inside `Cpu::tick` (program end,
         // ISR entry on a halted core, ISR exit restoring a halted
         // core), so this is the one place the counter needs updating.

@@ -169,6 +169,14 @@ impl CounterBank {
         self.cpus.len()
     }
 
+    /// Zeroes every counter in place (allocation-free run reuse).
+    pub fn reset(&mut self) {
+        self.retries = [0; RetryCause::COUNT];
+        for bank in &mut self.cpus {
+            *bank = [0; CpuCounter::COUNT];
+        }
+    }
+
     /// Compatibility iterator over `(legacy key, value)` pairs, skipping
     /// zero-valued counters — the set of pairs the string-keyed path
     /// would have produced. Pairs come out grouped bus-then-CPU; use

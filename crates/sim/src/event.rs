@@ -388,6 +388,13 @@ impl TraceObserver {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Reinitializes for a fresh run: clears the ring and the dropped
+    /// counter, keeping capacity.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
 }
 
 impl Observer for TraceObserver {

@@ -62,6 +62,11 @@ impl Hist {
         }
     }
 
+    /// Empties the histogram in place (no storage to reallocate).
+    pub fn reset(&mut self) {
+        *self = Hist::new();
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;

@@ -27,6 +27,9 @@
 //!   decimation-by-merging so memory stays O(capacity) over arbitrarily
 //!   long runs, plus [`KernelProfile`] wall-time self-profiling and a
 //!   Prometheus-style text [`exposition`].
+//! * [`EventSchedule`] — per-node absolute next-event times with dirty
+//!   tracking and a lazy min-heap: the O(log N) incremental planner core
+//!   of the fast-forward kernel.
 //! * [`export`] — Chrome/Perfetto trace-event JSON rendering of a run.
 //! * [`Watchdog`] — forward-progress detection, used to turn the paper's
 //!   *hardware deadlock* (Figure 4) into a reportable simulation outcome
@@ -63,6 +66,7 @@ mod hist;
 mod kernel;
 mod metrics;
 mod rng;
+mod schedule;
 mod span;
 mod stats;
 mod timeseries;
@@ -79,6 +83,7 @@ pub use hist::{Hist, BUCKETS as HIST_BUCKETS};
 pub use kernel::Kernel;
 pub use metrics::{MetricsObserver, MetricsSnapshot};
 pub use rng::SplitMix64;
+pub use schedule::{EventSchedule, NO_EVENT};
 pub use span::{Span, SpanTracker};
 pub use stats::Stats;
 pub use timeseries::{

@@ -118,6 +118,32 @@ impl MetricsObserver {
         }
     }
 
+    /// Zeroes every accumulator in place — spans, event ring, histograms,
+    /// per-master counts and the retry-address table — keeping all their
+    /// storage for allocation-free reuse across runs.
+    pub fn reset(&mut self) {
+        self.spans.reset();
+        self.events.reset();
+        self.acquire_wait.reset();
+        self.service_time.reset();
+        self.isr_latency.reset();
+        self.retries_per_txn.reset();
+        self.retry_by_cause = [0; RetryCause::COUNT];
+        self.snoop_hits.fill(0);
+        self.cam_hits.fill(0);
+        self.isr_entries.fill(0);
+        self.fills.fill(0);
+        self.open_isr.fill(None);
+        self.retry_addrs.slots.fill((0, 0));
+        self.retry_addrs.overflow = 0;
+        self.grants = 0;
+        self.completions = 0;
+        self.drains_completed = 0;
+        self.retries = 0;
+        self.faults_injected = 0;
+        self.masters_quarantined = 0;
+    }
+
     /// The underlying span tracker.
     pub fn spans(&self) -> &SpanTracker {
         &self.spans

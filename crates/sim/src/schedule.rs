@@ -1,0 +1,336 @@
+//! Incremental next-event scheduling for the fast-forward kernel.
+//!
+//! The original planner rescanned every node each iteration to find the
+//! earliest next event — O(N) per iteration, which becomes the wall on
+//! event-dense workloads and grows with the N-master fabrics. An
+//! [`EventSchedule`] keeps one *absolute* next-event time per node plus a
+//! dirty set of nodes whose state changed since they were last planned:
+//! a plan iteration recomputes only the dirty nodes and reads the
+//! earliest time in O(1)/O(log N), because absolute event times are
+//! invariant under pure-countdown ticks and warps (they change only at
+//! the state transitions that mark a node dirty).
+//!
+//! Small systems (≤ [`LINEAR_MAX`] nodes) answer "earliest" with a
+//! branch-free linear scan over the dense `next` array — faster than any
+//! heap at that size. Larger fabrics switch to a lazy binary heap keyed
+//! by `(cycle, node)`: [`EventSchedule::record`] pushes without removing
+//! the node's previous entry, and stale entries are discarded when they
+//! surface at the top (an entry is stale exactly when it disagrees with
+//! the dense array, which is always authoritative).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel absolute time for "this node has no pending event".
+pub const NO_EVENT: u64 = u64::MAX;
+
+/// Largest node count served by the dense linear scan; beyond this the
+/// lazy heap takes over.
+const LINEAR_MAX: usize = 8;
+
+/// Per-node next-event times with dirty tracking and an O(log N)
+/// earliest-event query. See the module docs for the invariants.
+#[derive(Debug, Clone)]
+pub struct EventSchedule {
+    /// Authoritative absolute next-event bus cycle per node
+    /// ([`NO_EVENT`] = none). Only meaningful while the node's dirty bit
+    /// is clear.
+    next: Vec<u64>,
+    /// Dirty bitmask, one bit per node, packed into words.
+    dirty: Vec<u64>,
+    /// Lazy min-heap over `(cycle, node)`; empty in linear mode.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    len: usize,
+}
+
+impl EventSchedule {
+    /// A schedule for `len` nodes, all initially dirty.
+    pub fn new(len: usize) -> Self {
+        let words = len.div_ceil(64).max(1);
+        let mut s = EventSchedule {
+            next: vec![NO_EVENT; len],
+            dirty: vec![0; words],
+            heap: BinaryHeap::new(),
+            len,
+        };
+        s.mark_all_dirty();
+        s
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the schedule tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reinitializes in place for reuse across runs: everything dirty,
+    /// all event times cleared, heap drained. Keeps every allocation.
+    pub fn reset(&mut self) {
+        self.next.fill(NO_EVENT);
+        self.heap.clear();
+        self.mark_all_dirty();
+    }
+
+    /// Marks node `i` as needing recomputation before the next plan.
+    #[inline]
+    pub fn mark_dirty(&mut self, i: usize) {
+        self.dirty[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Marks every node dirty (used at construction, reset, kernel or
+    /// configuration changes, and fault fire cycles).
+    pub fn mark_all_dirty(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let (full_words, tail) = (self.len >> 6, self.len & 63);
+        for w in &mut self.dirty[..full_words] {
+            *w = u64::MAX;
+        }
+        if tail != 0 {
+            self.dirty[full_words] = (1u64 << tail) - 1;
+        }
+    }
+
+    /// Whether node `i` is marked dirty.
+    #[inline]
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    /// Pops one dirty node index, clearing its bit; `None` when the set
+    /// is empty. Callers drain this before querying
+    /// [`EventSchedule::earliest`], recording a fresh time for each
+    /// popped node.
+    #[inline]
+    pub fn pop_dirty(&mut self) -> Option<usize> {
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            if *word != 0 {
+                let b = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                return Some((w << 6) | b);
+            }
+        }
+        None
+    }
+
+    /// The recorded absolute event time of node `i` ([`NO_EVENT`] if
+    /// none). Only meaningful while the node is not dirty.
+    #[inline]
+    pub fn next_of(&self, i: usize) -> u64 {
+        self.next[i]
+    }
+
+    /// Records node `i`'s freshly computed absolute event time.
+    #[inline]
+    pub fn record(&mut self, i: usize, abs: u64) {
+        self.next[i] = abs;
+        if self.len > LINEAR_MAX && abs != NO_EVENT {
+            self.heap.push(Reverse((abs, i as u32)));
+            // Stale entries are normally discarded as they surface, but a
+            // node that repeatedly re-records far-future times could bury
+            // unbounded garbage; rebuild from the dense array if the heap
+            // ever grows far past one live entry per node.
+            if self.heap.len() > 4 * self.len + 64 {
+                self.heap.clear();
+                for (j, &t) in self.next.iter().enumerate() {
+                    if t != NO_EVENT {
+                        self.heap.push(Reverse((t, j as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The earliest recorded event time across all nodes ([`NO_EVENT`] if
+    /// none). Requires the dirty set to be drained first; heals stale
+    /// heap entries as a side effect.
+    #[inline]
+    pub fn earliest(&mut self) -> u64 {
+        if self.len <= LINEAR_MAX {
+            self.next.iter().copied().min().unwrap_or(NO_EVENT)
+        } else {
+            while let Some(&Reverse((abs, i))) = self.heap.peek() {
+                if self.next[i as usize] == abs {
+                    return abs;
+                }
+                self.heap.pop();
+            }
+            NO_EVENT
+        }
+    }
+
+    /// Collects the bitmask of nodes whose event falls exactly on `abs`,
+    /// marking each one dirty (its event is about to be consumed, so its
+    /// time must be recomputed). Only valid for `len <= 64` — larger
+    /// fabrics full-step every event cycle and never ask for a mask.
+    pub fn take_active(&mut self, abs: u64) -> u64 {
+        debug_assert!(self.len <= 64);
+        let mut mask = 0u64;
+        if self.len <= LINEAR_MAX {
+            for i in 0..self.len {
+                if self.next[i] == abs {
+                    mask |= 1 << i;
+                    self.mark_dirty(i);
+                }
+            }
+        } else {
+            while let Some(&Reverse((t, i))) = self.heap.peek() {
+                if t > abs {
+                    break;
+                }
+                self.heap.pop();
+                let i = i as usize;
+                if t == abs && self.next[i] == abs {
+                    mask |= 1 << i;
+                    self.mark_dirty(i);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut EventSchedule) -> Vec<usize> {
+        let mut v = Vec::new();
+        while let Some(i) = s.pop_dirty() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn new_schedule_is_all_dirty() {
+        let mut s = EventSchedule::new(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.is_dirty(0) && s.is_dirty(1) && s.is_dirty(2));
+        assert_eq!(drain(&mut s), vec![0, 1, 2]);
+        assert_eq!(s.pop_dirty(), None);
+        assert_eq!(s.earliest(), NO_EVENT);
+    }
+
+    #[test]
+    fn record_and_earliest_linear() {
+        let mut s = EventSchedule::new(4);
+        drain(&mut s);
+        s.record(0, 100);
+        s.record(1, 40);
+        s.record(2, NO_EVENT);
+        s.record(3, 60);
+        assert_eq!(s.earliest(), 40);
+        assert_eq!(s.next_of(1), 40);
+        s.record(1, 200);
+        assert_eq!(s.earliest(), 60);
+    }
+
+    #[test]
+    fn take_active_collects_ties_and_redirties() {
+        let mut s = EventSchedule::new(4);
+        drain(&mut s);
+        s.record(0, 50);
+        s.record(1, 50);
+        s.record(2, 51);
+        s.record(3, NO_EVENT);
+        assert_eq!(s.take_active(50), 0b11);
+        assert!(s.is_dirty(0) && s.is_dirty(1));
+        assert!(!s.is_dirty(2));
+        // A miss returns an empty mask and dirties nothing.
+        assert_eq!(s.take_active(49), 0);
+    }
+
+    #[test]
+    fn heap_mode_heals_stale_entries() {
+        let n = 12; // > LINEAR_MAX: heap path
+        let mut s = EventSchedule::new(n);
+        drain(&mut s);
+        for i in 0..n {
+            s.record(i, 100 + i as u64);
+        }
+        assert_eq!(s.earliest(), 100);
+        // Re-record node 0 later: its old entry is stale and must heal.
+        s.record(0, 500);
+        assert_eq!(s.earliest(), 101);
+        // Retract node 1 entirely.
+        s.record(1, NO_EVENT);
+        assert_eq!(s.earliest(), 102);
+        assert_eq!(s.take_active(102), 1 << 2);
+        assert!(s.is_dirty(2));
+        s.record(2, 600);
+        assert_eq!(s.earliest(), 103);
+    }
+
+    #[test]
+    fn heap_mode_take_active_ties() {
+        let mut s = EventSchedule::new(16);
+        drain(&mut s);
+        for i in 0..16 {
+            s.record(i, if i % 2 == 0 { 70 } else { 90 });
+        }
+        let mask = s.take_active(70);
+        assert_eq!(mask, 0x5555);
+        for i in 0..16 {
+            assert_eq!(s.is_dirty(i), i % 2 == 0, "node {i}");
+        }
+        // The consumed entries are gone; the odd nodes remain.
+        for i in (0..16).step_by(2) {
+            s.record(i, 200);
+        }
+        assert_eq!(s.earliest(), 90);
+    }
+
+    #[test]
+    fn heap_rebuild_bounds_garbage() {
+        let mut s = EventSchedule::new(10);
+        drain(&mut s);
+        for i in 0..10 {
+            s.record(i, 1000 + i as u64);
+        }
+        // Hammer one node with far-future re-records; the heap must stay
+        // bounded rather than accumulating one stale entry per record.
+        for k in 0..10_000u64 {
+            s.record(0, 1_000_000 + k);
+        }
+        assert!(
+            s.heap.len() <= 4 * 10 + 64 + 1,
+            "heap {} entries",
+            s.heap.len()
+        );
+        assert_eq!(s.earliest(), 1001);
+    }
+
+    #[test]
+    fn mark_all_dirty_covers_word_boundaries() {
+        for n in [1, 63, 64, 65, 130] {
+            let mut s = EventSchedule::new(n);
+            let drained = drain(&mut s);
+            assert_eq!(drained.len(), n, "n={n}");
+            assert_eq!(drained, (0..n).collect::<Vec<_>>());
+            s.mark_dirty(n - 1);
+            assert!(s.is_dirty(n - 1));
+            assert_eq!(drain(&mut s), vec![n - 1]);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = EventSchedule::new(12);
+        drain(&mut s);
+        for i in 0..12 {
+            s.record(i, 10 + i as u64);
+        }
+        assert_eq!(s.earliest(), 10);
+        s.reset();
+        assert!((0..12).all(|i| s.is_dirty(i)));
+        assert_eq!(drain(&mut s).len(), 12);
+        assert_eq!(s.earliest(), NO_EVENT);
+    }
+}

@@ -200,6 +200,19 @@ impl SpanTracker {
         out
     }
 
+    /// Forgets every open and completed span in place, keeping all
+    /// storage (ring, per-master slots, drain FIFOs) for reuse.
+    pub fn reset(&mut self) {
+        self.open_cpu.fill(None);
+        for fifo in &mut self.open_drains {
+            fifo.clear();
+        }
+        self.active = None;
+        self.completed.clear();
+        self.dropped = 0;
+        self.orphans = 0;
+    }
+
     fn push_completed(&mut self, span: Span) {
         if self.capacity == 0 {
             self.dropped += 1;

@@ -106,6 +106,14 @@ impl Watchdog {
         self.last_progress_at = now;
     }
 
+    /// Reinitializes for a fresh run (same window): forgets the baseline
+    /// and all observed progress.
+    pub fn reset(&mut self) {
+        self.last_progress_at = Cycle::ZERO;
+        self.last_counter = 0;
+        self.started = false;
+    }
+
     /// The earliest cycle at which a poll could report
     /// [`WatchdogVerdict::Stalled`], or `None` before the first poll has
     /// established its baseline. A fast-forward kernel must not skip past

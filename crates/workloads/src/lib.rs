@@ -42,6 +42,6 @@ mod runner;
 
 pub use generate::{build_programs, build_programs_for, scenario_lock_kind};
 pub use params::{MicrobenchParams, Scenario};
-pub use runner::{prepare, run, FaultDirective, PlatformPick, RunSpec};
+pub use runner::{prepare, run, FaultDirective, PlatformPick, RunSpec, Runner};
 
 pub use hmp_platform::Kernel;
