@@ -1,0 +1,201 @@
+//! The content-addressed run cache: an in-memory LRU map in front of an
+//! optional on-disk tier.
+//!
+//! Keys are job digests ([`crate::digest`]); values are the canonical
+//! result JSON from [`crate::proto::result_json`]. Because the digest
+//! folds in the code fingerprint, a new release simply *misses* on every
+//! old key — stale entries are orphaned on disk, never served, and can
+//! be garbage-collected by deleting the directory.
+//!
+//! Disk writes go through a temp file + rename so a crashed daemon never
+//! leaves a half-written entry a future daemon would serve; disk reads
+//! are validated and a corrupt file is treated as a miss and removed.
+
+use hmp_sim::digest::hex16;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which tier answered a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory map.
+    Memory,
+    /// The on-disk store (the entry is promoted to memory on the way out).
+    Disk,
+}
+
+struct Entry {
+    json: Arc<String>,
+    last_used: u64,
+}
+
+/// A two-tier content-addressed store of result JSON.
+pub struct RunCache {
+    mem: HashMap<u64, Entry>,
+    /// Memory entries retained; 0 = unlimited.
+    cap: usize,
+    tick: u64,
+    dir: Option<PathBuf>,
+}
+
+impl RunCache {
+    /// Opens a cache. `dir` enables the disk tier (created if missing);
+    /// `cap` bounds the in-memory tier (0 = unbounded).
+    pub fn new(dir: Option<PathBuf>, cap: usize) -> io::Result<Self> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(RunCache {
+            mem: HashMap::new(),
+            cap,
+            tick: 0,
+            dir,
+        })
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// `true` when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    fn entry_path(&self, digest: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", hex16(digest))))
+    }
+
+    /// Looks `digest` up, memory first, then disk. A disk hit is promoted
+    /// into memory. Returns the cached bytes and the tier that answered.
+    pub fn get(&mut self, digest: u64) -> Option<(Arc<String>, CacheTier)> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.mem.get_mut(&digest) {
+            e.last_used = tick;
+            return Some((e.json.clone(), CacheTier::Memory));
+        }
+        let path = self.entry_path(digest)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        if hmp_sim::export::validate_json(&text).is_err() {
+            // A torn or corrupt entry: treat as a miss and drop the file
+            // so it cannot confuse a later daemon either.
+            let _ = std::fs::remove_file(&path);
+            return None;
+        }
+        let json = Arc::new(text);
+        self.insert_mem(digest, json.clone());
+        Some((json, CacheTier::Disk))
+    }
+
+    /// Stores `json` under `digest` in both tiers.
+    pub fn insert(&mut self, digest: u64, json: Arc<String>) {
+        if let Some(path) = self.entry_path(digest) {
+            // Temp-then-rename keeps the entry atomic under crashes and
+            // concurrent writers (both would write identical bytes, but a
+            // reader must never see a prefix).
+            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+            if std::fs::write(&tmp, json.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        self.insert_mem(digest, json);
+    }
+
+    fn insert_mem(&mut self, digest: u64, json: Arc<String>) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.mem.insert(
+            digest,
+            Entry {
+                json,
+                last_used: tick,
+            },
+        );
+        if self.cap > 0 && self.mem.len() > self.cap {
+            // O(n) LRU scan — the map is at most `cap + 1` entries and
+            // eviction only runs on insert past capacity.
+            if let Some(&victim) = self
+                .mem
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.mem.remove(&victim);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hmp_server_cache_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_roundtrip_and_tiers() {
+        let mut c = RunCache::new(None, 0).unwrap();
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+        c.insert(1, Arc::new("{}".to_string()));
+        let (json, tier) = c.get(1).unwrap();
+        assert_eq!(*json, "{}");
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_and_promotes() {
+        let dir = tmpdir("disk");
+        {
+            let mut c = RunCache::new(Some(dir.clone()), 0).unwrap();
+            c.insert(7, Arc::new(r#"{"cycles":42}"#.to_string()));
+        }
+        // A fresh cache (fresh daemon) over the same directory hits disk.
+        let mut c = RunCache::new(Some(dir.clone()), 0).unwrap();
+        let (json, tier) = c.get(7).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert!(json.contains("42"));
+        // ...and the promoted entry answers from memory next time.
+        assert_eq!(c.get(7).unwrap().1, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_miss_and_are_removed() {
+        let dir = tmpdir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}.json", hex16(9)));
+        std::fs::write(&path, "{\"truncated\":").unwrap();
+        let mut c = RunCache::new(Some(dir.clone()), 0).unwrap();
+        assert!(c.get(9).is_none());
+        assert!(!path.exists(), "corrupt entry must be dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let mut c = RunCache::new(None, 2).unwrap();
+        c.insert(1, Arc::new("\"one\"".into()));
+        c.insert(2, Arc::new("\"two\"".into()));
+        let _ = c.get(1); // 1 is now more recent than 2
+        c.insert(3, Arc::new("\"three\"".into()));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some(), "recently used entry must survive");
+        assert!(c.get(2).is_none(), "LRU entry must be evicted");
+        assert!(c.get(3).is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! Job digests: the content address of a run.
+//!
+//! A digest is `fnv1a(canonical spec JSON ‖ 0x00 ‖ code fingerprint)`.
+//! The canonical JSON comes from [`hmp_workloads::spec_to_json`], so two
+//! clients spelling the same job differently (key order, omitted
+//! defaults) land on the same digest; the fingerprint folds in the crate
+//! version, the export schema version and [`hmp_sim::SIM_EPOCH`], so any
+//! release that could change simulated results — or how they serialize —
+//! orphans every previously cached entry instead of serving stale bytes.
+
+use hmp_sim::digest::{hex16, Fnv64};
+use hmp_sim::export::SCHEMA_VERSION;
+use hmp_sim::SIM_EPOCH;
+use hmp_workloads::{spec_to_json, RunSpec};
+
+/// The code-version fingerprint folded into every job digest.
+///
+/// Stable within a build, different across releases, schema revisions and
+/// simulation-semantics epochs.
+pub fn code_fingerprint() -> String {
+    format!(
+        "{}+schema{}+epoch{}",
+        env!("CARGO_PKG_VERSION"),
+        SCHEMA_VERSION,
+        SIM_EPOCH
+    )
+}
+
+/// Digest of an already-canonicalized spec JSON string.
+pub fn digest_canonical(canonical_json: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(canonical_json.as_bytes());
+    h.write(&[0]);
+    h.write(code_fingerprint().as_bytes());
+    h.finish()
+}
+
+/// Canonicalizes `spec` and digests it. The cache key of one cell.
+pub fn spec_digest(spec: &RunSpec) -> u64 {
+    digest_canonical(&spec_to_json(spec))
+}
+
+/// [`spec_digest`] rendered as the fixed-width hex used in the wire
+/// protocol and for on-disk cache file names.
+pub fn spec_digest_hex(spec: &RunSpec) -> String {
+    hex16(spec_digest(spec))
+}
+
+/// Digest of a whole job (one or many cells): order-sensitive fold of the
+/// per-cell digests. Used only as the job id in protocol events.
+pub fn job_digest(cells: &[u64]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(cells.len() as u64);
+    for &c in cells {
+        h.write_u64(c);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_platform::{Kernel, Strategy};
+    use hmp_workloads::{spec_from_json, MicrobenchParams, RunSpec, Scenario};
+
+    fn base() -> RunSpec {
+        RunSpec::new(
+            Scenario::Worst,
+            Strategy::Proposed,
+            MicrobenchParams::default(),
+        )
+    }
+
+    #[test]
+    fn digest_is_stable_across_serialize_parse_roundtrips() {
+        let spec = base();
+        let d = spec_digest(&spec);
+        let rt = spec_from_json(&spec_to_json(&spec)).unwrap();
+        assert_eq!(spec_digest(&rt), d, "round-trip must not move the digest");
+        // Spelling the same job minimally (defaults omitted, shuffled
+        // keys) also lands on the same digest after canonicalization.
+        let minimal = spec_from_json(r#"{"strategy":"proposed","scenario":"worst"}"#).unwrap();
+        assert_eq!(spec_digest(&minimal), d);
+    }
+
+    #[test]
+    fn semantic_changes_move_the_digest() {
+        let d = spec_digest(&base());
+        let mut seeded = base();
+        seeded.params.seed = 2;
+        assert_ne!(spec_digest(&seeded), d);
+        assert_ne!(spec_digest(&base().with_kernel(Kernel::Step)), d);
+        assert_ne!(spec_digest(&base().with_burst_penalty(14)), d);
+    }
+
+    #[test]
+    fn code_version_bump_moves_the_digest() {
+        let canon = spec_to_json(&base());
+        let now = digest_canonical(&canon);
+        // Simulate a SIM_EPOCH bump by hashing with a different
+        // fingerprint: same construction, different trailer.
+        let mut h = Fnv64::new();
+        h.write(canon.as_bytes());
+        h.write(&[0]);
+        h.write(
+            format!(
+                "{}+schema{}+epoch{}",
+                env!("CARGO_PKG_VERSION"),
+                hmp_sim::export::SCHEMA_VERSION,
+                SIM_EPOCH + 1
+            )
+            .as_bytes(),
+        );
+        assert_ne!(h.finish(), now, "an epoch bump must orphan cached entries");
+    }
+
+    #[test]
+    fn job_digest_is_order_and_length_sensitive() {
+        let a = spec_digest(&base());
+        let mut other = base();
+        other.params.seed = 7;
+        let b = spec_digest(&other);
+        assert_ne!(job_digest(&[a, b]), job_digest(&[b, a]));
+        assert_ne!(job_digest(&[a]), job_digest(&[a, a]));
+    }
+
+    #[test]
+    fn hex_form_matches_value() {
+        let spec = base();
+        assert_eq!(spec_digest_hex(&spec), hex16(spec_digest(&spec)));
+    }
+}

@@ -1,0 +1,54 @@
+//! # hmp-server — simulation as a service
+//!
+//! Every run in this workspace is fully deterministic: the same
+//! [`RunSpec`], seed and code version always produce a byte-identical
+//! result (the kernel-equivalence suite and the `baselines/` gate pin
+//! that). This crate turns that determinism into throughput: a
+//! dependency-free daemon that accepts simulation jobs as line-delimited
+//! JSON over TCP, canonicalizes each spec into a content digest, answers
+//! repeats from an in-memory + on-disk cache, and shards misses across a
+//! [`hmp_bench::sweep::par_map_with`] worker pool of reset-don't-drop
+//! [`Runner`]s — so the per-worker execution path stays allocation-free
+//! in steady state, exactly like the sweep binaries.
+//!
+//! Concurrent clients submitting the identical job coalesce onto one
+//! execution (single-flight); everyone gets the same bytes. Server
+//! health — hit ratio, queue depth, queue-wait and service-time
+//! histograms — is exported in Prometheus-style exposition via the
+//! `metrics` op.
+//!
+//! The protocol, digest definition and cache-invalidation story are
+//! documented in `DESIGN.md` §8; `hmp-server-bench` is the load
+//! generator that measures cold vs warm throughput and writes
+//! `BENCH_SERVER.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod digest;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheTier, RunCache};
+pub use digest::{code_fingerprint, job_digest, spec_digest, spec_digest_hex};
+pub use metrics::ServerMetrics;
+pub use proto::{parse_request, result_json, Request, PROTO_VERSION};
+pub use server::{Server, ServerConfig};
+
+use hmp_platform::RunResult;
+use hmp_workloads::{RunSpec, Runner};
+
+/// The worker execution path: one cell on one pooled [`Runner`].
+///
+/// This is the function the daemon's `par_map_with` pool applies to every
+/// cache miss, and the function the counting-allocator test pins: after
+/// the pool's runner has warmed (first build + first reset), the
+/// steady-state stepping inside this call performs zero heap
+/// allocations. Everything allocating — platform construction, program
+/// generation, result assembly, JSON rendering — happens outside the
+/// simulated cycle loop.
+pub fn run_cell(runner: &mut Runner, spec: &RunSpec) -> RunResult {
+    runner.run(spec)
+}

@@ -1,0 +1,249 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests (`op` selects the verb):
+//!
+//! | op         | payload                        | response stream                 |
+//! |------------|--------------------------------|---------------------------------|
+//! | `ping`     | —                              | one `pong` event                |
+//! | `metrics`  | —                              | one `metrics` event             |
+//! | `run`      | `"spec": {…}`                  | `accepted`, `progress`*, `cell`, `done` |
+//! | `sweep`    | `"specs": [{…}, …]`            | `accepted`, `progress`*, `cell`*, `done` |
+//! | `shutdown` | —                              | one `ok` event, then the daemon stops accepting |
+//!
+//! Specs use the canonical dialect of [`hmp_workloads::codec`]; the
+//! server canonicalizes whatever spelling the client sends before
+//! digesting, so key order and omitted defaults never split the cache.
+//! Responses for a job always end with a `done` event; malformed
+//! requests produce one `error` event and leave the connection open.
+
+use hmp_platform::{RunOutcome, RunResult};
+use hmp_sim::export::{json_escape, JsonValue};
+use hmp_workloads::{codec, RunSpec};
+use std::fmt::Write as _;
+
+/// Version of the wire protocol; reported by `ping` and stamped into
+/// every `accepted` event.
+pub const PROTO_VERSION: u32 = 1;
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness + identity probe.
+    Ping,
+    /// Prometheus-style exposition of server health.
+    Metrics,
+    /// Stop accepting connections after this one.
+    Shutdown,
+    /// One simulation cell.
+    Run(RunSpec),
+    /// A grid of cells, answered in input order.
+    Sweep(Vec<RunSpec>),
+}
+
+/// Parses one request line. Errors are human-readable and safe to echo
+/// back to the client in an `error` event.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = hmp_sim::export::parse_json(line)?;
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("request needs an \"op\" string")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let spec = doc.get("spec").ok_or("\"run\" needs a \"spec\" object")?;
+            Ok(Request::Run(codec::spec_from_value(spec)?))
+        }
+        "sweep" => {
+            let specs = doc
+                .get("specs")
+                .and_then(JsonValue::as_arr)
+                .ok_or("\"sweep\" needs a \"specs\" array")?;
+            if specs.is_empty() {
+                return Err("\"specs\" must not be empty".into());
+            }
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| codec::spec_from_value(s).map_err(|e| format!("specs[{i}]: {e}")))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Sweep)
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn outcome_key(outcome: RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Completed => "completed",
+        RunOutcome::Stalled => "stalled",
+        RunOutcome::CycleLimit => "cycle_limit",
+        RunOutcome::InvariantViolation => "invariant_violation",
+        RunOutcome::Degraded { .. } => "degraded",
+    }
+}
+
+/// Renders the **deterministic** portion of a [`RunResult`] as canonical
+/// JSON — the bytes the content-addressed cache stores and every client
+/// receives.
+///
+/// Covers exactly the fields `RunResult::eq` compares that are cheap to
+/// ship (outcome, cycles, bus stats, per-CPU counters, the full stats
+/// registry in its sorted order, violation count, faults injected) and
+/// deliberately excludes the kernel self-profile, which is wall-clock-
+/// and machine-dependent by construction. Two runs of the same digest on
+/// any machine render to identical bytes.
+pub fn result_json(r: &RunResult) -> String {
+    let mut out = String::with_capacity(512);
+    let (quarantined, absorbed) = match r.outcome {
+        RunOutcome::Degraded {
+            quarantined,
+            faults_absorbed,
+        } => (quarantined, faults_absorbed),
+        _ => (0, 0),
+    };
+    let _ = write!(
+        out,
+        concat!(
+            r#"{{"outcome":"{}","cycles":{},"quarantined":{},"faults_absorbed":{},"#,
+            r#""bus":{{"grants":{},"retries":{},"completions":{},"drains":{},"data_cycles":{}}},"#,
+            r#""cpus":["#
+        ),
+        outcome_key(r.outcome),
+        r.cycles_u64(),
+        quarantined,
+        absorbed,
+        r.bus.grants,
+        r.bus.retries,
+        r.bus.completions,
+        r.bus.drains,
+        r.bus.data_cycles,
+    );
+    for (i, c) in r.cpus.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"reads":{},"writes":{},"maintenance":{},"lock_acquires":{},"#,
+                r#""lock_releases":{},"lock_mem_ops":{},"isr_entries":{},"isr_cycles":{}}}"#
+            ),
+            c.reads,
+            c.writes,
+            c.maintenance,
+            c.lock_acquires,
+            c.lock_releases,
+            c.lock_mem_ops,
+            c.isr_entries,
+            c.isr_cycles,
+        );
+    }
+    out.push_str("],\"stats\":{");
+    for (i, (key, value)) in r.stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(key), value);
+    }
+    let _ = write!(
+        out,
+        r#"}},"violations":{},"faults_injected":{}}}"#,
+        r.violations.len(),
+        r.faults_injected,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmp_platform::Strategy;
+    use hmp_sim::export::validate_json;
+    use hmp_workloads::{MicrobenchParams, RunSpec, Runner, Scenario};
+
+    fn small_spec() -> RunSpec {
+        RunSpec::new(
+            Scenario::Worst,
+            Strategy::Proposed,
+            MicrobenchParams {
+                lines_per_iter: 2,
+                exec_time: 1,
+                outer_iters: 2,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn requests_parse_and_reject_with_context() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#),
+            Ok(Request::Metrics)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        let run =
+            parse_request(r#"{"op":"run","spec":{"scenario":"worst","strategy":"proposed"}}"#)
+                .unwrap();
+        assert!(matches!(run, Request::Run(s) if s.scenario == Scenario::Worst));
+        let sweep = parse_request(
+            r#"{"op":"sweep","specs":[{"scenario":"worst","strategy":"proposed"},
+                                      {"scenario":"best","strategy":"proposed"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(sweep, Request::Sweep(v) if v.len() == 2));
+
+        for (line, needle) in [
+            ("totally not json", "bad literal"),
+            (r#"{"verb":"ping"}"#, "op"),
+            (r#"{"op":"dance"}"#, "unknown op"),
+            (r#"{"op":"run"}"#, "spec"),
+            (r#"{"op":"sweep","specs":[]}"#, "empty"),
+            (
+                r#"{"op":"sweep","specs":[{"scenario":"worst"}]}"#,
+                "specs[0]",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn result_json_is_valid_deterministic_and_profile_free() {
+        let spec = small_spec().with_profile();
+        let mut runner = Runner::new();
+        let a = result_json(&runner.run(&spec));
+        validate_json(&a).unwrap_or_else(|e| panic!("{e}\n{a}"));
+        // Same digest, different runner, different wall time — same bytes.
+        let b = result_json(&Runner::new().run(&spec));
+        assert_eq!(a, b, "result JSON must be byte-deterministic");
+        assert!(a.contains(r#""outcome":"completed""#), "{a}");
+        assert!(a.contains(r#""stats":{"#), "{a}");
+        assert!(!a.contains("wall_ns"), "profile leaked into cached bytes");
+    }
+
+    #[test]
+    fn degraded_outcomes_carry_their_fields() {
+        let mut r = Runner::new().run(&small_spec());
+        r.outcome = RunOutcome::Degraded {
+            quarantined: 2,
+            faults_absorbed: 5,
+        };
+        let json = result_json(&r);
+        validate_json(&json).unwrap();
+        assert!(json.contains(r#""outcome":"degraded""#), "{json}");
+        assert!(json.contains(r#""quarantined":2"#), "{json}");
+        assert!(json.contains(r#""faults_absorbed":5"#), "{json}");
+    }
+}

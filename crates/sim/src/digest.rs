@@ -1,0 +1,135 @@
+//! Content digests for deterministic run artefacts.
+//!
+//! Every simulation in this workspace is fully deterministic: the same
+//! spec, seed and code version always produce a byte-identical run
+//! result. That determinism turns a hash of the *inputs* into a key for
+//! the *outputs* — the `hmp-server` daemon's
+//! content-addressed run cache stores result JSON under
+//! `fnv1a(canonical spec JSON ‖ code fingerprint)` and serves repeat
+//! jobs without re-simulating.
+//!
+//! The hash is FNV-1a (64-bit): dependency-free, stable across
+//! platforms, and — like the `TagHasher` on the snoop hot path — a
+//! couple of multiplies per byte. It is **not** cryptographic; the cache
+//! keys trusted local jobs, not adversarial input.
+
+/// Bumped whenever a change alters simulation *semantics* (cycle counts,
+/// event ordering, counter definitions) without a schema change. The
+/// server's code fingerprint folds this in, so a bump orphans every
+/// previously cached run result instead of serving stale bytes.
+pub const SIM_EPOCH: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// # Examples
+///
+/// ```
+/// use hmp_sim::digest::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write(b"hello");
+/// assert_eq!(h.finish(), Fnv64::hash(b"hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= u64::from(b);
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Absorbs one `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: the FNV-1a hash of `bytes`.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+/// Renders a digest as the fixed-width lowercase hex used for cache
+/// file names and wire protocol job ids.
+pub fn hex16(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// Parses a [`hex16`]-formatted digest back to its value.
+pub fn parse_hex16(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::hash(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_writes_match_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), Fnv64::hash(b"foobar"));
+    }
+
+    #[test]
+    fn write_u64_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Fnv64::hash(b"spec");
+        let hex = hex16(d);
+        assert_eq!(hex.len(), 16);
+        assert_eq!(parse_hex16(&hex), Some(d));
+        assert_eq!(parse_hex16("short"), None);
+        assert_eq!(parse_hex16("zzzzzzzzzzzzzzzz"), None);
+    }
+}

@@ -59,6 +59,7 @@
 
 mod clock;
 mod counters;
+pub mod digest;
 mod event;
 pub mod export;
 mod fault;
@@ -74,6 +75,7 @@ mod watchdog;
 
 pub use clock::{ClockDomain, CoreCycle, Cycle};
 pub use counters::{CounterBank, CpuCounter};
+pub use digest::{Fnv64, SIM_EPOCH};
 pub use event::{
     BusOpKind, NullObserver, Observer, RetryCause, SimEvent, SnoopActionKind, TraceObserver,
     TracedEvent,
